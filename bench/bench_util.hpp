@@ -1,0 +1,45 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "flow/report.hpp"
+#include "kernels/kernels.hpp"
+
+namespace slpwlo::bench {
+
+/// Per-kernel context cache: range analysis + IWLs + gain calibration are
+/// paid once per kernel across the whole sweep.
+inline const KernelContext& context_for(const std::string& kernel_name) {
+    static std::map<std::string, std::unique_ptr<KernelContext>> cache;
+    auto& slot = cache[kernel_name];
+    if (!slot) {
+        auto bench = kernels::make_benchmark_kernel(kernel_name);
+        slot = std::make_unique<KernelContext>(std::move(bench.kernel),
+                                               bench.range_options);
+    }
+    return *slot;
+}
+
+/// The paper's x-axis: accuracy constraints in dB, loose to strict.
+inline std::vector<double> constraint_grid(double from = -5.0,
+                                           double to = -70.0,
+                                           double step = 5.0) {
+    std::vector<double> grid;
+    for (double a = from; a >= to; a -= step) grid.push_back(a);
+    return grid;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+    std::printf("==========================================================\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("==========================================================\n");
+}
+
+}  // namespace slpwlo::bench

@@ -1,0 +1,37 @@
+// Code generation: run the joint flow on the 3x3 convolution and emit the
+// three artifacts of the paper's backend — the fixed-point C, the SIMD C
+// over the abstract macro API, and the portable emulation header — plus
+// the intrinsic mapping notes for a target port.
+//
+//   $ ./conv_codegen > conv_generated.txt
+#include <cstdio>
+
+#include "slpwlo.hpp"
+
+using namespace slpwlo;
+
+int main() {
+    auto bench = kernels::make_benchmark_kernel("CONV");
+    KernelContext context(std::move(bench.kernel), bench.range_options);
+    const TargetModel target = targets::xentium();
+
+    FlowOptions options;
+    options.accuracy_db = -40.0;
+    const FlowResult r = run_wlo_slp_flow(context, target, options);
+
+    std::printf("/* %s */\n\n", summarize(r).c_str());
+
+    std::printf("/* ============ fixed-point C (scalar) ============ */\n");
+    const FixedCResult fixed = emit_fixed_c(context.kernel(), r.spec);
+    std::printf("%s\n", fixed.code.c_str());
+
+    std::printf("/* ============ SIMD C (macro API) ============ */\n");
+    std::printf("%s", simd_target_mapping_comment(target).c_str());
+    const FixedCResult simd =
+        emit_simd_c(context.kernel(), r.spec, r.groups);
+    std::printf("%s\n", simd.code.c_str());
+
+    std::printf("/* ============ slpwlo_simd_emu.h ============ */\n");
+    std::printf("%s", simd_emulation_header().c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Defining your own processor model: a hypothetical 2-issue DSP with a
+// 64-bit SIMD datapath (4x16 / 8x8) and a serial shifter, to show how the
+// joint optimization adapts to the target description — wider groups
+// become profitable, and expensive shifting makes the scaling
+// optimization matter more.
+#include <cstdio>
+
+#include "slpwlo.hpp"
+
+using namespace slpwlo;
+
+int main() {
+    TargetModel dsp;
+    dsp.name = "MYDSP64";
+    dsp.issue_width = 2;
+    dsp.alu_slots = 2;
+    dsp.mul_slots = 1;
+    dsp.mem_slots = 1;
+    dsp.alu_latency = 1;
+    dsp.mul_latency = 2;
+    dsp.mem_latency = 2;
+    dsp.barrel_shifter = false;  // serial shifter: n-bit shift ~ n cycles
+    dsp.native_wl = 32;
+    dsp.scalar_wls = {32, 16, 8};
+    dsp.simd_width_bits = 64;        // twice the paper's targets
+    dsp.simd_element_wls = {32, 16, 8};  // 2x32, 4x16, 8x8
+    dsp.pack2_ops = 1;
+    dsp.extract_ops = 1;
+    dsp.fp.hardware = false;
+    dsp.loop_overhead_cycles = 2;
+    dsp.validate();
+
+    std::printf("custom target: %s, %d-bit SIMD, group sizes up to %d\n\n",
+                dsp.name.c_str(), dsp.simd_width_bits, dsp.max_group_size());
+
+    auto bench = kernels::make_benchmark_kernel("FIR");
+    KernelContext context(std::move(bench.kernel), bench.range_options);
+
+    std::printf("%8s %12s %12s %8s %8s\n", "A(dB)", "simd-cyc", "scalar-cyc",
+                "groups", "widest");
+    for (const double a : {-10.0, -30.0, -50.0}) {
+        FlowOptions options;
+        options.accuracy_db = a;
+        const FlowResult r = run_wlo_slp_flow(context, dsp, options);
+        int widest = 0;
+        for (const BlockGroups& bg : r.groups) {
+            for (const SimdGroup& g : bg.groups) {
+                widest = std::max(widest, g.width());
+            }
+        }
+        std::printf("%8.0f %12lld %12lld %8d %8d\n", a, r.simd_cycles,
+                    r.scalar_cycles, r.group_count, widest);
+    }
+    std::printf("\non a 64-bit datapath the FIR taps group 4-wide at 16 bits\n"
+                "without giving up any accuracy relative to the paper's\n"
+                "32-bit targets — equation (1) with a bigger budget.\n");
+    return 0;
+}

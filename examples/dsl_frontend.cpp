@@ -1,0 +1,44 @@
+// The textual frontend: compile a kernel written in the DSL (the
+// annotated-floating-point-C role of the paper's source-to-source flow),
+// run the joint optimization, and print the optimized fixed-point C.
+//
+//   $ ./dsl_frontend            (built-in 8-tap highpass example)
+#include <cstdio>
+
+#include "slpwlo.hpp"
+
+using namespace slpwlo;
+
+static const char* kSource = R"(
+# 8-tap highpass-ish FIR, tap loop unrolled by 4 to expose SLP
+kernel hp8 {
+  input  x[135] range(-1.0, 1.0);
+  param  c[8] = { -0.02, -0.08, 0.24, 0.52, 0.52, 0.24, -0.08, -0.02 };
+  output y[128];
+  var acc;
+  loop n = 0..128 {
+    acc = 0.0;
+    loop k = 0..8 unroll 4 {
+      acc = acc + c[k] * x[n + 7 - k];
+    }
+    y[n] = acc;
+  }
+}
+)";
+
+int main() {
+    // Parse + lower + unroll + verify.
+    const Kernel kernel = compile_kernel_source(kSource);
+    std::printf("compiled kernel IR:\n%s\n", print_kernel(kernel).c_str());
+
+    KernelContext context(kernel);
+    const TargetModel target = targets::vex4();
+    FlowOptions options;
+    options.accuracy_db = -30.0;
+    const FlowResult r = run_wlo_slp_flow(context, target, options);
+    std::printf("%s\n\n", summarize(r).c_str());
+
+    std::printf("optimized fixed-point C:\n%s",
+                emit_fixed_c(context.kernel(), r.spec).code.c_str());
+    return 0;
+}

@@ -1,0 +1,48 @@
+// Accuracy validation on the recursive kernel: compare the analytical
+// noise estimate (what the optimizer steers by) with bit-accurate
+// fixed-point simulation (what the generated code actually does), across
+// the constraint sweep. Recursive kernels are the hard case: interval
+// range analysis diverges (the flow falls back to simulated ranges) and
+// quantization noise recirculates through the feedback taps.
+#include <cstdio>
+
+#include "accuracy/sim_evaluator.hpp"
+#include "slpwlo.hpp"
+
+using namespace slpwlo;
+
+int main() {
+    auto bench = kernels::make_benchmark_kernel("IIR");
+    KernelContext context(std::move(bench.kernel), bench.range_options);
+    const TargetModel target = targets::st240();
+
+    std::printf("IIR-10 on %s — analytic vs measured noise of the joint "
+                "solution\n\n",
+                target.name.c_str());
+    std::printf("range analysis method: %s (interval iteration diverges on "
+                "feedback)\n\n",
+                context.ranges().method_used == RangeMethod::Simulation
+                    ? "simulation"
+                    : "interval");
+
+    const SimulationEvaluator sim(context.kernel(), /*runs=*/2);
+    std::printf("%8s %14s %14s %12s %8s\n", "A(dB)", "analytic(dB)",
+                "measured(dB)", "simd-cyc", "groups");
+    for (double a = -10.0; a >= -60.0; a -= 10.0) {
+        FlowOptions options;
+        options.accuracy_db = a;
+        const FlowResult r = run_wlo_slp_flow(context, target, options);
+        const double measured = sim.noise_power_db(r.spec);
+        std::printf("%8.0f %14.1f %14.1f %12lld %8d%s\n", a,
+                    r.analytic_noise_db, measured, r.simd_cycles,
+                    r.group_count,
+                    measured <= a + 3.0 ? "" : "   <-- model optimistic");
+    }
+    std::printf(
+        "\nthe analytic estimate satisfies the constraint by construction;\n"
+        "the measured value tracks it within the linear noise model's\n"
+        "margin (it drifts under very coarse quantization, where truncation\n"
+        "errors correlate with the signal — a known limitation shared with\n"
+        "the paper's analytical evaluator).\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: run the paper's joint WLO + SLP flow on the 64-tap FIR for
+// the XENTIUM DSP and compare it with the decoupled WLO-First baseline.
+//
+//   $ ./quickstart [accuracy_db]     (default -35 dB)
+#include <cstdio>
+#include <cstdlib>
+
+#include "slpwlo.hpp"
+
+using namespace slpwlo;
+
+int main(int argc, char** argv) {
+    const double accuracy_db = argc > 1 ? std::atof(argv[1]) : -35.0;
+
+    // 1. The workload: the paper's 64-tap FIR (inner loop unrolled by 4).
+    auto bench = kernels::make_benchmark_kernel("FIR");
+    // 2. Per-kernel preparation: dynamic-range analysis, IWL determination
+    //    and noise-gain calibration (shared across targets/constraints).
+    KernelContext context(std::move(bench.kernel), bench.range_options);
+
+    const TargetModel target = targets::xentium();
+    FlowOptions options;
+    options.accuracy_db = accuracy_db;
+
+    // 3. The paper's flow (Fig. 3) vs the decoupled baseline (Fig. 5).
+    const FlowResult joint = run_wlo_slp_flow(context, target, options);
+    const FlowResult decoupled = run_wlo_first_flow(context, target, options);
+    const long long fc = float_cycles(context, target);
+
+    std::printf("accuracy constraint : %.1f dB (max output noise power)\n",
+                accuracy_db);
+    std::printf("target              : %s (%d-issue VLIW, %d-bit SIMD)\n\n",
+                target.name.c_str(), target.issue_width,
+                target.simd_width_bits);
+    std::printf("%s\n%s\n\n", summarize(joint).c_str(),
+                summarize(decoupled).c_str());
+
+    std::printf("speedup over the scalar fixed-point baseline:\n");
+    std::printf("  WLO-SLP   : %.2fx  (%d SIMD groups)\n",
+                speedup(decoupled.scalar_cycles, joint.simd_cycles),
+                joint.group_count);
+    std::printf("  WLO-First : %.2fx  (%d SIMD groups)\n",
+                speedup(decoupled.scalar_cycles, decoupled.simd_cycles),
+                decoupled.group_count);
+    std::printf("speedup over single-precision float (soft-float): %.1fx\n\n",
+                speedup(fc, joint.simd_cycles));
+
+    std::printf("word-length histogram of the joint solution:\n%s",
+                wl_histogram(joint.spec).c_str());
+    return 0;
+}

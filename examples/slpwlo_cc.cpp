@@ -1,0 +1,133 @@
+// slpwlo_cc — the command-line compiler driver: the whole source-to-source
+// flow of the paper's Fig. 3 in one command.
+//
+//   slpwlo_cc <kernel.k> [--target NAME] [--accuracy DB] [--baseline]
+//             [--emit fixed|simd|ir|report] [--no-scaling-optim]
+//
+//   $ ./slpwlo_cc my_filter.k --target XENTIUM --accuracy -35 --emit simd
+//
+// Reads a kernel in the DSL (see examples/dsl_frontend.cpp for the
+// grammar), runs the joint WLO+SLP optimization (or the WLO-First
+// baseline with --baseline), and prints the requested artifact.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "slpwlo.hpp"
+#include "support/diagnostics.hpp"
+
+using namespace slpwlo;
+
+namespace {
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: slpwlo_cc <kernel.k> [--target NAME] "
+                 "[--accuracy DB]\n"
+                 "                 [--baseline] [--emit fixed|simd|ir|report]"
+                 " [--no-scaling-optim]\n"
+                 "targets: XENTIUM ST240 VEX-1 VEX-4 GENERIC32\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string path;
+    std::string target_name = "XENTIUM";
+    std::string emit = "report";
+    double accuracy_db = -35.0;
+    bool baseline = false;
+    bool scaling_optim = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--target") {
+            target_name = value();
+        } else if (arg == "--accuracy") {
+            accuracy_db = std::stod(value());
+        } else if (arg == "--emit") {
+            emit = value();
+        } else if (arg == "--baseline") {
+            baseline = true;
+        } else if (arg == "--no-scaling-optim") {
+            scaling_optim = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+
+    try {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 1;
+        }
+        std::stringstream source;
+        source << in.rdbuf();
+
+        const Kernel kernel = compile_kernel_source(source.str());
+        const TargetModel target = targets::by_name(target_name);
+        KernelContext context(kernel);
+
+        FlowOptions options;
+        options.accuracy_db = accuracy_db;
+        options.wlo_slp.scaling_optim = scaling_optim;
+        const FlowResult result =
+            baseline ? run_wlo_first_flow(context, target, options)
+                     : run_wlo_slp_flow(context, target, options);
+
+        if (emit == "fixed") {
+            std::printf("%s", emit_fixed_c(context.kernel(),
+                                           result.spec).code.c_str());
+        } else if (emit == "simd") {
+            std::printf("%s", simd_target_mapping_comment(target).c_str());
+            std::printf("%s", emit_simd_c(context.kernel(), result.spec,
+                                          result.groups).code.c_str());
+        } else if (emit == "ir") {
+            std::printf("%s", print_kernel(context.kernel()).c_str());
+        } else if (emit == "report") {
+            std::printf("%s\n", summarize(result).c_str());
+            std::printf("speedup over its scalar fixed-point version: "
+                        "%.2fx\n",
+                        speedup(result.scalar_cycles, result.simd_cycles));
+            std::printf("word-length histogram:\n%s",
+                        wl_histogram(result.spec).c_str());
+            std::printf("groups:\n");
+            for (const BlockGroups& bg : result.groups) {
+                for (const SimdGroup& g : bg.groups) {
+                    std::printf("  block %d: %d-wide %s group\n",
+                                bg.block.index(), g.width(),
+                                to_string(context.kernel()
+                                              .op(g.lanes.front())
+                                              .kind)
+                                    .c_str());
+                }
+            }
+        } else {
+            usage();
+            return 2;
+        }
+    } catch (const Error& e) {
+        std::fprintf(stderr, "slpwlo_cc: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

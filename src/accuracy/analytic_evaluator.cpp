@@ -1,0 +1,36 @@
+#include "accuracy/analytic_evaluator.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+AnalyticEvaluator::AnalyticEvaluator(const Kernel& kernel,
+                                     const GainOptions& options)
+    : AnalyticEvaluator(kernel, analyze_gains(kernel, options)) {}
+
+AnalyticEvaluator::AnalyticEvaluator(const Kernel& kernel, KernelGains gains)
+    : kernel_(&kernel),
+      gains_(std::move(gains)),
+      def_nodes_(compute_var_def_nodes(kernel)) {
+    SLPWLO_CHECK(gains_.op_gains.size() == kernel.ops().size(),
+                 "gains were computed for a different kernel");
+}
+
+double AnalyticEvaluator::noise_power(const FixedPointSpec& spec) const {
+    SLPWLO_ASSERT(&spec.kernel() == kernel_,
+                  "spec belongs to a different kernel");
+    double variance = 0.0;
+    double mean = 0.0;
+    for (const NoiseSource& src :
+         enumerate_noise_sources(*kernel_, spec, def_nodes_)) {
+        const NodeGains& g =
+            src.op.valid()
+                ? gains_.op_gains[static_cast<size_t>(src.op.index())]
+                : gains_.array_gains[static_cast<size_t>(src.array.index())];
+        variance += src.stats.variance * g.a;
+        mean += src.stats.mean * g.b * src.dc_sign;
+    }
+    return variance + mean * mean;
+}
+
+}  // namespace slpwlo

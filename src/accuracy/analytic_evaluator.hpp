@@ -1,0 +1,35 @@
+// Analytical accuracy evaluator (the paper's [11]-style noise model).
+//
+// Construction calibrates the kernel's noise gains once (seconds at most);
+// each noise_power() call is then O(#static ops), making it cheap enough
+// for the candidate/conflict enumeration loops of Fig. 1c and the Tabu
+// search of the WLO-First baseline.
+#pragma once
+
+#include <memory>
+
+#include "accuracy/evaluator.hpp"
+#include "accuracy/gain_analyzer.hpp"
+#include "accuracy/noise_source.hpp"
+
+namespace slpwlo {
+
+class AnalyticEvaluator final : public AccuracyEvaluator {
+public:
+    explicit AnalyticEvaluator(const Kernel& kernel,
+                               const GainOptions& options = {});
+
+    /// Construct from pre-computed gains (shared across evaluators).
+    AnalyticEvaluator(const Kernel& kernel, KernelGains gains);
+
+    double noise_power(const FixedPointSpec& spec) const override;
+
+    const KernelGains& gains() const { return gains_; }
+
+private:
+    const Kernel* kernel_;
+    KernelGains gains_;
+    std::vector<NodeRef> def_nodes_;
+};
+
+}  // namespace slpwlo

@@ -1,0 +1,35 @@
+// AccuracyEvaluator interface.
+//
+// The WLO algorithms only ever ask one question of the accuracy machinery:
+// "what is the output quantization-noise power of this spec, and does it
+// violate the constraint?" (EVALACC in Fig. 1). The paper stresses that its
+// WLO is decoupled from any particular accuracy-evaluation method; we mirror
+// that with this interface, implemented analytically (AnalyticEvaluator)
+// and by bit-accurate simulation (SimulationEvaluator).
+#pragma once
+
+#include "fixpoint/spec.hpp"
+#include "support/dbmath.hpp"
+
+namespace slpwlo {
+
+class AccuracyEvaluator {
+public:
+    virtual ~AccuracyEvaluator() = default;
+
+    /// Output noise power (linear) of the given fixed-point specification.
+    virtual double noise_power(const FixedPointSpec& spec) const = 0;
+
+    /// Noise power in dB (10 log10 P); -inf for an exact spec.
+    double noise_power_db(const FixedPointSpec& spec) const {
+        return power_to_db(noise_power(spec));
+    }
+
+    /// EVALACC check: true if the spec's noise exceeds the constraint.
+    /// The constraint is the maximum tolerable noise power in dB (e.g. -40).
+    bool violates(const FixedPointSpec& spec, double constraint_db) const {
+        return noise_power_db(spec) > constraint_db;
+    }
+};
+
+}  // namespace slpwlo

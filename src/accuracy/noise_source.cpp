@@ -1,0 +1,140 @@
+#include "accuracy/noise_source.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+std::vector<NodeRef> compute_var_def_nodes(const Kernel& kernel) {
+    std::vector<NodeRef> def_nodes(kernel.vars().size());
+    FixedPointSpec probe(kernel);  // reuse node_of resolution
+    for (const BlockId block : kernel.blocks_in_order()) {
+        for (const OpId op_id : kernel.block(block).ops) {
+            const Op& op = kernel.op(op_id);
+            if (!op.dest.valid()) continue;
+            const NodeRef node = probe.node_of(op_id);
+            NodeRef& slot = def_nodes[op.dest.index()];
+            SLPWLO_CHECK(!slot.valid() || slot == node,
+                         "variable `" + kernel.var(op.dest).name +
+                             "` is defined with conflicting format nodes "
+                             "(mixing loads and arithmetic definitions)");
+            slot = node;
+        }
+    }
+    return def_nodes;
+}
+
+std::vector<NoiseSource> enumerate_noise_sources(
+    const Kernel& kernel, const FixedPointSpec& spec,
+    const std::vector<NodeRef>& def_nodes) {
+    std::vector<NoiseSource> sources;
+    sources.reserve(kernel.ops().size() + kernel.arrays().size());
+    const QuantMode mode = spec.quant_mode();
+
+    auto operand_fwl = [&](VarId v) {
+        const NodeRef node = def_nodes[v.index()];
+        SLPWLO_ASSERT(node.valid(), "operand variable never defined: " +
+                                        kernel.var(v).name);
+        return spec.format(node).fwl;
+    };
+
+    auto push_op_source = [&](OpId op, const NoiseStats& stats, double dc_sign,
+                              const char* why) {
+        if (stats.mean == 0.0 && stats.variance == 0.0) return;
+        NoiseSource s;
+        s.op = op;
+        s.stats = stats;
+        s.dc_sign = dc_sign;
+        s.why = why;
+        sources.push_back(s);
+    };
+
+    for (const BlockId block : kernel.blocks_in_order()) {
+        for (const OpId op_id : kernel.block(block).ops) {
+            const Op& op = kernel.op(op_id);
+            switch (op.kind) {
+                case OpKind::Const: {
+                    const FixedFormat fmt = spec.result_format(op_id);
+                    const double err =
+                        quantize_value(op.const_value, fmt.fwl, mode) -
+                        op.const_value;
+                    if (err != 0.0) {
+                        push_op_source(op_id, NoiseStats{err, 0.0}, 1.0,
+                                       "const literal");
+                    }
+                    break;
+                }
+                case OpKind::Copy:
+                case OpKind::Neg: {
+                    // The quantization happens at the op's *output* (after
+                    // negation, for Neg), so the DC sign is always +1: the
+                    // measured gains already include downstream propagation.
+                    const int fr = spec.result_format(op_id).fwl;
+                    const int fs = operand_fwl(op.args[0]);
+                    push_op_source(op_id, quantization_stats(fr, fs - fr, mode),
+                                   1.0, "narrowing");
+                    break;
+                }
+                case OpKind::Add:
+                case OpKind::Sub: {
+                    const int fr = spec.result_format(op_id).fwl;
+                    const int fa = operand_fwl(op.args[0]);
+                    const int fb = operand_fwl(op.args[1]);
+                    push_op_source(op_id, quantization_stats(fr, fa - fr, mode),
+                                   1.0, "align arg0");
+                    const double sign = op.kind == OpKind::Sub ? -1.0 : 1.0;
+                    push_op_source(op_id, quantization_stats(fr, fb - fr, mode),
+                                   sign, "align arg1");
+                    break;
+                }
+                case OpKind::Mul: {
+                    const int fr = spec.result_format(op_id).fwl;
+                    const int fa = operand_fwl(op.args[0]);
+                    const int fb = operand_fwl(op.args[1]);
+                    push_op_source(op_id,
+                                   quantization_stats(fr, fa + fb - fr, mode),
+                                   1.0, "mul result");
+                    break;
+                }
+                case OpKind::Div: {
+                    const int fr = spec.result_format(op_id).fwl;
+                    push_op_source(op_id, continuous_quantization_stats(fr, mode),
+                                   1.0, "div result");
+                    break;
+                }
+                case OpKind::Store: {
+                    const int fr = spec.array_format(op.array).fwl;
+                    const int fs = operand_fwl(op.args[0]);
+                    push_op_source(op_id, quantization_stats(fr, fs - fr, mode),
+                                   1.0, "store narrowing");
+                    break;
+                }
+                case OpKind::Load:
+                    break;  // representation-preserving
+            }
+        }
+    }
+
+    for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+        const ArrayDecl& decl = kernel.arrays()[a];
+        const ArrayId id(static_cast<int32_t>(a));
+        if (decl.storage == StorageClass::Input) {
+            NoiseSource s;
+            s.array = id;
+            s.stats = continuous_quantization_stats(
+                spec.array_format(id).fwl, mode);
+            s.why = "input quantization";
+            sources.push_back(s);
+        } else if (decl.storage == StorageClass::Param) {
+            NoiseSource s;
+            s.array = id;
+            s.stats = continuous_quantization_stats(
+                spec.array_format(id).fwl, mode);
+            s.why = "coefficient quantization";
+            sources.push_back(s);
+        }
+    }
+
+    return sources;
+}
+
+}  // namespace slpwlo

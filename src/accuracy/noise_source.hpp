@@ -1,0 +1,52 @@
+// Quantization noise-source enumeration.
+//
+// Given a fixed-point specification, list every point where the generated
+// fixed-point code discards information, with the statistical error model of
+// each (fixpoint/quantize.hpp):
+//
+//  * add/sub operand alignment: an operand whose FWL exceeds the result FWL
+//    is right-shifted (bits dropped) before the operation — these are the
+//    scaling operations of Section III.C;
+//  * mul/div result quantization down from full product precision;
+//  * copy/store narrowing;
+//  * const literals (exact deterministic error);
+//  * input quantization (continuous-amplitude -> input format);
+//  * coefficient quantization of Param arrays (modelled as per-element
+//    noise through the same sensitivity gains — see DESIGN.md).
+//
+// The analytical evaluator pairs each source with its precomputed output
+// gain; the enumeration is also exposed for tests and reports.
+#pragma once
+
+#include <vector>
+
+#include "fixpoint/spec.hpp"
+
+namespace slpwlo {
+
+struct NoiseSource {
+    /// Op-attached source (alignment/result/store quantization).
+    OpId op;
+    /// Array-attached source (input/coefficient quantization).
+    ArrayId array;
+    /// Error statistics of this source.
+    NoiseStats stats;
+    /// Sign applied to the DC gain: -1 for the subtrahend operand of Sub
+    /// (its alignment error enters the output negated).
+    double dc_sign = 1.0;
+    /// Human-readable origin, e.g. "mul result", "align arg0".
+    const char* why = "";
+};
+
+/// The node that defines the format of each variable's value: the array node
+/// for load-defined variables, the variable's own node otherwise.
+/// Indexed by VarId; invalid NodeRef for never-defined variables.
+std::vector<NodeRef> compute_var_def_nodes(const Kernel& kernel);
+
+/// Enumerate all noise sources implied by `spec`.
+/// `def_nodes` must come from compute_var_def_nodes(kernel).
+std::vector<NoiseSource> enumerate_noise_sources(
+    const Kernel& kernel, const FixedPointSpec& spec,
+    const std::vector<NodeRef>& def_nodes);
+
+}  // namespace slpwlo

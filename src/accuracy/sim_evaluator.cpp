@@ -1,0 +1,26 @@
+#include "accuracy/sim_evaluator.hpp"
+
+#include "sim/fixed_sim.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+SimulationEvaluator::SimulationEvaluator(const Kernel& kernel, int runs,
+                                         uint64_t seed)
+    : kernel_(&kernel), runs_(runs), seed_(seed) {
+    SLPWLO_CHECK(runs >= 1, "SimulationEvaluator requires at least one run");
+}
+
+double SimulationEvaluator::noise_power(const FixedPointSpec& spec) const {
+    SLPWLO_ASSERT(&spec.kernel() == kernel_,
+                  "spec belongs to a different kernel");
+    double total = 0.0;
+    for (int run = 0; run < runs_; ++run) {
+        const Stimulus stimulus =
+            make_stimulus(*kernel_, seed_ + static_cast<uint64_t>(run));
+        total += measure_noise_power(*kernel_, spec, stimulus);
+    }
+    return total / runs_;
+}
+
+}  // namespace slpwlo

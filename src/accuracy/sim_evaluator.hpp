@@ -1,0 +1,28 @@
+// Simulation-based accuracy evaluator.
+//
+// Measures the output noise power by running the bit-accurate fixed-point
+// simulator against the double-precision reference under random stimulus
+// (the paper's [9]-style alternative). Orders of magnitude slower than the
+// analytical evaluator; used for cross-validation and final verification
+// that an optimized spec really meets its constraint.
+#pragma once
+
+#include "accuracy/evaluator.hpp"
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+class SimulationEvaluator final : public AccuracyEvaluator {
+public:
+    explicit SimulationEvaluator(const Kernel& kernel, int runs = 2,
+                                 uint64_t seed = 0x5E1F);
+
+    double noise_power(const FixedPointSpec& spec) const override;
+
+private:
+    const Kernel* kernel_;
+    int runs_;
+    uint64_t seed_;
+};
+
+}  // namespace slpwlo

@@ -1,0 +1,93 @@
+#include "codegen/c_emitter.hpp"
+
+#include <cmath>
+
+#include "support/dbmath.hpp"
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace slpwlo {
+
+std::string c_name(const Kernel& kernel, VarId var) {
+    std::string name = kernel.var(var).name;
+    std::string out;
+    for (const char c : name) {
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_') {
+            out += c;
+        }
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "v" + out;
+    return out;
+}
+
+std::string c_loop_name(const Kernel& kernel, LoopId loop) {
+    std::string out;
+    for (const char c : kernel.loop(loop).var_name) {
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_') {
+            out += c;
+        } else {
+            out += '_';
+        }
+    }
+    return out + std::to_string(loop.index());
+}
+
+std::string c_int_type(int wl) {
+    if (wl <= 8) return "int8_t";
+    if (wl <= 16) return "int16_t";
+    if (wl <= 32) return "int32_t";
+    return "int64_t";
+}
+
+std::string c_index(const Kernel& kernel, const Affine& index) {
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& [loop, coeff] : index.coeffs()) {
+        if (!first) os << (coeff >= 0 ? " + " : " - ");
+        const int mag = first ? coeff : std::abs(coeff);
+        first = false;
+        if (mag == 1) {
+            os << c_loop_name(kernel, loop);
+        } else if (mag == -1) {
+            os << "-" << c_loop_name(kernel, loop);
+        } else {
+            os << mag << "*" << c_loop_name(kernel, loop);
+        }
+    }
+    if (first) {
+        os << index.offset();
+    } else if (index.offset() > 0) {
+        os << " + " << index.offset();
+    } else if (index.offset() < 0) {
+        os << " - " << -index.offset();
+    }
+    return os.str();
+}
+
+long long raw_fixed_value(double value, const FixedFormat& format,
+                          QuantMode mode) {
+    const double q = quantize_saturate(value, format, mode);
+    return static_cast<long long>(std::llround(q * pow2(format.fwl)));
+}
+
+void CodeWriter::line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) out_ << "    ";
+    out_ << text << "\n";
+}
+
+void CodeWriter::blank() { out_ << "\n"; }
+
+void CodeWriter::open(const std::string& text) {
+    line(text + " {");
+    indent_++;
+}
+
+void CodeWriter::close(const std::string& tail) {
+    SLPWLO_ASSERT(indent_ > 0, "unbalanced CodeWriter::close");
+    indent_--;
+    line(tail);
+}
+
+}  // namespace slpwlo

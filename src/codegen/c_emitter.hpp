@@ -1,0 +1,44 @@
+// Shared C-emission utilities: identifier sanitization, integer types,
+// affine-index expressions and an indenting writer.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "fixpoint/spec.hpp"
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// C identifier for a variable ("%t3" -> "t3", "acc0" -> "acc0").
+std::string c_name(const Kernel& kernel, VarId var);
+
+/// Loop variable name ("n", "k_u", ...), unique per loop.
+std::string c_loop_name(const Kernel& kernel, LoopId loop);
+
+/// Smallest standard integer type holding `wl` bits (int8_t/16/32/64).
+std::string c_int_type(int wl);
+
+/// C expression for an affine index, e.g. "18*i + j + 19".
+std::string c_index(const Kernel& kernel, const Affine& index);
+
+/// Raw integer value of a real constant in a fixed-point format
+/// (truncated and saturated, matching the simulator).
+long long raw_fixed_value(double value, const FixedFormat& format,
+                          QuantMode mode);
+
+/// Simple indented code writer.
+class CodeWriter {
+public:
+    void line(const std::string& text);
+    void blank();
+    void open(const std::string& text);   ///< "text {" and indent
+    void close(const std::string& tail = "}");
+    std::string str() const { return out_.str(); }
+
+private:
+    std::ostringstream out_;
+    int indent_ = 0;
+};
+
+}  // namespace slpwlo

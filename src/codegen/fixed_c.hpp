@@ -1,0 +1,29 @@
+// Fixed-point C code generation (the "Fixed-point C Back-End" of Fig. 3/5).
+//
+// Emits a self-contained C99 translation unit implementing the kernel under
+// a fixed-point specification: integer arrays and variables in each node's
+// storage type, explicit arithmetic-shift scalings for operand alignment
+// and product quantization, and saturation to each node's range —
+// bit-exact with the run_fixed simulator (integration-tested by compiling
+// and running the emitted code against it).
+//
+// Interface of the generated function:
+//   void <kernel>_fixed(const T_in* x_raw, T_out* y_raw);
+// where raw values are the fixed-point integers (value * 2^fwl); coefficient
+// arrays are embedded as static const data.
+#pragma once
+
+#include <string>
+
+#include "fixpoint/spec.hpp"
+
+namespace slpwlo {
+
+struct FixedCResult {
+    std::string code;           ///< full translation unit
+    std::string function_name;  ///< entry point
+};
+
+FixedCResult emit_fixed_c(const Kernel& kernel, const FixedPointSpec& spec);
+
+}  // namespace slpwlo

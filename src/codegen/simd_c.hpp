@@ -1,0 +1,32 @@
+// SIMD C code generation (the "Fixed-point / SIMD C Back-End" of Fig. 3).
+//
+// Emits the kernel as C99 over the abstract SIMD macro API of
+// slpwlo_simd_emu.h (SLPWLO_VLOAD / VADD / VMUL / VSHR / VGET / ...):
+// selected groups become vector macro sequences, everything else stays
+// scalar fixed-point code. Lane values are extracted back to their scalar
+// variables after each group, leaving register optimization (keeping
+// vectors live across iterations) to the target C compiler — exactly the
+// division of labour of the paper's macro backend.
+//
+// Functionally bit-exact with the run_fixed simulator for overflow-free
+// specs (IWL analysis guarantees that); integration-tested by compiling
+// and running the emitted code.
+#pragma once
+
+#include "codegen/fixed_c.hpp"
+#include "core/slp_aware_wlo.hpp"
+
+namespace slpwlo {
+
+/// The portable emulation implementation of the abstract macro API.
+/// Target ports replace this header with intrinsic mappings (see
+/// simd_target_mapping_comment).
+std::string simd_emulation_header();
+
+/// Commented intrinsic-mapping notes for a built-in target, to seed a port.
+std::string simd_target_mapping_comment(const TargetModel& target);
+
+FixedCResult emit_simd_c(const Kernel& kernel, const FixedPointSpec& spec,
+                         const std::vector<BlockGroups>& groups);
+
+}  // namespace slpwlo

@@ -1,0 +1,142 @@
+#include "core/accuracy_aware_slp.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+void set_group_max_wl(FixedPointSpec& spec, const std::vector<OpId>& lanes,
+                      int group_width, const TargetModel& target) {
+    const auto m = target.simd_element_wl(group_width);
+    SLPWLO_ASSERT(m.has_value(),
+                  "set_group_max_wl on an unsupported group size");
+    for (const OpId lane : lanes) {
+        const NodeRef node = spec.node_of(lane);
+        const int wl = std::min(spec.format(node).wl(), *m);
+        spec.set_wl(node, wl);
+    }
+}
+
+std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
+                                          FixedPointSpec& spec,
+                                          const AccuracyEvaluator& evaluator,
+                                          const TargetModel& target,
+                                          const AccuracySlpConfig& config,
+                                          SlpStats* stats) {
+    const double constraint = config.accuracy_db;
+
+    auto apply_eq1 = [&](const Candidate& c) {
+        const std::vector<OpId> lanes = fused_lanes(view, c);
+        set_group_max_wl(spec, lanes, static_cast<int>(lanes.size()), target);
+    };
+
+    SlpHooks hooks;
+    // Fig. 1c lines 6-12: a candidate whose own WL reduction (with all
+    // other nodes untouched) violates the constraint can never be
+    // implemented as a SIMD instruction.
+    hooks.candidate_valid = [&](const Candidate& c) {
+        const auto cp = spec.checkpoint();
+        apply_eq1(c);
+        const bool ok = !evaluator.violates(spec, constraint);
+        spec.revert(cp);
+        return ok;
+    };
+    // Fig. 1c lines 14-25: candidates that cannot coexist are in conflict.
+    if (config.accuracy_conflicts) {
+        hooks.extra_conflict = [&](const Candidate& ci, const Candidate& cj) {
+            const auto cp = spec.checkpoint();
+            apply_eq1(ci);
+            apply_eq1(cj);
+            const bool violates = evaluator.violates(spec, constraint);
+            spec.revert(cp);
+            return violates;
+        };
+    }
+    // Fig. 1c line 34 (SETMAXWL on selection), plus the strict feasibility
+    // re-check on top of everything committed so far.
+    hooks.try_select = [&](const Candidate& c) {
+        const auto cp = spec.checkpoint();
+        apply_eq1(c);
+        if (config.strict_feasibility &&
+            evaluator.violates(spec, constraint)) {
+            spec.revert(cp);
+            return false;
+        }
+        spec.commit(cp);
+        return true;
+    };
+
+    // Stranded-load demotion. Greedy selection can commit a load-group
+    // widening (and its equation-(1) WL drop on the arrays) before the
+    // consuming arithmetic widening gets rejected by the cumulative
+    // accuracy check; the narrow load vectors would then feed wider
+    // consumers through expensive lane traffic for no gain. At the end of
+    // each round, unselect load groups no surviving candidate consumes as
+    // a superword and replay the round's WL commitments without them.
+    FixedPointSpec::Checkpoint round_cp = 0;
+    bool round_open = false;
+    hooks.round_begin = [&] {
+        if (round_open) spec.commit(round_cp);
+        round_cp = spec.checkpoint();
+        round_open = true;
+    };
+    hooks.round_finish = [&](std::vector<Candidate> selection) {
+        auto consumed_as_superword = [&](const Candidate& load) {
+            const std::vector<OpId> lanes = fused_lanes(view, load);
+            const std::vector<OpId> reversed(lanes.rbegin(), lanes.rend());
+            for (const Candidate& s : selection) {
+                if (s == load) continue;
+                const std::vector<OpId> sl = fused_lanes(view, s);
+                const int slots = view.kernel().op(sl.front()).num_args();
+                for (int slot = 0; slot < slots; ++slot) {
+                    const std::vector<OpId> defs =
+                        operand_defs(view, sl, slot);
+                    if (defs == lanes || defs == reversed) return true;
+                }
+            }
+            return false;
+        };
+
+        std::vector<Candidate> survivors;
+        bool demoted = false;
+        for (const Candidate& c : selection) {
+            if (view.kind(c.a) == OpKind::Load &&
+                !consumed_as_superword(c)) {
+                demoted = true;
+                continue;
+            }
+            survivors.push_back(c);
+        }
+        if (!round_open) return survivors;
+        if (!demoted) {
+            spec.commit(round_cp);
+            round_open = false;
+            return survivors;
+        }
+        // Replay: undo every WL commitment of the round, then re-apply
+        // equation (1) for the survivors under the same feasibility rule.
+        spec.revert(round_cp);
+        round_open = false;
+        std::vector<Candidate> confirmed;
+        for (const Candidate& c : survivors) {
+            const auto cp = spec.checkpoint();
+            apply_eq1(c);
+            if (config.strict_feasibility &&
+                evaluator.violates(spec, constraint)) {
+                spec.revert(cp);
+                continue;
+            }
+            spec.commit(cp);
+            confirmed.push_back(c);
+        }
+        return confirmed;
+    };
+
+    std::vector<SimdGroup> groups =
+        extract_slp(view, target, config.slp, hooks, stats);
+    if (round_open) spec.commit(round_cp);
+    return groups;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,49 @@
+// Accuracy-aware SLP extraction (Fig. 1c) — the first half of the paper's
+// contribution.
+//
+// On top of the structural Liu-style extraction (src/slp), this version:
+//  * eliminates candidates that cannot be implemented as SIMD without
+//    violating the accuracy constraint, even with every other node at its
+//    current (widest) WL (lines 6-12);
+//  * declares two candidates in conflict when their combined WL reductions
+//    violate the constraint (lines 14-25) — they cannot coexist;
+//  * commits equation (1) on every selection: all elements of a selected
+//    group drop to the largest WL m with m * Nelem <= SIMD width (SETMAXWL);
+//  * optionally (strict_feasibility, on by default) re-checks the
+//    constraint on top of all previously committed selections before
+//    accepting a group. The paper's pairwise conflicts are necessary but
+//    not sufficient when many small noise contributions accumulate; see
+//    DESIGN.md "Key design decisions".
+#pragma once
+
+#include "accuracy/evaluator.hpp"
+#include "slp/plain_extractor.hpp"
+
+namespace slpwlo {
+
+struct AccuracySlpConfig {
+    /// Accuracy constraint: maximum tolerable output noise power in dB.
+    double accuracy_db = -40.0;
+    /// Enable the accuracy-conflict detection of Fig. 1c lines 14-25.
+    bool accuracy_conflicts = true;
+    /// Re-check feasibility at selection time (see header comment).
+    bool strict_feasibility = true;
+    SlpOptions slp;
+};
+
+/// Equation (1): reduce the WL of every node carrying a lane of `lanes` to
+/// the largest supported m with m * group_width <= SIMD width (never
+/// increasing a WL that is already smaller).
+void set_group_max_wl(FixedPointSpec& spec, const std::vector<OpId>& lanes,
+                      int group_width, const TargetModel& target);
+
+/// Run accuracy-aware extraction on one block view. `spec` is mutated: the
+/// selected groups' nodes end up at their equation-(1) word lengths.
+std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
+                                          FixedPointSpec& spec,
+                                          const AccuracyEvaluator& evaluator,
+                                          const TargetModel& target,
+                                          const AccuracySlpConfig& config,
+                                          SlpStats* stats = nullptr);
+
+}  // namespace slpwlo

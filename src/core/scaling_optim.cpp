@@ -1,0 +1,175 @@
+#include "core/scaling_optim.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "accuracy/noise_source.hpp"
+#include "slp/packing_cost.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+ScalingStats& ScalingStats::operator+=(const ScalingStats& other) {
+    reuses_examined += other.reuses_examined;
+    already_uniform += other.already_uniform;
+    equalized += other.equalized;
+    reverted += other.reverted;
+    skipped_negative += other.skipped_negative;
+    skipped_shared_node += other.skipped_shared_node;
+    return *this;
+}
+
+std::vector<SuperwordReuse> find_superword_reuses(
+    const PackedView& view, const std::vector<SimdGroup>& groups) {
+    std::vector<SuperwordReuse> reuses;
+    for (size_t consumer = 0; consumer < groups.size(); ++consumer) {
+        const SimdGroup& g2 = groups[consumer];
+        const int slots = view.kernel().op(g2.lanes.front()).num_args();
+        for (int slot = 0; slot < slots; ++slot) {
+            const std::vector<OpId> defs =
+                operand_defs(view, g2.lanes, slot);
+            if (defs.empty()) continue;
+            for (size_t producer = 0; producer < groups.size(); ++producer) {
+                if (producer == consumer) continue;
+                if (groups[producer].lanes == defs) {
+                    reuses.push_back(SuperwordReuse{
+                        static_cast<int>(producer), static_cast<int>(consumer),
+                        slot});
+                }
+            }
+        }
+    }
+    return reuses;
+}
+
+std::vector<int> scaling_amounts(const PackedView& view,
+                                 const std::vector<SimdGroup>& groups,
+                                 const SuperwordReuse& reuse,
+                                 const FixedPointSpec& spec) {
+    const SimdGroup& g1 = groups[static_cast<size_t>(reuse.producer)];
+    const SimdGroup& g2 = groups[static_cast<size_t>(reuse.consumer)];
+    SLPWLO_ASSERT(g1.lanes.size() == g2.lanes.size(),
+                  "superword reuse between groups of different widths");
+    std::vector<int> amounts(g1.lanes.size());
+    for (size_t e = 0; e < g1.lanes.size(); ++e) {
+        const int src_fwl = spec.result_format(g1.lanes[e]).fwl;
+        const int dst_fwl = spec.result_format(g2.lanes[e]).fwl;
+        amounts[e] = src_fwl - dst_fwl;
+    }
+    (void)view;
+    return amounts;
+}
+
+namespace {
+
+/// Shared core of the equalization move: reduce per-lane FWLs (keeping WL)
+/// so all scaling amounts become the common maximum; revert on violation.
+/// `nodes[e]` is the format node whose FWL shrinks by (max - amounts[e]).
+void equalize(const std::vector<NodeRef>& nodes,
+              const std::vector<int>& amounts, FixedPointSpec& spec,
+              const AccuracyEvaluator& evaluator, double accuracy_db,
+              ScalingStats& stats) {
+    // Distinct-node requirement: per-lane reductions differ, so lanes
+    // sharing one format node (e.g. one array) cannot be adjusted.
+    std::set<std::pair<int, int32_t>> distinct;
+    for (const NodeRef node : nodes) {
+        if (!distinct.insert({static_cast<int>(node.kind), node.id}).second) {
+            stats.skipped_shared_node++;
+            return;
+        }
+    }
+    const int m = *std::max_element(amounts.begin(), amounts.end());
+    const auto cp = spec.checkpoint();
+    for (size_t e = 0; e < nodes.size(); ++e) {
+        const int reduction = m - amounts[e];
+        if (reduction > 0) {
+            spec.set_format(nodes[e],
+                            spec.format(nodes[e]).with_fwl_reduced_by(reduction));
+        }
+    }
+    if (evaluator.violates(spec, accuracy_db)) {
+        spec.revert(cp);
+        stats.reverted++;
+    } else {
+        spec.commit(cp);
+        stats.equalized++;
+    }
+}
+
+}  // namespace
+
+ScalingStats optimize_scalings(const PackedView& view,
+                               const std::vector<SimdGroup>& groups,
+                               FixedPointSpec& spec,
+                               const AccuracyEvaluator& evaluator,
+                               double accuracy_db) {
+    ScalingStats stats;
+
+    // A multiply group's own result quantization (full product width down
+    // to the result format) is a per-lane scaling too: unequal amounts
+    // break the vector shift exactly as in Fig. 2. Equalize by reducing
+    // the result FWLs (the same move as the paper's, applied to the
+    // group's own output superword).
+    const auto def_nodes = compute_var_def_nodes(view.kernel());
+    for (const SimdGroup& group : groups) {
+        if (view.kernel().op(group.lanes.front()).kind != OpKind::Mul) {
+            continue;
+        }
+        stats.reuses_examined++;
+        std::vector<int> amounts;
+        std::vector<NodeRef> nodes;
+        for (const OpId lane : group.lanes) {
+            const Op& op = view.kernel().op(lane);
+            int full = 0;
+            for (int a = 0; a < 2; ++a) {
+                const NodeRef operand_node = def_nodes[op.args[a].index()];
+                full += spec.format(operand_node).fwl;
+            }
+            nodes.push_back(spec.node_of(lane));
+            amounts.push_back(full - spec.format(nodes.back()).fwl);
+        }
+        if (std::all_of(amounts.begin(), amounts.end(),
+                        [&](int s) { return s == amounts[0]; })) {
+            stats.already_uniform++;
+            continue;
+        }
+        if (!std::all_of(amounts.begin(), amounts.end(),
+                         [](int s) { return s > 0; })) {
+            stats.skipped_negative++;
+            continue;
+        }
+        equalize(nodes, amounts, spec, evaluator, accuracy_db, stats);
+    }
+
+    for (const SuperwordReuse& reuse : find_superword_reuses(view, groups)) {
+        stats.reuses_examined++;
+        const std::vector<int> amounts =
+            scaling_amounts(view, groups, reuse, spec);
+
+        if (std::all_of(amounts.begin(), amounts.end(),
+                        [&](int s) { return s == amounts[0]; })) {
+            stats.already_uniform++;
+            continue;
+        }
+        if (!std::all_of(amounts.begin(), amounts.end(),
+                         [](int s) { return s > 0; })) {
+            // The paper only handles the all-right-shift case.
+            stats.skipped_negative++;
+            continue;
+        }
+
+        // SPEC.save g1; reduce FWL of each producer lane by (m - S[e]);
+        // revert on constraint violation (Fig. 1b lines 7-14).
+        const SimdGroup& g1 = groups[static_cast<size_t>(reuse.producer)];
+        std::vector<NodeRef> nodes;
+        nodes.reserve(g1.lanes.size());
+        for (const OpId lane : g1.lanes) {
+            nodes.push_back(spec.node_of(lane));
+        }
+        equalize(nodes, amounts, spec, evaluator, accuracy_db, stats);
+    }
+    return stats;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,60 @@
+// SLP-aware, accuracy-aware scaling optimization (Fig. 1b) — the second
+// half of the paper's contribution.
+//
+// When a superword produced by group g1 is consumed by group g2, each lane
+// may require a different scaling (right-shift) amount, determined by the
+// per-lane FWL differences. Unequal amounts break the superword reuse:
+// the vector must be unpacked, shifted per lane, and repacked (Fig. 2),
+// because embedded SIMD ISAs only shift all lanes by one common amount.
+//
+// The optimization equalizes the amounts by *reducing* the FWL of the
+// producer lanes (growing their IWL, keeping WL constant) until every lane
+// shifts by the same maximum amount — accepted only while the accuracy
+// constraint still holds (save/revert semantics).
+#pragma once
+
+#include "accuracy/evaluator.hpp"
+#include "slp/packed_view.hpp"
+
+namespace slpwlo {
+
+struct ScalingStats {
+    int reuses_examined = 0;
+    int already_uniform = 0;   ///< amounts equal, nothing to do
+    int equalized = 0;         ///< FWLs adjusted and kept
+    int reverted = 0;          ///< adjustment violated the constraint
+    int skipped_negative = 0;  ///< some lane needs a left shift (not handled,
+                               ///< as in the paper: only all-positive cases)
+    int skipped_shared_node = 0;  ///< producer lanes share one format node
+
+    ScalingStats& operator+=(const ScalingStats& other);
+};
+
+/// One superword reuse: group `producer`'s result feeds operand `slot` of
+/// group `consumer`, lane by lane, in order.
+struct SuperwordReuse {
+    int producer = 0;  ///< index into the group list
+    int consumer = 0;
+    int slot = 0;
+};
+
+/// All lane-exact superword reuses among `groups` (the view provides
+/// def-use information).
+std::vector<SuperwordReuse> find_superword_reuses(
+    const PackedView& view, const std::vector<SimdGroup>& groups);
+
+/// Fig. 1b over all superword reuses among `groups`.
+ScalingStats optimize_scalings(const PackedView& view,
+                               const std::vector<SimdGroup>& groups,
+                               FixedPointSpec& spec,
+                               const AccuracyEvaluator& evaluator,
+                               double accuracy_db);
+
+/// Per-lane scaling amounts of a reuse: FWL(producer lane) minus
+/// FWL(consumer lane result node), the paper's S list.
+std::vector<int> scaling_amounts(const PackedView& view,
+                                 const std::vector<SimdGroup>& groups,
+                                 const SuperwordReuse& reuse,
+                                 const FixedPointSpec& spec);
+
+}  // namespace slpwlo

@@ -1,0 +1,125 @@
+#include "core/tabu_wlo.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
+                       const TargetModel& target, double accuracy_db,
+                       const TabuOptions& options) {
+    const WlCostModel cost_model(spec.kernel(), target);
+
+    // Start from the all-maximum spec (always feasible if anything is).
+    for (const NodeRef node : spec.nodes()) {
+        spec.set_wl(node, target.max_wl());
+    }
+    SLPWLO_CHECK(!evaluator.violates(spec, accuracy_db),
+                 "accuracy constraint " + std::to_string(accuracy_db) +
+                     " dB is infeasible even at maximum word lengths");
+
+    std::vector<int> wls = target.scalar_wls;
+    std::sort(wls.begin(), wls.end());  // ascending
+
+    const auto& nodes = spec.nodes();
+    auto wl_index = [&wls](int wl) {
+        for (size_t i = 0; i < wls.size(); ++i) {
+            if (wls[i] == wl) return static_cast<int>(i);
+        }
+        return static_cast<int>(wls.size()) - 1;
+    };
+
+    auto objective = [&](bool feasible, double cost, double noise_db) {
+        if (feasible) return cost;
+        return cost + options.infeasibility_penalty *
+                          std::max(0.0, noise_db - accuracy_db) *
+                          cost_model.max_cost() / 100.0;
+    };
+
+    TabuStats stats;
+    stats.initial_cost = cost_model.cost(spec);
+    stats.best_cost = stats.initial_cost;
+    stats.feasible = true;
+
+    // Best feasible snapshot.
+    std::vector<FixedFormat> best_formats(nodes.size());
+    auto snapshot = [&] {
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            best_formats[i] = spec.format(nodes[i]);
+        }
+    };
+    snapshot();
+
+    // tabu[(node, wl)] = iteration until which moving `node` to `wl` is
+    // forbidden (prevents immediate reversals).
+    std::map<std::pair<size_t, int>, int> tabu;
+
+    int stagnation = 0;
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        stats.iterations = iter + 1;
+
+        struct Move {
+            size_t node_index = 0;
+            int wl = 0;
+            double score = 0.0;
+            double cost = 0.0;
+            bool feasible = false;
+        };
+        std::optional<Move> best_move;
+
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            const int current = spec.format(nodes[i]).wl();
+            const int ci = wl_index(current);
+            for (const int delta : {-1, +1}) {
+                const int ni = ci + delta;
+                if (ni < 0 || ni >= static_cast<int>(wls.size())) continue;
+                const int candidate_wl = wls[static_cast<size_t>(ni)];
+
+                spec.set_wl(nodes[i], candidate_wl);
+                const double noise_db = evaluator.noise_power_db(spec);
+                const bool feasible = noise_db <= accuracy_db;
+                const double cost = cost_model.cost(spec);
+                spec.set_wl(nodes[i], current);
+
+                const double score = objective(feasible, cost, noise_db);
+                const auto tabu_it = tabu.find({i, candidate_wl});
+                const bool is_tabu =
+                    tabu_it != tabu.end() && tabu_it->second > iter;
+                // Aspiration: a tabu move that beats the global best is
+                // always admissible.
+                if (is_tabu && !(feasible && cost < stats.best_cost)) {
+                    continue;
+                }
+                if (!best_move || score < best_move->score) {
+                    best_move = Move{i, candidate_wl, score, cost, feasible};
+                }
+            }
+        }
+        if (!best_move) break;
+
+        const int old_wl = spec.format(nodes[best_move->node_index]).wl();
+        spec.set_wl(nodes[best_move->node_index], best_move->wl);
+        tabu[{best_move->node_index, old_wl}] = iter + options.tenure;
+
+        if (best_move->feasible && best_move->cost < stats.best_cost) {
+            stats.best_cost = best_move->cost;
+            stats.improvements++;
+            snapshot();
+            stagnation = 0;
+        } else {
+            stagnation++;
+            if (stagnation > options.stagnation_limit) break;
+        }
+    }
+
+    // Restore the best feasible spec found.
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        spec.set_format(nodes[i], best_formats[i]);
+    }
+    stats.feasible = !evaluator.violates(spec, accuracy_db);
+    return stats;
+}
+
+}  // namespace slpwlo

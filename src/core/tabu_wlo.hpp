@@ -1,0 +1,41 @@
+// Tabu-search word-length optimization (the Nguyen'11 algorithm used as the
+// paper's WLO baseline, Section V.A).
+//
+// State: one WL per node, drawn from the target's supported scalar set.
+// Moves: change a single node's WL to an adjacent supported value.
+// The search starts from the all-maximum (feasible) spec, walks the
+// neighborhood guided by the WlCostModel with an infeasibility penalty,
+// keeps a tabu list on (node, previous WL) reversals with aspiration, and
+// returns the best feasible spec found.
+#pragma once
+
+#include "accuracy/evaluator.hpp"
+#include "core/wl_cost_model.hpp"
+
+namespace slpwlo {
+
+struct TabuOptions {
+    int max_iterations = 250;
+    /// Iterations a reversal move stays forbidden.
+    int tenure = 8;
+    /// Stop after this many non-improving iterations.
+    int stagnation_limit = 60;
+    /// Cost penalty per dB of constraint violation (guides the search back
+    /// to feasibility while allowing it to pass through infeasible specs).
+    double infeasibility_penalty = 0.35;
+};
+
+struct TabuStats {
+    int iterations = 0;
+    int improvements = 0;
+    double initial_cost = 0.0;
+    double best_cost = 0.0;
+    bool feasible = false;
+};
+
+/// Optimize `spec` in place (all nodes are first reset to the maximum WL).
+TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
+                       const TargetModel& target, double accuracy_db,
+                       const TabuOptions& options = {});
+
+}  // namespace slpwlo

@@ -1,0 +1,29 @@
+#include "core/wl_cost_model.hpp"
+
+namespace slpwlo {
+
+WlCostModel::WlCostModel(const Kernel& kernel, const TargetModel& target)
+    : target_(&target) {
+    for (const BlockId block : kernel.blocks_in_order()) {
+        const double weight =
+            static_cast<double>(kernel.block_frequency(block));
+        for (const OpId op_id : kernel.block(block).ops) {
+            const OpKind kind = kernel.op(op_id).kind;
+            if (kind == OpKind::Const || kind == OpKind::Copy) continue;
+            ops_.push_back(WeightedOp{op_id, kind, weight});
+            max_cost_ +=
+                weight * target.relative_op_cost(kind, target.max_wl());
+        }
+    }
+}
+
+double WlCostModel::cost(const FixedPointSpec& spec) const {
+    double total = 0.0;
+    for (const WeightedOp& wo : ops_) {
+        const int wl = spec.result_format(wo.op).wl();
+        total += wo.weight * target_->relative_op_cost(wo.kind, wl);
+    }
+    return total;
+}
+
+}  // namespace slpwlo

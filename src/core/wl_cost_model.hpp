@@ -1,0 +1,40 @@
+// Menard-style word-length cost model for the WLO-First baseline.
+//
+// The baseline's Tabu WLO minimizes an execution-time *proxy*: every
+// operation costs its WL-relative instruction share (32-bit = 1, a WL that
+// fits a 2x16 SIMD slot = 0.5, a 4x8 slot = 0.25), weighted by execution
+// frequency. This encodes the assumption the paper criticizes — that any
+// operation narrowed to a SIMD-capable WL will eventually be executed
+// N-per-instruction by a later, independent SLP pass, with no knowledge of
+// grouping feasibility or packing overhead (Section II.B).
+#pragma once
+
+#include "fixpoint/spec.hpp"
+#include "target/target_model.hpp"
+
+namespace slpwlo {
+
+class WlCostModel {
+public:
+    WlCostModel(const Kernel& kernel, const TargetModel& target);
+
+    /// Frequency-weighted relative execution-time proxy of the spec.
+    double cost(const FixedPointSpec& spec) const;
+
+    /// Cost when every node sits at the target's maximum WL (the upper
+    /// bound WLO starts from).
+    double max_cost() const { return max_cost_; }
+
+private:
+    struct WeightedOp {
+        OpId op;
+        OpKind kind;
+        double weight;
+    };
+
+    const TargetModel* target_;
+    std::vector<WeightedOp> ops_;
+    double max_cost_ = 0.0;
+};
+
+}  // namespace slpwlo

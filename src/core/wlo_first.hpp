@@ -1,0 +1,36 @@
+// The WLO-First baseline flow (Fig. 5): float-to-fixed-point conversion
+// with Tabu-search WLO performed *first* and independently, followed by
+// plain SLP extraction that must live with whatever word lengths WLO chose.
+//
+// This is the decoupled state of the art the paper compares against
+// (Menard'06 cost model + Nguyen'11 Tabu WLO + Liu'12 SLP). There is no
+// accuracy awareness in the extractor and no scaling optimization — the
+// mismatches WLO created stay in the generated code as per-lane scalings
+// and pack/unpack overhead.
+#pragma once
+
+#include "core/slp_aware_wlo.hpp"
+#include "core/tabu_wlo.hpp"
+
+namespace slpwlo {
+
+struct WloFirstOptions {
+    double accuracy_db = -40.0;
+    TabuOptions tabu;
+    SlpOptions slp;
+};
+
+struct WloFirstResult {
+    std::vector<BlockGroups> block_groups;
+    TabuStats tabu_stats;
+    SlpStats slp_stats;
+
+    int group_count() const;
+};
+
+WloFirstResult run_wlo_first(const Kernel& kernel, FixedPointSpec& spec,
+                             const AccuracyEvaluator& evaluator,
+                             const TargetModel& target,
+                             const WloFirstOptions& options);
+
+}  // namespace slpwlo

@@ -1,0 +1,57 @@
+#include "fixpoint/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/dbmath.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+double FixedFormat::step() const { return pow2(-fwl); }
+
+double FixedFormat::min_value() const { return -pow2(iwl - 1); }
+
+double FixedFormat::max_value() const { return pow2(iwl - 1) - step(); }
+
+Interval FixedFormat::range() const {
+    return Interval(min_value(), std::max(min_value(), max_value()));
+}
+
+FixedFormat FixedFormat::with_fwl_reduced_by(int amount) const {
+    return FixedFormat(iwl + amount, fwl - amount);
+}
+
+FixedFormat FixedFormat::with_wl(int wl_total) const {
+    return FixedFormat(iwl, wl_total - iwl);
+}
+
+std::string FixedFormat::str() const {
+    std::ostringstream os;
+    os << "<" << iwl << "," << fwl << ">";
+    return os.str();
+}
+
+int iwl_for_range(const Interval& range) {
+    if (range.is_empty()) return 1;
+    // Negative IWLs are legitimate (binary point left of the sign bit,
+    // e.g. Q-3.18 for a signal bounded by 1/16): small-magnitude nodes
+    // such as low-order filter coefficients get maximal precision for
+    // their word length, which is where the per-lane scaling
+    // heterogeneity of Section III.C comes from.
+    int iwl = std::numeric_limits<int>::min();
+    if (range.hi() > 0.0) {
+        // Need hi <= 2^(iwl-1), accepting equality (saturating convention).
+        iwl = std::max(iwl, ceil_log2(range.hi()) + 1);
+    }
+    if (range.lo() < 0.0) {
+        // -2^(iwl-1) is exactly representable, so equality is fine.
+        iwl = std::max(iwl, ceil_log2(-range.lo()) + 1);
+    }
+    if (iwl == std::numeric_limits<int>::min()) return 1;  // the zero range
+    return iwl;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,57 @@
+// Fixed-point formats.
+//
+// A format <IWL, FWL> describes a signed two's-complement value with
+// WL = IWL + FWL total bits, where IWL (integer word length, sign bit
+// included) fixes the binary point and FWL (fractional word length) the
+// resolution: representable values are k * 2^-FWL for
+// k in [-2^(WL-1), 2^(WL-1) - 1], i.e. the range
+// [-2^(IWL-1), 2^(IWL-1) - 2^-FWL].
+//
+// Following the paper (Section II.B): IWL is pre-determined from the value
+// range; WLO assigns WL; FWL = WL - IWL is implicit. FWL may be negative
+// (coarser-than-integer resolution) when WLO starves a wide-range node.
+#pragma once
+
+#include <string>
+
+#include "support/interval.hpp"
+
+namespace slpwlo {
+
+struct FixedFormat {
+    int iwl = 0;  ///< integer word length, sign bit included
+    int fwl = 0;  ///< fractional word length
+
+    constexpr FixedFormat() = default;
+    constexpr FixedFormat(int iwl_, int fwl_) : iwl(iwl_), fwl(fwl_) {}
+
+    constexpr int wl() const { return iwl + fwl; }
+
+    /// Quantization step 2^-fwl.
+    double step() const;
+
+    /// Smallest / largest representable value.
+    double min_value() const;
+    double max_value() const;
+
+    /// Representable closed interval.
+    Interval range() const;
+
+    /// Same wl, binary point moved: fwl reduced by `amount` and iwl grown by
+    /// the same amount (the scaling-optimization move of Fig. 1b).
+    FixedFormat with_fwl_reduced_by(int amount) const;
+
+    /// Format with the same iwl but total word length `wl`.
+    FixedFormat with_wl(int wl_total) const;
+
+    friend constexpr bool operator==(FixedFormat, FixedFormat) = default;
+
+    std::string str() const;
+};
+
+/// Minimum IWL (sign included) whose range covers `range`. A high bound that
+/// is exactly a power of two (e.g. +1.0 for Q1.f) is accepted with saturating
+/// semantics, the standard Q-format convention.
+int iwl_for_range(const Interval& range);
+
+}  // namespace slpwlo

@@ -1,0 +1,36 @@
+#include "fixpoint/iwl.hpp"
+
+#include "support/dbmath.hpp"
+
+namespace slpwlo {
+
+FixedPointSpec determine_iwls(const Kernel& kernel, const RangeMap& ranges) {
+    FixedPointSpec spec(kernel);
+    for (const NodeRef node : spec.nodes()) {
+        Interval range;
+        bool is_param = false;
+        if (node.kind == NodeRef::Kind::Var) {
+            range = ranges.var_ranges.at(static_cast<size_t>(node.id));
+        } else {
+            range = ranges.array_ranges.at(static_cast<size_t>(node.id));
+            is_param = kernel.array(ArrayId(node.id)).storage ==
+                       StorageClass::Param;
+        }
+        int iwl = iwl_for_range(range);
+        // Coefficients are compile-time constants: a designer picks the
+        // format that represents them exactly, so avoid the saturating-top
+        // convention when the largest coefficient sits on the boundary.
+        if (is_param && !range.is_empty() && range.hi() == pow2(iwl - 1)) {
+            iwl += 1;
+        }
+        spec.set_format(node, FixedFormat(iwl, 0));
+    }
+    return spec;
+}
+
+FixedPointSpec build_initial_spec(const Kernel& kernel,
+                                  const RangeOptions& options) {
+    return determine_iwls(kernel, analyze_ranges(kernel, options));
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,18 @@
+// IWL determination: fix the binary point of every node from its value
+// range, choosing the minimum IWL that avoids overflow (Section II.B (i)).
+#pragma once
+
+#include "fixpoint/range_analysis.hpp"
+#include "fixpoint/spec.hpp"
+
+namespace slpwlo {
+
+/// Build a FixedPointSpec for `kernel` with every node's IWL determined
+/// from `ranges` and FWL initialized to zero (WLO sets word lengths).
+FixedPointSpec determine_iwls(const Kernel& kernel, const RangeMap& ranges);
+
+/// Convenience: range analysis + IWL determination in one call.
+FixedPointSpec build_initial_spec(const Kernel& kernel,
+                                  const RangeOptions& options = {});
+
+}  // namespace slpwlo

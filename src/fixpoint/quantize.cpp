@@ -1,0 +1,68 @@
+#include "fixpoint/quantize.hpp"
+
+#include <cmath>
+
+#include "support/dbmath.hpp"
+
+namespace slpwlo {
+
+std::string to_string(QuantMode mode) {
+    switch (mode) {
+        case QuantMode::Truncate: return "truncate";
+        case QuantMode::Round: return "round";
+    }
+    return "<invalid-mode>";
+}
+
+double quantize_value(double value, int fwl, QuantMode mode) {
+    const double scale = pow2(fwl);
+    switch (mode) {
+        case QuantMode::Truncate:
+            return std::floor(value * scale) / scale;
+        case QuantMode::Round:
+            return std::floor(value * scale + 0.5) / scale;
+    }
+    return value;
+}
+
+double quantize_saturate(double value, const FixedFormat& format,
+                         QuantMode mode, bool* overflowed) {
+    double q = quantize_value(value, format.fwl, mode);
+    const double lo = format.min_value();
+    const double hi = format.max_value();
+    bool sat = false;
+    if (q < lo) {
+        q = lo;
+        sat = true;
+    } else if (q > hi) {
+        q = hi;
+        sat = true;
+    }
+    if (overflowed != nullptr) *overflowed = sat;
+    return q;
+}
+
+NoiseStats quantization_stats(int fwl_out, int bits_dropped, QuantMode mode) {
+    if (bits_dropped <= 0) return NoiseStats{};
+    const double q = pow2(-fwl_out);
+    // 2^-k and 2^-2k; saturate for large k to the continuous limit.
+    const double k2 = bits_dropped >= 60 ? 0.0 : pow2(-bits_dropped);
+    const double k4 = bits_dropped >= 30 ? 0.0 : pow2(-2 * bits_dropped);
+    NoiseStats stats;
+    stats.variance = q * q / 12.0 * (1.0 - k4);
+    switch (mode) {
+        case QuantMode::Truncate:
+            stats.mean = -q / 2.0 * (1.0 - k2);
+            break;
+        case QuantMode::Round:
+            stats.mean = q / 2.0 * k2;
+            break;
+    }
+    return stats;
+}
+
+NoiseStats continuous_quantization_stats(int fwl_out, QuantMode mode) {
+    return quantization_stats(fwl_out, 1000, mode);
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,59 @@
+// Quantization: value rounding and the statistical error model.
+//
+// The analytical accuracy evaluator (src/accuracy) models every quantization
+// point as an additive noise source whose mean and variance follow the
+// classical uniform-quantization model (Widrow; as used by Menard et al.):
+//
+//   q = 2^-fwl_out, k = fwl_in - fwl_out bits discarded
+//   truncation:  mean = -q/2 (1 - 2^-k),  var = q^2/12 (1 - 2^-2k)
+//   round:       mean =  q/2 2^-k,        var = q^2/12 (1 - 2^-2k)
+//
+// k = infinity (quantizing a continuous-amplitude value, e.g. an input
+// sample) gives the familiar mean -q/2 / 0 and variance q^2/12.
+#pragma once
+
+#include "fixpoint/format.hpp"
+
+namespace slpwlo {
+
+enum class QuantMode {
+    Truncate,  ///< round toward -infinity (default; what the paper assumes)
+    Round,     ///< round to nearest, half up
+};
+
+std::string to_string(QuantMode mode);
+
+/// Quantize `value` to a multiple of 2^-fwl according to `mode`.
+/// No saturation is applied here.
+double quantize_value(double value, int fwl, QuantMode mode);
+
+/// Quantize and saturate to the representable range of `format`.
+/// If `overflowed` is non-null it is set when saturation occurred.
+double quantize_saturate(double value, const FixedFormat& format,
+                         QuantMode mode, bool* overflowed = nullptr);
+
+/// First and second moments of the quantization error.
+struct NoiseStats {
+    double mean = 0.0;
+    double variance = 0.0;
+
+    /// Total error power: variance + mean^2.
+    double power() const { return variance + mean * mean; }
+
+    NoiseStats& operator+=(const NoiseStats& other) {
+        mean += other.mean;
+        variance += other.variance;
+        return *this;
+    }
+};
+
+/// Error statistics for dropping `bits_dropped` fractional bits down to
+/// `fwl_out` resolution; bits_dropped < 0 means no quantization occurs
+/// (returns zeros). Use `continuous_quantization_stats` when the source has
+/// unbounded resolution.
+NoiseStats quantization_stats(int fwl_out, int bits_dropped, QuantMode mode);
+
+/// Error statistics of quantizing a continuous-amplitude value to fwl_out.
+NoiseStats continuous_quantization_stats(int fwl_out, QuantMode mode);
+
+}  // namespace slpwlo

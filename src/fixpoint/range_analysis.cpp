@@ -1,0 +1,178 @@
+#include "fixpoint/range_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/double_sim.hpp"
+#include "support/diagnostics.hpp"
+
+#include "sim/walker.hpp"
+
+namespace slpwlo {
+namespace {
+
+bool ranges_bounded(const std::vector<Interval>& vars,
+                    const std::vector<Interval>& arrays) {
+    auto finite = [](const Interval& iv) {
+        return iv.is_empty() ||
+               (std::isfinite(iv.lo()) && std::isfinite(iv.hi()));
+    };
+    return std::all_of(vars.begin(), vars.end(), finite) &&
+           std::all_of(arrays.begin(), arrays.end(), finite);
+}
+
+/// Interval propagation as flow-sensitive abstract execution: the kernel is
+/// "run" once with Interval values following the real control flow and a
+/// per-element interval memory image. Because the loop nest has no
+/// data-dependent control flow, this single abstract pass mirrors the
+/// concrete execution exactly — only the input values are abstracted — so a
+/// reset accumulator gets its exact bounded hull and coefficient loads their
+/// exact point values. Interval dependency pessimism still makes genuinely
+/// recursive kernels (IIR feedback) blow up; that shows up as unbounded (or
+/// absurdly large) hulls and is reported as divergence so the caller can
+/// fall back to simulation.
+std::optional<RangeMap> try_interval(const Kernel& kernel,
+                                     const RangeOptions& options) {
+    (void)options;
+    RangeMap map;
+    map.var_ranges.assign(kernel.vars().size(), Interval::empty());
+    std::vector<Interval>& var_hulls = map.var_ranges;
+    std::vector<Interval>& array_hulls = map.array_ranges;
+    array_hulls.assign(kernel.arrays().size(), Interval::empty());
+
+    // Per-element abstract memory.
+    std::vector<std::vector<Interval>> mem(kernel.arrays().size());
+    for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+        const ArrayDecl& decl = kernel.arrays()[a];
+        switch (decl.storage) {
+            case StorageClass::Input:
+                mem[a].assign(static_cast<size_t>(decl.size),
+                              decl.declared_range);
+                break;
+            case StorageClass::Param:
+                mem[a].reserve(static_cast<size_t>(decl.size));
+                for (const double v : decl.values) {
+                    mem[a].emplace_back(v);
+                }
+                break;
+            case StorageClass::Output:
+            case StorageClass::Buffer:
+                mem[a].assign(static_cast<size_t>(decl.size), Interval(0.0));
+                break;
+        }
+        // Initial contents participate in the storage-format hull
+        // (feedback reads of the zero initial state, untouched elements).
+        for (const Interval& iv : mem[a]) {
+            array_hulls[a] = array_hulls[a].hull(iv);
+        }
+    }
+
+    std::vector<Interval> var_now(kernel.vars().size(), Interval::empty());
+    walk_kernel(kernel, [&](OpId op_id, const std::vector<int>& loop_values) {
+        const Op& op = kernel.op(op_id);
+        auto arg = [&](int i) -> const Interval& {
+            return var_now[op.args[i].index()];
+        };
+        Interval value;
+        switch (op.kind) {
+            case OpKind::Const: value = Interval(op.const_value); break;
+            case OpKind::Copy: value = arg(0); break;
+            case OpKind::Neg: value = -arg(0); break;
+            case OpKind::Add: value = arg(0) + arg(1); break;
+            case OpKind::Sub: value = arg(0) - arg(1); break;
+            case OpKind::Mul: value = arg(0) * arg(1); break;
+            case OpKind::Div: value = arg(0) / arg(1); break;
+            case OpKind::Load: {
+                const int idx = evaluate_affine(op.index, loop_values);
+                value = mem[op.array.index()][static_cast<size_t>(idx)];
+                break;
+            }
+            case OpKind::Store: {
+                const int idx = evaluate_affine(op.index, loop_values);
+                mem[op.array.index()][static_cast<size_t>(idx)] = arg(0);
+                array_hulls[op.array.index()] =
+                    array_hulls[op.array.index()].hull(arg(0));
+                return;
+            }
+        }
+        var_now[op.dest.index()] = value;
+        var_hulls[op.dest.index()] = var_hulls[op.dest.index()].hull(value);
+    });
+
+    if (!ranges_bounded(var_hulls, array_hulls)) {
+        return std::nullopt;  // diverged to infinity
+    }
+    // Finite but astronomically wide hulls are as useless as divergence.
+    for (const Interval& iv : array_hulls) {
+        if (iv.max_abs() > 1e15) return std::nullopt;
+    }
+    for (const Interval& iv : var_hulls) {
+        if (iv.max_abs() > 1e15) return std::nullopt;
+    }
+    map.method_used = RangeMethod::Interval;
+    return map;
+}
+
+RangeMap simulate(const Kernel& kernel, const RangeOptions& options) {
+    RangeMap map;
+    map.var_ranges.assign(kernel.vars().size(), Interval::empty());
+    map.array_ranges.assign(kernel.arrays().size(), Interval::empty());
+    map.method_used = RangeMethod::Simulation;
+
+    DoubleSimOptions sim_options;
+    sim_options.record_ranges = true;
+    for (int run = 0; run < options.simulation_runs; ++run) {
+        const Stimulus stimulus =
+            make_stimulus(kernel, options.seed + static_cast<uint64_t>(run));
+        const DoubleSimResult result =
+            run_double(kernel, stimulus, sim_options);
+        for (size_t v = 0; v < map.var_ranges.size(); ++v) {
+            map.var_ranges[v] = map.var_ranges[v].hull(result.var_ranges[v]);
+        }
+        for (size_t a = 0; a < map.array_ranges.size(); ++a) {
+            map.array_ranges[a] =
+                map.array_ranges[a].hull(result.array_ranges[a]);
+        }
+    }
+
+    // Widen simulated hulls as a safety margin, but keep declared input
+    // ranges and exact coefficient hulls tight.
+    for (size_t v = 0; v < map.var_ranges.size(); ++v) {
+        map.var_ranges[v] = map.var_ranges[v].widened(options.simulation_margin);
+    }
+    for (size_t a = 0; a < map.array_ranges.size(); ++a) {
+        const ArrayDecl& decl = kernel.arrays()[a];
+        if (decl.storage == StorageClass::Input) {
+            map.array_ranges[a] = decl.declared_range;
+        } else if (decl.storage != StorageClass::Param) {
+            map.array_ranges[a] =
+                map.array_ranges[a].widened(options.simulation_margin);
+        }
+    }
+    return map;
+}
+
+}  // namespace
+
+RangeMap analyze_ranges(const Kernel& kernel, const RangeOptions& options) {
+    switch (options.method) {
+        case RangeMethod::Interval: {
+            auto result = try_interval(kernel, options);
+            SLPWLO_CHECK(result.has_value(),
+                         "interval range analysis diverged for kernel `" +
+                             kernel.name() +
+                             "`; use RangeMethod::Simulation or Auto");
+            return std::move(*result);
+        }
+        case RangeMethod::Simulation:
+            return simulate(kernel, options);
+        case RangeMethod::Auto: {
+            auto result = try_interval(kernel, options);
+            if (result.has_value()) return std::move(*result);
+            return simulate(kernel, options);
+        }
+    }
+    throw InternalError("unreachable range method");
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,51 @@
+// Dynamic-range determination (the first stage of float-to-fixed-point
+// conversion, Section II.B).
+//
+// Two methods, as in the ID.Fix framework the paper builds on:
+//  * interval propagation of the declared input ranges through the DFG,
+//    iterated to a fixed point (exact convergence for feed-forward kernels);
+//  * simulation-based ranges (value hulls from the double simulator under
+//    random stimulus, widened by a safety margin), for recursive kernels
+//    whose interval iteration diverges (e.g. IIR feedback).
+//
+// `analyze_ranges` runs interval propagation first and falls back to
+// simulation automatically when it fails to converge.
+#pragma once
+
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "support/interval.hpp"
+
+namespace slpwlo {
+
+enum class RangeMethod {
+    Auto,        ///< interval, falling back to simulation on divergence
+    Interval,    ///< interval propagation only; throws on divergence
+    Simulation,  ///< simulation only
+};
+
+struct RangeOptions {
+    RangeMethod method = RangeMethod::Auto;
+    /// Maximum whole-kernel interval propagation passes before declaring
+    /// divergence.
+    int max_interval_passes = 64;
+    /// Number of random stimulus runs for the simulation method.
+    int simulation_runs = 4;
+    uint64_t seed = 0x51D0;
+    /// Multiplicative widening applied to simulated hulls (safety margin).
+    double simulation_margin = 2.0;
+};
+
+struct RangeMap {
+    /// Hull of values each variable may take, indexed by VarId.
+    std::vector<Interval> var_ranges;
+    /// Hull over all elements of each array, indexed by ArrayId.
+    std::vector<Interval> array_ranges;
+    /// Which method produced the result.
+    RangeMethod method_used = RangeMethod::Interval;
+};
+
+RangeMap analyze_ranges(const Kernel& kernel, const RangeOptions& options = {});
+
+}  // namespace slpwlo

@@ -1,0 +1,91 @@
+#include "flow/flow.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+KernelContext::KernelContext(Kernel kernel, const RangeOptions& range,
+                             const GainOptions& gains)
+    : kernel_(std::move(kernel)),
+      ranges_(analyze_ranges(kernel_, range)),
+      spec_template_(determine_iwls(kernel_, ranges_)),
+      evaluator_(std::make_unique<AnalyticEvaluator>(kernel_, gains)) {}
+
+FixedPointSpec KernelContext::initial_spec(QuantMode mode) const {
+    FixedPointSpec spec = spec_template_;
+    spec.set_quant_mode(mode);
+    return spec;
+}
+
+namespace {
+
+void measure_cycles(FlowResult& result, const KernelContext& context,
+                    const TargetModel& target) {
+    const MachineKernel scalar =
+        lower_kernel(context.kernel(), &result.spec, nullptr, target,
+                     LowerMode::FixedScalar);
+    result.scalar_cycles = estimate_cycles(scalar, target).total_cycles;
+
+    const MachineKernel simd =
+        lower_kernel(context.kernel(), &result.spec, &result.groups, target,
+                     LowerMode::FixedSimd);
+    result.simd_cycles = estimate_cycles(simd, target).total_cycles;
+
+    result.analytic_noise_db =
+        context.evaluator().noise_power_db(result.spec);
+}
+
+}  // namespace
+
+FlowResult run_wlo_slp_flow(const KernelContext& context,
+                            const TargetModel& target,
+                            const FlowOptions& options) {
+    FlowResult result{.flow_name = "WLO-SLP",
+                      .kernel_name = context.kernel().name(),
+                      .target_name = target.name,
+                      .accuracy_db = options.accuracy_db,
+                      .spec = context.initial_spec(options.quant_mode)};
+
+    WloSlpOptions wlo = options.wlo_slp;
+    wlo.accuracy_db = options.accuracy_db;
+    const WloSlpResult out = run_slp_aware_wlo(
+        context.kernel(), result.spec, context.evaluator(), target, wlo);
+
+    result.groups = out.block_groups;
+    result.slp_stats = out.slp_stats;
+    result.scaling_stats = out.scaling_stats;
+    result.group_count = out.group_count();
+    measure_cycles(result, context, target);
+    return result;
+}
+
+FlowResult run_wlo_first_flow(const KernelContext& context,
+                              const TargetModel& target,
+                              const FlowOptions& options) {
+    FlowResult result{.flow_name = "WLO-First",
+                      .kernel_name = context.kernel().name(),
+                      .target_name = target.name,
+                      .accuracy_db = options.accuracy_db,
+                      .spec = context.initial_spec(options.quant_mode)};
+
+    WloFirstOptions wlo = options.wlo_first;
+    wlo.accuracy_db = options.accuracy_db;
+    const WloFirstResult out = run_wlo_first(
+        context.kernel(), result.spec, context.evaluator(), target, wlo);
+
+    result.groups = out.block_groups;
+    result.slp_stats = out.slp_stats;
+    result.tabu_stats = out.tabu_stats;
+    result.group_count = out.group_count();
+    measure_cycles(result, context, target);
+    return result;
+}
+
+long long float_cycles(const KernelContext& context,
+                       const TargetModel& target) {
+    const MachineKernel machine = lower_kernel(
+        context.kernel(), nullptr, nullptr, target, LowerMode::Float);
+    return estimate_cycles(machine, target).total_cycles;
+}
+
+}  // namespace slpwlo

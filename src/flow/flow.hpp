@@ -1,0 +1,88 @@
+// End-to-end compilation flows (Fig. 3 and Fig. 5).
+//
+// KernelContext bundles the per-kernel preparation that is independent of
+// target and constraint — range analysis, IWL determination, noise-gain
+// calibration — so constraint sweeps (the benches) pay for it once.
+//
+// Three flows:
+//  * run_wlo_slp_flow    — the paper's joint flow (Fig. 3): SLP-aware WLO +
+//    accuracy-aware SLP + scaling optimization;
+//  * run_wlo_first_flow  — the decoupled baseline (Fig. 5): Tabu WLO, then
+//    plain SLP;
+//  * float_cycles        — the original single-precision version (Fig. 6
+//    reference).
+//
+// Each fixed-point flow reports both the scalar and the SIMD cycle counts
+// of its result; the paper's speedups divide the WLO-First *scalar* cycles
+// by each flow's SIMD cycles (Section V.A, equation 2).
+#pragma once
+
+#include <memory>
+
+#include "accuracy/analytic_evaluator.hpp"
+#include "core/wlo_first.hpp"
+#include "fixpoint/iwl.hpp"
+#include "lower/lowering.hpp"
+#include "schedule/cycle_model.hpp"
+
+namespace slpwlo {
+
+struct FlowOptions {
+    /// Accuracy constraint in dB.
+    double accuracy_db = -40.0;
+    QuantMode quant_mode = QuantMode::Truncate;
+    WloSlpOptions wlo_slp;      ///< accuracy_db is overridden
+    WloFirstOptions wlo_first;  ///< accuracy_db is overridden
+};
+
+class KernelContext {
+public:
+    explicit KernelContext(Kernel kernel, const RangeOptions& range = {},
+                           const GainOptions& gains = {});
+
+    const Kernel& kernel() const { return kernel_; }
+    const RangeMap& ranges() const { return ranges_; }
+    const AnalyticEvaluator& evaluator() const { return *evaluator_; }
+
+    /// Fresh spec with IWLs determined (FWLs zero; flows set WLs).
+    FixedPointSpec initial_spec(QuantMode mode = QuantMode::Truncate) const;
+
+private:
+    Kernel kernel_;
+    RangeMap ranges_;
+    FixedPointSpec spec_template_;
+    std::unique_ptr<AnalyticEvaluator> evaluator_;
+};
+
+struct FlowResult {
+    std::string flow_name;
+    std::string kernel_name;
+    std::string target_name;
+    double accuracy_db = 0.0;
+
+    FixedPointSpec spec;  ///< the final fixed-point specification
+    std::vector<BlockGroups> groups;
+
+    long long scalar_cycles = 0;  ///< fixed-point code, no SIMD
+    long long simd_cycles = 0;    ///< fixed-point code with the groups
+    double analytic_noise_db = 0.0;
+
+    SlpStats slp_stats;
+    ScalingStats scaling_stats;  ///< WLO-SLP only
+    TabuStats tabu_stats;        ///< WLO-First only
+    int group_count = 0;
+};
+
+FlowResult run_wlo_slp_flow(const KernelContext& context,
+                            const TargetModel& target,
+                            const FlowOptions& options);
+
+FlowResult run_wlo_first_flow(const KernelContext& context,
+                              const TargetModel& target,
+                              const FlowOptions& options);
+
+/// Cycles of the original single-precision floating-point version.
+long long float_cycles(const KernelContext& context,
+                       const TargetModel& target);
+
+}  // namespace slpwlo

@@ -1,0 +1,47 @@
+#include "flow/report.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "accuracy/sim_evaluator.hpp"
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace slpwlo {
+
+double speedup(long long reference_cycles, long long measured_cycles) {
+    SLPWLO_CHECK(measured_cycles > 0, "measured cycles must be positive");
+    return static_cast<double>(reference_cycles) /
+           static_cast<double>(measured_cycles);
+}
+
+std::string summarize(const FlowResult& result) {
+    std::ostringstream os;
+    os << result.flow_name << " " << result.kernel_name << " @ "
+       << result.target_name << " A=" << format_double(result.accuracy_db, 4)
+       << "dB: groups=" << result.group_count
+       << " scalar=" << result.scalar_cycles
+       << " simd=" << result.simd_cycles
+       << " noise=" << format_double(result.analytic_noise_db, 4) << "dB";
+    return os.str();
+}
+
+std::string wl_histogram(const FixedPointSpec& spec) {
+    std::map<int, int> counts;
+    for (const NodeRef node : spec.nodes()) {
+        counts[spec.format(node).wl()]++;
+    }
+    std::ostringstream os;
+    for (const auto& [wl, count] : counts) {
+        os << "  wl" << wl << ": " << count << " nodes\n";
+    }
+    return os.str();
+}
+
+double measured_noise_db(const KernelContext& context,
+                         const FlowResult& result, int runs) {
+    const SimulationEvaluator sim(context.kernel(), runs);
+    return sim.noise_power_db(result.spec);
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,25 @@
+// Reporting helpers shared by the experiment harnesses in bench/.
+#pragma once
+
+#include <string>
+
+#include "flow/flow.hpp"
+
+namespace slpwlo {
+
+/// Speedup as the paper defines it (equation 2): cycles of the reference
+/// version divided by cycles of the measured version.
+double speedup(long long reference_cycles, long long measured_cycles);
+
+/// One-line summary of a flow result.
+std::string summarize(const FlowResult& result);
+
+/// Multi-line WL histogram of a spec (how many nodes at each WL) — a quick
+/// visual of what the optimizer decided.
+std::string wl_histogram(const FixedPointSpec& spec);
+
+/// Measured (bit-accurate simulation) noise power of a flow result in dB.
+double measured_noise_db(const KernelContext& context,
+                         const FlowResult& result, int runs = 2);
+
+}  // namespace slpwlo

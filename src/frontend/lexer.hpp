@@ -1,0 +1,50 @@
+// Lexer for the kernel DSL — the textual frontend playing the role of the
+// paper's annotated-C input (Fig. 3 "Floating-pt C code" + pragmas).
+//
+// The language (see frontend/parser.hpp for the grammar):
+//
+//   kernel fir4 {
+//     input  x[515] range(-1.0, 1.0);
+//     param  c[4] = { 0.5, -0.25, 0.125, 0.0625 };
+//     output y[512];
+//     var acc;
+//     loop n = 0..512 {
+//       acc = 0.0;
+//       loop k = 0..4 unroll 4 {
+//         acc = acc + c[k] * x[n - k + 3];
+//       }
+//       y[n] = acc;
+//     }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace slpwlo {
+
+enum class TokKind {
+    Identifier,
+    Number,     ///< integer or real literal
+    KwKernel, KwInput, KwParam, KwOutput, KwBuffer, KwVar, KwLoop, KwRange,
+    KwUnroll,
+    LBrace, RBrace, LBracket, RBracket, LParen, RParen,
+    Comma, Semicolon, Assign, Plus, Minus, Star, Slash, DotDot,
+    End,
+};
+
+std::string to_string(TokKind kind);
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    double number = 0.0;
+    int line = 1;
+    int column = 1;
+};
+
+/// Tokenize DSL source; throws ParseError on illegal characters.
+/// Comments run from '#' or "//" to end of line.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace slpwlo

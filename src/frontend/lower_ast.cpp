@@ -1,0 +1,215 @@
+#include "frontend/lower_ast.hpp"
+
+#include <map>
+
+#include "ir/builder.hpp"
+#include "ir/unroll.hpp"
+#include "ir/verifier.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+namespace {
+
+class AstLowering {
+public:
+    explicit AstLowering(const ast::KernelAst& kernel_ast)
+        : ast_(kernel_ast), builder_(kernel_ast.name) {}
+
+    Kernel run() {
+        for (const ast::Decl& decl : ast_.decls) {
+            lower_decl(decl);
+        }
+        for (const auto& stmt : ast_.body) {
+            lower_stmt(*stmt);
+        }
+        return builder_.take();
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message, int line,
+                           int column) const {
+        throw ParseError(message, line, column);
+    }
+
+    void lower_decl(const ast::Decl& decl) {
+        if (arrays_.count(decl.name) != 0 || vars_.count(decl.name) != 0) {
+            fail("duplicate declaration of `" + decl.name + "`", decl.line,
+                 decl.column);
+        }
+        switch (decl.kind) {
+            case ast::Decl::Kind::Input:
+                arrays_[decl.name] =
+                    builder_.input(decl.name, decl.size, decl.range);
+                break;
+            case ast::Decl::Kind::Param:
+                if (static_cast<int>(decl.values.size()) != decl.size) {
+                    fail("param `" + decl.name + "` declares " +
+                             std::to_string(decl.size) + " elements but has " +
+                             std::to_string(decl.values.size()) + " values",
+                         decl.line, decl.column);
+                }
+                arrays_[decl.name] = builder_.param(decl.name, decl.values);
+                break;
+            case ast::Decl::Kind::Output:
+                arrays_[decl.name] = builder_.output(decl.name, decl.size);
+                break;
+            case ast::Decl::Kind::Buffer:
+                arrays_[decl.name] = builder_.buffer(decl.name, decl.size);
+                break;
+            case ast::Decl::Kind::Var:
+                vars_[decl.name] = builder_.user_var(decl.name);
+                break;
+        }
+    }
+
+    void lower_stmt(const ast::Stmt& stmt) {
+        if (stmt.kind == ast::Stmt::Kind::Loop) {
+            if (loops_.count(stmt.loop_var) != 0 ||
+                vars_.count(stmt.loop_var) != 0) {
+                fail("loop variable `" + stmt.loop_var + "` shadows another "
+                     "name",
+                     stmt.line, stmt.column);
+            }
+            if (stmt.begin >= stmt.end) {
+                fail("empty loop range", stmt.line, stmt.column);
+            }
+            const LoopId loop = builder_.begin_loop(stmt.loop_var, stmt.begin,
+                                                    stmt.end, stmt.unroll);
+            loops_[stmt.loop_var] = loop;
+            for (const auto& inner : stmt.body) {
+                lower_stmt(*inner);
+            }
+            loops_.erase(stmt.loop_var);
+            builder_.end_loop();
+            return;
+        }
+
+        // Assignment.
+        const ast::Expr& target = *stmt.target;
+        if (target.kind == ast::Expr::Kind::VarRef) {
+            const auto it = vars_.find(target.name);
+            if (it == vars_.end()) {
+                fail("assignment to undeclared variable `" + target.name + "`",
+                     target.line, target.column);
+            }
+            lower_expr(*stmt.value, it->second);
+        } else {
+            const auto it = arrays_.find(target.name);
+            if (it == arrays_.end()) {
+                fail("store to undeclared array `" + target.name + "`",
+                     target.line, target.column);
+            }
+            const VarId value = lower_expr(*stmt.value, VarId());
+            builder_.store(it->second, affine_of(*target.index), value);
+        }
+    }
+
+    /// Reduce an index expression to an affine form over loop variables.
+    Affine affine_of(const ast::Expr& expr) const {
+        switch (expr.kind) {
+            case ast::Expr::Kind::Number: {
+                const int i = static_cast<int>(expr.number);
+                if (static_cast<double>(i) != expr.number) {
+                    fail("array index must be integral", expr.line,
+                         expr.column);
+                }
+                return Affine(i);
+            }
+            case ast::Expr::Kind::VarRef: {
+                const auto it = loops_.find(expr.name);
+                if (it == loops_.end()) {
+                    fail("array index uses `" + expr.name +
+                             "`, which is not an enclosing loop variable",
+                         expr.line, expr.column);
+                }
+                return Affine::var(it->second);
+            }
+            case ast::Expr::Kind::Unary:
+                return -affine_of(*expr.lhs);
+            case ast::Expr::Kind::Binary: {
+                const Affine lhs = affine_of(*expr.lhs);
+                const Affine rhs = affine_of(*expr.rhs);
+                switch (expr.op) {
+                    case '+': return lhs + rhs;
+                    case '-': return lhs - rhs;
+                    case '*':
+                        if (rhs.is_constant()) return lhs * rhs.offset();
+                        if (lhs.is_constant()) return rhs * lhs.offset();
+                        fail("array index is not affine (product of two "
+                             "loop variables)",
+                             expr.line, expr.column);
+                    default:
+                        fail("array index is not affine (unsupported "
+                             "operator)",
+                             expr.line, expr.column);
+                }
+            }
+            case ast::Expr::Kind::ArrayRef:
+                fail("array index must not subscript arrays", expr.line,
+                     expr.column);
+        }
+        fail("malformed index expression", expr.line, expr.column);
+    }
+
+    /// Lower a value expression; the result is written into `dest` when
+    /// valid, otherwise a fresh temporary is produced.
+    VarId lower_expr(const ast::Expr& expr, VarId dest) {
+        switch (expr.kind) {
+            case ast::Expr::Kind::Number:
+                return builder_.set_const(dest, expr.number);
+            case ast::Expr::Kind::VarRef: {
+                const auto it = vars_.find(expr.name);
+                if (it == vars_.end()) {
+                    fail("use of undeclared variable `" + expr.name + "`",
+                         expr.line, expr.column);
+                }
+                if (!dest.valid() || dest == it->second) return it->second;
+                return builder_.copy(it->second, dest);
+            }
+            case ast::Expr::Kind::ArrayRef: {
+                const auto it = arrays_.find(expr.name);
+                if (it == arrays_.end()) {
+                    fail("load from undeclared array `" + expr.name + "`",
+                         expr.line, expr.column);
+                }
+                return builder_.load(it->second, affine_of(*expr.index),
+                                     dest);
+            }
+            case ast::Expr::Kind::Unary:
+                return builder_.neg(lower_expr(*expr.lhs, VarId()), dest);
+            case ast::Expr::Kind::Binary: {
+                const VarId lhs = lower_expr(*expr.lhs, VarId());
+                const VarId rhs = lower_expr(*expr.rhs, VarId());
+                switch (expr.op) {
+                    case '+': return builder_.add(lhs, rhs, dest);
+                    case '-': return builder_.sub(lhs, rhs, dest);
+                    case '*': return builder_.mul(lhs, rhs, dest);
+                    case '/': return builder_.div(lhs, rhs, dest);
+                    default:
+                        fail("unsupported operator", expr.line, expr.column);
+                }
+            }
+        }
+        fail("malformed expression", expr.line, expr.column);
+    }
+
+    const ast::KernelAst& ast_;
+    KernelBuilder builder_;
+    std::map<std::string, ArrayId> arrays_;
+    std::map<std::string, VarId> vars_;
+    std::map<std::string, LoopId> loops_;
+};
+
+}  // namespace
+
+Kernel lower_ast(const ast::KernelAst& kernel_ast) {
+    return AstLowering(kernel_ast).run();
+}
+
+Kernel compile_kernel_source(const std::string& source) {
+    Kernel kernel = unroll_kernel(lower_ast(ast::parse(source)));
+    verify_kernel(kernel);
+    return kernel;
+}
+
+}  // namespace slpwlo

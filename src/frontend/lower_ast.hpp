@@ -1,0 +1,20 @@
+// AST -> Kernel lowering (semantic analysis included): declarations become
+// arrays/variables, loops map to the IR loop nest (with unroll attributes
+// consumed by the unroll pass), expressions flatten to three-address ops,
+// and array subscripts must reduce to affine forms over enclosing loop
+// variables. Errors are reported as ParseError with source locations.
+#pragma once
+
+#include "frontend/parser.hpp"
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// Lower a parsed kernel (unroll attributes are NOT yet applied; call
+/// unroll_kernel for that, as the flows do).
+Kernel lower_ast(const ast::KernelAst& kernel_ast);
+
+/// Convenience: parse + lower + unroll + verify.
+Kernel compile_kernel_source(const std::string& source);
+
+}  // namespace slpwlo

@@ -1,0 +1,246 @@
+#include "frontend/parser.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::ast {
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    KernelAst run() {
+        KernelAst kernel;
+        expect(TokKind::KwKernel);
+        kernel.name = expect(TokKind::Identifier).text;
+        expect(TokKind::LBrace);
+        while (is_decl_start()) {
+            parse_decl(kernel);
+        }
+        while (!at(TokKind::RBrace)) {
+            kernel.body.push_back(parse_stmt());
+        }
+        expect(TokKind::RBrace);
+        expect(TokKind::End);
+        return kernel;
+    }
+
+private:
+    const Token& peek(int ahead = 0) const {
+        const size_t idx = std::min(pos_ + static_cast<size_t>(ahead),
+                                    tokens_.size() - 1);
+        return tokens_[idx];
+    }
+    bool at(TokKind kind) const { return peek().kind == kind; }
+
+    Token expect(TokKind kind) {
+        if (!at(kind)) {
+            throw ParseError("expected " + to_string(kind) + ", found " +
+                                 to_string(peek().kind) +
+                                 (peek().text.empty() ? ""
+                                                      : " `" + peek().text + "`"),
+                             peek().line, peek().column);
+        }
+        return tokens_[pos_++];
+    }
+
+    bool accept(TokKind kind) {
+        if (!at(kind)) return false;
+        pos_++;
+        return true;
+    }
+
+    int expect_int() {
+        const bool negative = accept(TokKind::Minus);
+        const Token t = expect(TokKind::Number);
+        const double v = negative ? -t.number : t.number;
+        const int i = static_cast<int>(v);
+        if (static_cast<double>(i) != v) {
+            throw ParseError("expected an integer, found `" + t.text + "`",
+                             t.line, t.column);
+        }
+        return i;
+    }
+
+    double expect_num() {
+        const bool negative = accept(TokKind::Minus);
+        const Token t = expect(TokKind::Number);
+        return negative ? -t.number : t.number;
+    }
+
+    bool is_decl_start() const {
+        switch (peek().kind) {
+            case TokKind::KwInput:
+            case TokKind::KwParam:
+            case TokKind::KwOutput:
+            case TokKind::KwBuffer:
+            case TokKind::KwVar:
+                return true;
+            default:
+                return false;
+        }
+    }
+
+    void parse_decl(KernelAst& kernel) {
+        Decl decl;
+        decl.line = peek().line;
+        decl.column = peek().column;
+        switch (peek().kind) {
+            case TokKind::KwVar: {
+                pos_++;
+                decl.kind = Decl::Kind::Var;
+                decl.name = expect(TokKind::Identifier).text;
+                kernel.decls.push_back(decl);
+                while (accept(TokKind::Comma)) {
+                    Decl more = decl;
+                    more.name = expect(TokKind::Identifier).text;
+                    kernel.decls.push_back(more);
+                }
+                expect(TokKind::Semicolon);
+                return;
+            }
+            case TokKind::KwInput: decl.kind = Decl::Kind::Input; break;
+            case TokKind::KwParam: decl.kind = Decl::Kind::Param; break;
+            case TokKind::KwOutput: decl.kind = Decl::Kind::Output; break;
+            case TokKind::KwBuffer: decl.kind = Decl::Kind::Buffer; break;
+            default: break;
+        }
+        pos_++;
+        decl.name = expect(TokKind::Identifier).text;
+        expect(TokKind::LBracket);
+        decl.size = expect_int();
+        expect(TokKind::RBracket);
+        if (decl.kind == Decl::Kind::Input) {
+            expect(TokKind::KwRange);
+            expect(TokKind::LParen);
+            const double lo = expect_num();
+            expect(TokKind::Comma);
+            const double hi = expect_num();
+            expect(TokKind::RParen);
+            decl.range = Interval(lo, hi);
+        } else if (decl.kind == Decl::Kind::Param) {
+            expect(TokKind::Assign);
+            expect(TokKind::LBrace);
+            decl.values.push_back(expect_num());
+            while (accept(TokKind::Comma)) {
+                decl.values.push_back(expect_num());
+            }
+            expect(TokKind::RBrace);
+        }
+        expect(TokKind::Semicolon);
+        kernel.decls.push_back(std::move(decl));
+    }
+
+    StmtPtr parse_stmt() {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->line = peek().line;
+        stmt->column = peek().column;
+        if (accept(TokKind::KwLoop)) {
+            stmt->kind = Stmt::Kind::Loop;
+            stmt->loop_var = expect(TokKind::Identifier).text;
+            expect(TokKind::Assign);
+            stmt->begin = expect_int();
+            expect(TokKind::DotDot);
+            stmt->end = expect_int();
+            if (accept(TokKind::KwUnroll)) {
+                stmt->unroll = expect_int();
+            }
+            expect(TokKind::LBrace);
+            while (!at(TokKind::RBrace)) {
+                stmt->body.push_back(parse_stmt());
+            }
+            expect(TokKind::RBrace);
+            return stmt;
+        }
+        stmt->kind = Stmt::Kind::Assign;
+        stmt->target = parse_primary();
+        if (stmt->target->kind != Expr::Kind::VarRef &&
+            stmt->target->kind != Expr::Kind::ArrayRef) {
+            throw ParseError("assignment target must be a variable or array "
+                             "element",
+                             stmt->line, stmt->column);
+        }
+        expect(TokKind::Assign);
+        stmt->value = parse_expr();
+        expect(TokKind::Semicolon);
+        return stmt;
+    }
+
+    ExprPtr parse_expr() {
+        ExprPtr lhs = parse_term();
+        while (at(TokKind::Plus) || at(TokKind::Minus)) {
+            const char op = at(TokKind::Plus) ? '+' : '-';
+            pos_++;
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->op = op;
+            node->lhs = std::move(lhs);
+            node->rhs = parse_term();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_term() {
+        ExprPtr lhs = parse_unary();
+        while (at(TokKind::Star) || at(TokKind::Slash)) {
+            const char op = at(TokKind::Star) ? '*' : '/';
+            pos_++;
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->op = op;
+            node->lhs = std::move(lhs);
+            node->rhs = parse_unary();
+            lhs = std::move(node);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_unary() {
+        if (accept(TokKind::Minus)) {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Unary;
+            node->op = '-';
+            node->lhs = parse_unary();
+            return node;
+        }
+        return parse_primary();
+    }
+
+    ExprPtr parse_primary() {
+        auto node = std::make_unique<Expr>();
+        node->line = peek().line;
+        node->column = peek().column;
+        if (at(TokKind::Number)) {
+            node->kind = Expr::Kind::Number;
+            node->number = expect(TokKind::Number).number;
+            return node;
+        }
+        if (accept(TokKind::LParen)) {
+            ExprPtr inner = parse_expr();
+            expect(TokKind::RParen);
+            return inner;
+        }
+        const Token ident = expect(TokKind::Identifier);
+        node->name = ident.text;
+        if (accept(TokKind::LBracket)) {
+            node->kind = Expr::Kind::ArrayRef;
+            node->index = parse_expr();
+            expect(TokKind::RBracket);
+        } else {
+            node->kind = Expr::Kind::VarRef;
+        }
+        return node;
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+KernelAst parse(const std::string& source) {
+    return Parser(lex(source)).run();
+}
+
+}  // namespace slpwlo::ast

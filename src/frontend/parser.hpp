@@ -1,0 +1,76 @@
+// Parser + AST for the kernel DSL.
+//
+// Grammar (EBNF):
+//   kernel     := "kernel" ident "{" decl* stmt* "}"
+//   decl       := ("input" ident "[" int "]" "range" "(" num "," num ")" ";")
+//               | ("param" ident "[" int "]" "=" "{" num ("," num)* "}" ";")
+//               | ("output"|"buffer") ident "[" int "]" ";"
+//               | ("var" ident ("," ident)* ";")
+//   stmt       := assign | loop
+//   loop       := "loop" ident "=" int ".." int ["unroll" int] "{" stmt* "}"
+//   assign     := lvalue "=" expr ";"
+//   lvalue     := ident | ident "[" expr "]"
+//   expr       := term (("+"|"-") term)*
+//   term       := unary (("*"|"/") unary)*
+//   unary      := "-" unary | primary
+//   primary    := number | ident | ident "[" expr "]" | "(" expr ")"
+//
+// Array index expressions must lower to affine forms over loop variables.
+#pragma once
+
+#include <memory>
+
+#include "frontend/lexer.hpp"
+#include "support/interval.hpp"
+
+namespace slpwlo::ast {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    enum class Kind { Number, VarRef, ArrayRef, Unary, Binary };
+    Kind kind = Kind::Number;
+    double number = 0.0;
+    std::string name;     ///< VarRef / ArrayRef
+    char op = '+';        ///< Unary ('-') / Binary ('+','-','*','/')
+    ExprPtr lhs, rhs;     ///< Binary operands / Unary operand in lhs
+    ExprPtr index;        ///< ArrayRef index
+    int line = 0, column = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+    enum class Kind { Assign, Loop };
+    Kind kind = Kind::Assign;
+    // Assign: target (VarRef or ArrayRef) and value.
+    ExprPtr target, value;
+    // Loop.
+    std::string loop_var;
+    int begin = 0, end = 0, unroll = 1;
+    std::vector<StmtPtr> body;
+    int line = 0, column = 0;
+};
+
+struct Decl {
+    enum class Kind { Input, Param, Output, Buffer, Var };
+    Kind kind = Kind::Var;
+    std::string name;
+    int size = 0;
+    Interval range;               ///< Input
+    std::vector<double> values;   ///< Param
+    int line = 0, column = 0;
+};
+
+struct KernelAst {
+    std::string name;
+    std::vector<Decl> decls;
+    std::vector<StmtPtr> body;
+};
+
+/// Parse one kernel definition; throws ParseError on malformed input.
+KernelAst parse(const std::string& source);
+
+}  // namespace slpwlo::ast

@@ -1,0 +1,119 @@
+#include "ir/affine.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+Affine Affine::var(LoopId loop) {
+    Affine a;
+    a.coeffs_[loop] = 1;
+    return a;
+}
+
+int Affine::coeff(LoopId loop) const {
+    const auto it = coeffs_.find(loop);
+    return it == coeffs_.end() ? 0 : it->second;
+}
+
+Affine Affine::operator+(const Affine& rhs) const {
+    Affine out = *this;
+    out.offset_ += rhs.offset_;
+    for (const auto& [loop, c] : rhs.coeffs_) {
+        out.coeffs_[loop] += c;
+    }
+    out.prune();
+    return out;
+}
+
+Affine Affine::operator-(const Affine& rhs) const { return *this + (-rhs); }
+
+Affine Affine::operator+(int k) const {
+    Affine out = *this;
+    out.offset_ += k;
+    return out;
+}
+
+Affine Affine::operator-(int k) const { return *this + (-k); }
+
+Affine Affine::operator*(int k) const {
+    Affine out;
+    out.offset_ = offset_ * k;
+    if (k != 0) {
+        for (const auto& [loop, c] : coeffs_) {
+            out.coeffs_[loop] = c * k;
+        }
+    }
+    return out;
+}
+
+Affine Affine::operator-() const { return *this * -1; }
+
+bool Affine::operator==(const Affine& rhs) const {
+    return offset_ == rhs.offset_ && coeffs_ == rhs.coeffs_;
+}
+
+bool Affine::comparable(const Affine& rhs) const {
+    return coeffs_ == rhs.coeffs_;
+}
+
+std::optional<int> Affine::constant_difference(const Affine& rhs) const {
+    if (!comparable(rhs)) return std::nullopt;
+    return offset_ - rhs.offset_;
+}
+
+Affine Affine::substituted(LoopId loop, const Affine& replacement) const {
+    const int c = coeff(loop);
+    Affine out = *this;
+    out.coeffs_.erase(loop);
+    return out + replacement * c;
+}
+
+int Affine::evaluate(const std::map<LoopId, int>& values) const {
+    int result = offset_;
+    for (const auto& [loop, c] : coeffs_) {
+        const auto it = values.find(loop);
+        SLPWLO_CHECK(it != values.end(),
+                     "affine index references a loop with no value bound");
+        result += c * it->second;
+    }
+    return result;
+}
+
+void Affine::prune() {
+    for (auto it = coeffs_.begin(); it != coeffs_.end();) {
+        if (it->second == 0) {
+            it = coeffs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::string Affine::str() const {
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& [loop, c] : coeffs_) {
+        if (!first) os << (c >= 0 ? " + " : " - ");
+        const int mag = first ? c : std::abs(c);
+        first = false;
+        if (mag == 1) {
+            os << "L" << loop.index();
+        } else if (mag == -1) {
+            os << "-L" << loop.index();
+        } else {
+            os << mag << "*L" << loop.index();
+        }
+    }
+    if (first) {
+        os << offset_;
+    } else if (offset_ > 0) {
+        os << " + " << offset_;
+    } else if (offset_ < 0) {
+        os << " - " << -offset_;
+    }
+    return os.str();
+}
+
+}  // namespace slpwlo

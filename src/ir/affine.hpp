@@ -1,0 +1,67 @@
+// Affine array-index expressions: sum(coeff_i * loopvar_i) + offset.
+//
+// Affine indices let the dependence analysis decide exactly whether two
+// accesses to the same array can alias within a loop iteration, and whether
+// consecutive accesses are memory-adjacent — the property that makes SLP
+// vector loads/stores cheap (Section II.A of the paper).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/type.hpp"
+
+namespace slpwlo {
+
+class Affine {
+public:
+    /// The constant index `offset`.
+    Affine() = default;
+    explicit Affine(int offset) : offset_(offset) {}
+
+    /// The index consisting of a single loop variable.
+    static Affine var(LoopId loop);
+
+    int offset() const { return offset_; }
+    /// Coefficient of `loop` (0 if absent).
+    int coeff(LoopId loop) const;
+    const std::map<LoopId, int>& coeffs() const { return coeffs_; }
+
+    bool is_constant() const { return coeffs_.empty(); }
+
+    Affine operator+(const Affine& rhs) const;
+    Affine operator-(const Affine& rhs) const;
+    Affine operator+(int k) const;
+    Affine operator-(int k) const;
+    Affine operator*(int k) const;
+    Affine operator-() const;
+
+    bool operator==(const Affine& rhs) const;
+    bool operator!=(const Affine& rhs) const { return !(*this == rhs); }
+
+    /// True if both indices have identical loop-variable coefficients, i.e.
+    /// their difference is a compile-time constant.
+    bool comparable(const Affine& rhs) const;
+
+    /// offset difference this - rhs if comparable(), otherwise nullopt.
+    std::optional<int> constant_difference(const Affine& rhs) const;
+
+    /// Substitute `loop := replacement + delta` (used by the unroller:
+    /// k -> unroll_factor * k' + lane).
+    Affine substituted(LoopId loop, const Affine& replacement) const;
+
+    /// Evaluate given concrete loop-variable values. Loops not present in
+    /// `values` must have coefficient zero; otherwise an Error is thrown.
+    int evaluate(const std::map<LoopId, int>& values) const;
+
+    std::string str() const;
+
+private:
+    void prune();
+
+    std::map<LoopId, int> coeffs_;
+    int offset_ = 0;
+};
+
+}  // namespace slpwlo

@@ -1,0 +1,186 @@
+#include "ir/builder.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+KernelBuilder::KernelBuilder(std::string name)
+    : kernel_(std::make_unique<Kernel>(std::move(name))) {
+    open_block_.push_back(BlockId());
+}
+
+ArrayId KernelBuilder::input(const std::string& name, int size,
+                             const Interval& range) {
+    ArrayDecl decl;
+    decl.name = name;
+    decl.size = size;
+    decl.storage = StorageClass::Input;
+    decl.declared_range = range;
+    return kernel_->add_array(std::move(decl));
+}
+
+ArrayId KernelBuilder::param(const std::string& name,
+                             std::vector<double> values) {
+    SLPWLO_CHECK(!values.empty(), "param array must have values: " + name);
+    ArrayDecl decl;
+    decl.name = name;
+    decl.size = static_cast<int>(values.size());
+    decl.storage = StorageClass::Param;
+    decl.values = std::move(values);
+    return kernel_->add_array(std::move(decl));
+}
+
+ArrayId KernelBuilder::output(const std::string& name, int size) {
+    ArrayDecl decl;
+    decl.name = name;
+    decl.size = size;
+    decl.storage = StorageClass::Output;
+    return kernel_->add_array(std::move(decl));
+}
+
+ArrayId KernelBuilder::buffer(const std::string& name, int size) {
+    ArrayDecl decl;
+    decl.name = name;
+    decl.size = size;
+    decl.storage = StorageClass::Buffer;
+    return kernel_->add_array(std::move(decl));
+}
+
+VarId KernelBuilder::user_var(const std::string& name) {
+    VarDecl decl;
+    decl.name = name;
+    decl.is_temp = false;
+    return kernel_->add_var(std::move(decl));
+}
+
+LoopId KernelBuilder::begin_loop(const std::string& var, int begin, int end,
+                                 int unroll) {
+    SLPWLO_CHECK(begin < end, "loop must have a positive trip count: " + var);
+    SLPWLO_CHECK(unroll >= 0, "unroll factor must be >= 0: " + var);
+    Loop loop;
+    loop.var_name = var;
+    loop.begin = begin;
+    loop.end = end;
+    loop.unroll = unroll;
+    const LoopId id = kernel_->add_loop(std::move(loop));
+    current_region().items.push_back(RegionItem::make_loop(id));
+    // Close the enclosing region's open block and start a nested level.
+    open_block_.back() = BlockId();
+    loop_stack_.push_back(id);
+    open_block_.push_back(BlockId());
+    return id;
+}
+
+void KernelBuilder::end_loop() {
+    SLPWLO_CHECK(!loop_stack_.empty(), "end_loop with no open loop");
+    loop_stack_.pop_back();
+    open_block_.pop_back();
+    kernel_->invalidate_structure();
+}
+
+VarId KernelBuilder::set_const(VarId dest, double value) {
+    Op op;
+    op.kind = OpKind::Const;
+    op.const_value = value;
+    return emit(std::move(op), dest);
+}
+
+VarId KernelBuilder::copy(VarId src, VarId dest) {
+    Op op;
+    op.kind = OpKind::Copy;
+    op.args[0] = src;
+    return emit(std::move(op), dest);
+}
+
+VarId KernelBuilder::load(ArrayId array, const Affine& index, VarId dest) {
+    Op op;
+    op.kind = OpKind::Load;
+    op.array = array;
+    op.index = index;
+    return emit(std::move(op), dest);
+}
+
+void KernelBuilder::store(ArrayId array, const Affine& index, VarId value) {
+    Op op;
+    op.kind = OpKind::Store;
+    op.array = array;
+    op.index = index;
+    op.args[0] = value;
+    const OpId id = kernel_->add_op(std::move(op));
+    append_op(id);
+}
+
+VarId KernelBuilder::add(VarId a, VarId b, VarId dest) {
+    Op op;
+    op.kind = OpKind::Add;
+    op.args = {a, b};
+    return emit(std::move(op), dest);
+}
+
+VarId KernelBuilder::sub(VarId a, VarId b, VarId dest) {
+    Op op;
+    op.kind = OpKind::Sub;
+    op.args = {a, b};
+    return emit(std::move(op), dest);
+}
+
+VarId KernelBuilder::mul(VarId a, VarId b, VarId dest) {
+    Op op;
+    op.kind = OpKind::Mul;
+    op.args = {a, b};
+    return emit(std::move(op), dest);
+}
+
+VarId KernelBuilder::div(VarId a, VarId b, VarId dest) {
+    Op op;
+    op.kind = OpKind::Div;
+    op.args = {a, b};
+    return emit(std::move(op), dest);
+}
+
+VarId KernelBuilder::neg(VarId a, VarId dest) {
+    Op op;
+    op.kind = OpKind::Neg;
+    op.args[0] = a;
+    return emit(std::move(op), dest);
+}
+
+Kernel KernelBuilder::take() {
+    SLPWLO_CHECK(loop_stack_.empty(), "take() with open loops");
+    SLPWLO_CHECK(!taken_, "take() called twice");
+    taken_ = true;
+    Kernel out = std::move(*kernel_);
+    out.invalidate_structure();
+    return out;
+}
+
+VarId KernelBuilder::fresh_temp() {
+    VarDecl decl;
+    decl.name = "%t" + std::to_string(temp_counter_++);
+    decl.is_temp = true;
+    return kernel_->add_var(std::move(decl));
+}
+
+VarId KernelBuilder::emit(Op op, VarId dest) {
+    if (!dest.valid()) dest = fresh_temp();
+    op.dest = dest;
+    const OpId id = kernel_->add_op(std::move(op));
+    append_op(id);
+    return dest;
+}
+
+void KernelBuilder::append_op(OpId id) {
+    BlockId& open = open_block_.back();
+    if (!open.valid()) {
+        open = kernel_->add_block();
+        current_region().items.push_back(RegionItem::make_block(open));
+    }
+    kernel_->block_mut(open).ops.push_back(id);
+}
+
+Region& KernelBuilder::current_region() {
+    if (loop_stack_.empty()) return kernel_->body_mut();
+    return kernel_->loop_mut(loop_stack_.back()).body;
+}
+
+}  // namespace slpwlo

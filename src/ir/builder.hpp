@@ -1,0 +1,86 @@
+// KernelBuilder: the fluent construction API for kernels.
+//
+// This is the primary way library users define a system to optimize (the
+// frontend DSL lowers to the same calls). Example:
+//
+//   KernelBuilder b("dot4");
+//   ArrayId x = b.input("x", 16, {-1.0, 1.0});
+//   ArrayId c = b.param("c", {0.5, -0.25, 0.125, 0.3});
+//   ArrayId y = b.output("y", 4);
+//   VarId acc = b.user_var("acc");
+//   LoopId n = b.begin_loop("n", 0, 4);
+//     b.set_const(acc, 0.0);
+//     LoopId k = b.begin_loop("k", 0, 4);
+//       VarId prod = b.mul(b.load(x, Affine::var(k)), b.load(c, Affine::var(k)));
+//       b.add(acc, prod, acc);                 // acc = acc + prod
+//     b.end_loop();
+//     b.store(y, Affine::var(n), acc);
+//   b.end_loop();
+//   Kernel kernel = b.take();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+class KernelBuilder {
+public:
+    explicit KernelBuilder(std::string name);
+
+    // --- declarations -------------------------------------------------------
+    /// Input stream array with a declared value range.
+    ArrayId input(const std::string& name, int size, const Interval& range);
+    /// Coefficient array with compile-time values.
+    ArrayId param(const std::string& name, std::vector<double> values);
+    /// Output array.
+    ArrayId output(const std::string& name, int size);
+    /// Read-write scratch array.
+    ArrayId buffer(const std::string& name, int size);
+    /// Named user variable (multi-assignment allowed).
+    VarId user_var(const std::string& name);
+
+    // --- structure ------------------------------------------------------------
+    /// Open `for (var = begin; var < end; ++var)`; `unroll` is consumed by the
+    /// unroll pass (1 = keep, 0 = full unroll).
+    LoopId begin_loop(const std::string& var, int begin, int end, int unroll = 1);
+    void end_loop();
+
+    // --- operations (emitted into the innermost open region) ------------------
+    /// dest = literal; returns a fresh temp when dest is invalid.
+    VarId set_const(VarId dest, double value);
+    VarId constant(double value) { return set_const(VarId(), value); }
+    VarId copy(VarId src, VarId dest = VarId());
+    VarId load(ArrayId array, const Affine& index, VarId dest = VarId());
+    void store(ArrayId array, const Affine& index, VarId value);
+    VarId add(VarId a, VarId b, VarId dest = VarId());
+    VarId sub(VarId a, VarId b, VarId dest = VarId());
+    VarId mul(VarId a, VarId b, VarId dest = VarId());
+    VarId div(VarId a, VarId b, VarId dest = VarId());
+    VarId neg(VarId a, VarId dest = VarId());
+
+    /// Affine index helper for the loop variable opened by begin_loop.
+    Affine idx(LoopId loop) const { return Affine::var(loop); }
+
+    /// Finish construction; the builder must have no open loops.
+    Kernel take();
+
+private:
+    VarId fresh_temp();
+    VarId emit(Op op, VarId dest);
+    void append_op(OpId id);
+    Region& current_region();
+
+    std::unique_ptr<Kernel> kernel_;
+    std::vector<LoopId> loop_stack_;
+    /// Block currently receiving ops in each open region level (invalid when
+    /// the next op must open a new block).
+    std::vector<BlockId> open_block_;
+    int temp_counter_ = 0;
+    bool taken_ = false;
+};
+
+}  // namespace slpwlo

@@ -1,0 +1,128 @@
+#include "ir/dependence.hpp"
+
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+bool may_alias(const Affine& a, const Affine& b) {
+    const auto diff = a.constant_difference(b);
+    if (!diff.has_value()) return true;  // incomparable: be conservative
+    return *diff == 0;
+}
+
+std::optional<int> loop_carried_distance(const Affine& store_idx,
+                                         const Affine& load_idx, LoopId loop) {
+    const int cs = store_idx.coeff(loop);
+    const int cl = load_idx.coeff(loop);
+    // Compare the index parts that do not involve `loop`.
+    const Affine store_rest = store_idx - Affine::var(loop) * cs;
+    const Affine load_rest = load_idx - Affine::var(loop) * cl;
+    if (!store_rest.comparable(load_rest)) {
+        return 1;  // incomparable across iterations: conservative distance 1
+    }
+    if (cs != cl) {
+        // The accesses drift relative to each other; they may coincide at
+        // isolated iterations. Be conservative.
+        return 1;
+    }
+    if (cl == 0) {
+        // Same element every iteration (e.g. accumulator spilled to memory):
+        // if the constant parts match it is a distance-1 recurrence.
+        const int delta = store_rest.offset() - load_rest.offset();
+        if (delta == 0) return 1;
+        return std::nullopt;
+    }
+    // store(i) == load(i + d)  <=>  s0 + c*i == l0 + c*(i+d)
+    //                          <=>  d == (s0 - l0) / c
+    const int delta = store_rest.offset() - load_rest.offset();
+    if (delta % cl != 0) return std::nullopt;
+    const int d = delta / cl;
+    if (d >= 1) return d;
+    return std::nullopt;
+}
+
+BlockDeps::BlockDeps(const Kernel& kernel, BlockId block) {
+    const std::vector<OpId>& ops = kernel.block(block).ops;
+    const int n = static_cast<int>(ops.size());
+    direct_.assign(n, {});
+    const int words = (n + 63) / 64;
+    reach_.assign(n, std::vector<uint64_t>(words, 0));
+
+    std::map<VarId, int> last_write;            // var -> position
+    std::map<VarId, std::vector<int>> readers;  // var -> reads since last write
+    // Memory accesses so far: (position, is_store) per array.
+    struct MemAccess {
+        int pos;
+        bool is_store;
+        Affine index;
+    };
+    std::map<ArrayId, std::vector<MemAccess>> mem;
+
+    auto add_dep = [&](int later, int earlier) {
+        if (earlier < 0 || earlier == later) return;
+        SLPWLO_ASSERT(earlier < later, "dependence must point backwards");
+        direct_[later].push_back(earlier);
+    };
+
+    for (int pos = 0; pos < n; ++pos) {
+        const Op& op = kernel.op(ops[pos]);
+
+        // Flow dependences through scalar reads.
+        for (int i = 0; i < op.num_args(); ++i) {
+            const VarId v = op.args[i];
+            const auto it = last_write.find(v);
+            if (it != last_write.end()) add_dep(pos, it->second);
+            readers[v].push_back(pos);
+        }
+
+        // Memory dependences.
+        if (op.is_memory()) {
+            auto& accesses = mem[op.array];
+            const bool is_store = op.kind == OpKind::Store;
+            for (const MemAccess& prev : accesses) {
+                if (!is_store && !prev.is_store) continue;  // load-load: none
+                if (may_alias(op.index, prev.index)) add_dep(pos, prev.pos);
+            }
+            accesses.push_back(MemAccess{pos, is_store, op.index});
+        }
+
+        // Anti and output dependences through the destination.
+        if (op.dest.valid()) {
+            const auto wit = last_write.find(op.dest);
+            if (wit != last_write.end()) add_dep(pos, wit->second);
+            const auto rit = readers.find(op.dest);
+            if (rit != readers.end()) {
+                for (const int r : rit->second) add_dep(pos, r);
+                rit->second.clear();
+            }
+            last_write[op.dest] = pos;
+        }
+
+        // Transitive closure: union predecessor reach sets.
+        for (const int pred : direct_[pos]) {
+            reach_[pos][pred / 64] |= (1ULL << (pred % 64));
+            for (int w = 0; w < words; ++w) {
+                reach_[pos][w] |= reach_[pred][w];
+            }
+        }
+    }
+}
+
+bool BlockDeps::depends(int later, int earlier) const {
+    SLPWLO_ASSERT(later >= 0 && later < size() && earlier >= 0 &&
+                      earlier < size(),
+                  "position out of range");
+    if (earlier >= later) return false;
+    return (reach_[later][earlier / 64] >> (earlier % 64)) & 1ULL;
+}
+
+bool BlockDeps::independent(int a, int b) const {
+    if (a == b) return false;
+    const int later = std::max(a, b);
+    const int earlier = std::min(a, b);
+    return !depends(later, earlier);
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,57 @@
+// Dependence analysis.
+//
+// BlockDeps computes, for one basic block, the direct and transitive
+// dependences between its operations (flow/anti/output dependences through
+// scalar variables, plus memory dependences through arrays using affine
+// index comparison). SLP candidate legality ("independent operations") and
+// conflict cycles are decided on top of this (Section II.A / III.B).
+//
+// Loop-carried dependence distances (store in iteration i feeding a load in
+// iteration i+d of the same loop) bound the recurrence-constrained
+// initiation interval of the VLIW timing model (IIR feedback).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// True if two accesses to the same array may reference the same element
+/// within one iteration of all enclosing loops.
+bool may_alias(const Affine& a, const Affine& b);
+
+/// If a store with index `store_idx` in iteration i of `loop` writes the
+/// element read by `load_idx` in iteration i + d (d >= 1), returns d.
+/// Returns nullopt when no such cross-iteration dependence exists, and
+/// 1 (the conservative worst case) when the indices are incomparable.
+std::optional<int> loop_carried_distance(const Affine& store_idx,
+                                         const Affine& load_idx, LoopId loop);
+
+class BlockDeps {
+public:
+    BlockDeps(const Kernel& kernel, BlockId block);
+
+    int size() const { return static_cast<int>(direct_.size()); }
+
+    /// Direct dependence predecessors (positions within the block) of the op
+    /// at position `pos`.
+    const std::vector<int>& direct_preds(int pos) const { return direct_[pos]; }
+
+    /// True if the op at `later` transitively depends on the op at `earlier`
+    /// (earlier < later in program order).
+    bool depends(int later, int earlier) const;
+
+    /// True if no dependence path connects the two ops in either direction,
+    /// i.e. they may execute in parallel (SLP group legality).
+    bool independent(int a, int b) const;
+
+private:
+    std::vector<std::vector<int>> direct_;
+    /// reach_[i] = bitset over positions j < i that i transitively depends on.
+    std::vector<std::vector<uint64_t>> reach_;
+};
+
+}  // namespace slpwlo

@@ -1,0 +1,169 @@
+#include "ir/kernel.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+RegionItem RegionItem::make_block(BlockId b) {
+    RegionItem item;
+    item.kind = Kind::Block;
+    item.block = b;
+    return item;
+}
+
+RegionItem RegionItem::make_loop(LoopId l) {
+    RegionItem item;
+    item.kind = Kind::Loop;
+    item.loop = l;
+    return item;
+}
+
+namespace {
+template <class T, class IdT>
+const T& at(const std::vector<T>& table, IdT id, const char* what) {
+    SLPWLO_ASSERT(id.valid() && id.index() < static_cast<int32_t>(table.size()),
+                  std::string("invalid ") + what + " id");
+    return table[id.index()];
+}
+}  // namespace
+
+const ArrayDecl& Kernel::array(ArrayId id) const { return at(arrays_, id, "array"); }
+const VarDecl& Kernel::var(VarId id) const { return at(vars_, id, "var"); }
+const Op& Kernel::op(OpId id) const { return at(ops_, id, "op"); }
+const Loop& Kernel::loop(LoopId id) const { return at(loops_, id, "loop"); }
+const BasicBlock& Kernel::block(BlockId id) const { return at(blocks_, id, "block"); }
+
+Op& Kernel::op_mut(OpId id) { return const_cast<Op&>(op(id)); }
+Loop& Kernel::loop_mut(LoopId id) { return const_cast<Loop&>(loop(id)); }
+BasicBlock& Kernel::block_mut(BlockId id) { return const_cast<BasicBlock&>(block(id)); }
+ArrayDecl& Kernel::array_mut(ArrayId id) { return const_cast<ArrayDecl&>(array(id)); }
+
+ArrayId Kernel::add_array(ArrayDecl decl) {
+    SLPWLO_CHECK(!find_array(decl.name).valid(),
+                 "duplicate array name: " + decl.name);
+    SLPWLO_CHECK(decl.size > 0, "array size must be positive: " + decl.name);
+    arrays_.push_back(std::move(decl));
+    return ArrayId(static_cast<int32_t>(arrays_.size()) - 1);
+}
+
+VarId Kernel::add_var(VarDecl decl) {
+    if (!decl.is_temp) {
+        SLPWLO_CHECK(!find_var(decl.name).valid(),
+                     "duplicate variable name: " + decl.name);
+    }
+    vars_.push_back(std::move(decl));
+    return VarId(static_cast<int32_t>(vars_.size()) - 1);
+}
+
+OpId Kernel::add_op(Op op) {
+    ops_.push_back(std::move(op));
+    return OpId(static_cast<int32_t>(ops_.size()) - 1);
+}
+
+LoopId Kernel::add_loop(Loop loop) {
+    const LoopId id(static_cast<int32_t>(loops_.size()));
+    loop.id = id;
+    loops_.push_back(std::move(loop));
+    invalidate_structure();
+    return id;
+}
+
+BlockId Kernel::add_block() {
+    const BlockId id(static_cast<int32_t>(blocks_.size()));
+    BasicBlock bb;
+    bb.id = id;
+    blocks_.push_back(std::move(bb));
+    invalidate_structure();
+    return id;
+}
+
+ArrayId Kernel::find_array(std::string_view name) const {
+    for (size_t i = 0; i < arrays_.size(); ++i) {
+        if (arrays_[i].name == name) return ArrayId(static_cast<int32_t>(i));
+    }
+    return ArrayId();
+}
+
+VarId Kernel::find_var(std::string_view name) const {
+    for (size_t i = 0; i < vars_.size(); ++i) {
+        if (!vars_[i].is_temp && vars_[i].name == name) {
+            return VarId(static_cast<int32_t>(i));
+        }
+    }
+    return VarId();
+}
+
+void Kernel::invalidate_structure() const { structure_valid_ = false; }
+
+void Kernel::ensure_structure() const {
+    if (structure_valid_) return;
+    block_loops_.assign(blocks_.size(), {});
+    block_order_.clear();
+
+    // Depth-first walk of the region tree collecting enclosing loops.
+    struct Walker {
+        const Kernel& kernel;
+        std::vector<std::vector<LoopId>>& block_loops;
+        std::vector<BlockId>& order;
+        std::vector<LoopId> stack;
+
+        void walk(const Region& region) {
+            for (const RegionItem& item : region.items) {
+                if (item.kind == RegionItem::Kind::Block) {
+                    block_loops[item.block.index()] = stack;
+                    order.push_back(item.block);
+                } else {
+                    stack.push_back(item.loop);
+                    walk(kernel.loop(item.loop).body);
+                    stack.pop_back();
+                }
+            }
+        }
+    };
+    Walker walker{*this, block_loops_, block_order_, {}};
+    walker.walk(body_);
+    structure_valid_ = true;
+}
+
+const std::vector<LoopId>& Kernel::enclosing_loops(BlockId block) const {
+    ensure_structure();
+    return block_loops_[block.index()];
+}
+
+std::vector<LoopId> Kernel::enclosing_loops(LoopId target) const {
+    ensure_structure();
+    // Find any block inside the target loop; its chain contains the answer.
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+        const auto& chain = block_loops_[b];
+        for (size_t i = 0; i < chain.size(); ++i) {
+            if (chain[i] == target) {
+                return std::vector<LoopId>(chain.begin(), chain.begin() + i);
+            }
+        }
+    }
+    return {};
+}
+
+long long Kernel::block_frequency(BlockId block) const {
+    long long freq = 1;
+    for (const LoopId l : enclosing_loops(block)) {
+        freq *= loop(l).trip_count();
+    }
+    return freq;
+}
+
+long long Kernel::block_frequency_per_sample(BlockId block) const {
+    const auto& chain = enclosing_loops(block);
+    long long freq = 1;
+    for (size_t i = 1; i < chain.size(); ++i) {
+        freq *= loop(chain[i]).trip_count();
+    }
+    return freq;
+}
+
+std::vector<BlockId> Kernel::blocks_in_order() const {
+    ensure_structure();
+    return block_order_;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,156 @@
+// Kernel: the top-level IR container.
+//
+// A kernel is a loop-nest of straight-line basic blocks over scalar
+// variables and arrays, modelling one "system" in the paper's sense: a
+// stream-processing routine whose outermost loop enumerates samples.
+// Example shape (64-tap FIR, inner loop unrolled by 4):
+//
+//   loop n = 0..512 {          <- sample loop
+//     bb { acc0 = 0; ... }
+//     loop k = 0..16 {         <- unrolled tap loop
+//       bb { 4 taps worth of loads / muls / accumulates }
+//     }
+//     bb { y[n] = acc0+acc1+acc2+acc3 }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/op.hpp"
+#include "ir/type.hpp"
+#include "support/interval.hpp"
+
+namespace slpwlo {
+
+struct ArrayDecl {
+    std::string name;
+    int size = 0;
+    StorageClass storage = StorageClass::Buffer;
+    /// Declared per-element value range (Input arrays). Following the
+    /// Q-format convention, [-1, 1] is interpreted as [-1, 1).
+    Interval declared_range;
+    /// Compile-time element values (Param arrays).
+    std::vector<double> values;
+};
+
+struct VarDecl {
+    std::string name;
+    /// Compiler-generated expression temporary (single-assignment by
+    /// construction) as opposed to a user variable such as an accumulator.
+    bool is_temp = false;
+};
+
+/// One entry of a Region: either a basic block or a nested loop.
+struct RegionItem {
+    enum class Kind { Block, Loop };
+    Kind kind = Kind::Block;
+    BlockId block;
+    LoopId loop;
+
+    static RegionItem make_block(BlockId b);
+    static RegionItem make_loop(LoopId l);
+};
+
+/// An ordered sequence of blocks and loops.
+struct Region {
+    std::vector<RegionItem> items;
+};
+
+/// Counted loop, normalized to `for (v = begin; v < end; ++v)`.
+struct Loop {
+    LoopId id;
+    std::string var_name;
+    int begin = 0;
+    int end = 0;
+    /// Unroll request consumed by the unroll pass (1 = keep as is;
+    /// 0 = fully unroll).
+    int unroll = 1;
+    Region body;
+
+    int trip_count() const { return end - begin; }
+};
+
+/// Straight-line sequence of operations in program order.
+struct BasicBlock {
+    BlockId id;
+    std::vector<OpId> ops;
+};
+
+class Kernel {
+public:
+    explicit Kernel(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    // --- declaration tables ------------------------------------------------
+    const std::vector<ArrayDecl>& arrays() const { return arrays_; }
+    const std::vector<VarDecl>& vars() const { return vars_; }
+    const std::vector<Op>& ops() const { return ops_; }
+    const std::vector<Loop>& loops() const { return loops_; }
+    const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+    const ArrayDecl& array(ArrayId id) const;
+    const VarDecl& var(VarId id) const;
+    const Op& op(OpId id) const;
+    const Loop& loop(LoopId id) const;
+    const BasicBlock& block(BlockId id) const;
+
+    Op& op_mut(OpId id);
+    Loop& loop_mut(LoopId id);
+    BasicBlock& block_mut(BlockId id);
+    ArrayDecl& array_mut(ArrayId id);
+
+    /// Top-level region (typically a single sample loop).
+    const Region& body() const { return body_; }
+    Region& body_mut() { return body_; }
+
+    // --- construction (used by KernelBuilder and passes) --------------------
+    ArrayId add_array(ArrayDecl decl);
+    VarId add_var(VarDecl decl);
+    OpId add_op(Op op);
+    LoopId add_loop(Loop loop);
+    BlockId add_block();
+
+    /// Look up an array/variable by name; returns an invalid id if absent.
+    ArrayId find_array(std::string_view name) const;
+    VarId find_var(std::string_view name) const;
+
+    // --- structural queries --------------------------------------------------
+    /// Loops enclosing each block, outermost first. Computed on demand and
+    /// cached; invalidated by structural edits through invalidate_structure().
+    const std::vector<LoopId>& enclosing_loops(BlockId block) const;
+
+    /// The chain of loops enclosing `loop`, outermost first, excluding it.
+    std::vector<LoopId> enclosing_loops(LoopId loop) const;
+
+    /// Number of times a block executes per full kernel run.
+    long long block_frequency(BlockId block) const;
+
+    /// Number of times a block executes per iteration of the outermost loop
+    /// that encloses it (1 if the block is directly under that loop).
+    long long block_frequency_per_sample(BlockId block) const;
+
+    /// All blocks in execution order.
+    std::vector<BlockId> blocks_in_order() const;
+
+    /// Invalidate cached structural queries after editing the region tree.
+    void invalidate_structure() const;
+
+private:
+    void ensure_structure() const;
+
+    std::string name_;
+    std::vector<ArrayDecl> arrays_;
+    std::vector<VarDecl> vars_;
+    std::vector<Op> ops_;
+    std::vector<Loop> loops_;
+    std::vector<BasicBlock> blocks_;
+    Region body_;
+
+    mutable bool structure_valid_ = false;
+    mutable std::vector<std::vector<LoopId>> block_loops_;
+    mutable std::vector<BlockId> block_order_;
+};
+
+}  // namespace slpwlo

@@ -1,0 +1,47 @@
+#include "ir/op.hpp"
+
+namespace slpwlo {
+
+std::string to_string(OpKind kind) {
+    switch (kind) {
+        case OpKind::Const: return "const";
+        case OpKind::Copy: return "copy";
+        case OpKind::Load: return "load";
+        case OpKind::Store: return "store";
+        case OpKind::Add: return "add";
+        case OpKind::Sub: return "sub";
+        case OpKind::Mul: return "mul";
+        case OpKind::Div: return "div";
+        case OpKind::Neg: return "neg";
+    }
+    return "<invalid-op>";
+}
+
+int operand_count(OpKind kind) {
+    switch (kind) {
+        case OpKind::Const:
+        case OpKind::Load:
+            return 0;
+        case OpKind::Copy:
+        case OpKind::Store:
+        case OpKind::Neg:
+            return 1;
+        case OpKind::Add:
+        case OpKind::Sub:
+        case OpKind::Mul:
+        case OpKind::Div:
+            return 2;
+    }
+    return 0;
+}
+
+bool is_binary_arith(OpKind kind) {
+    return kind == OpKind::Add || kind == OpKind::Sub || kind == OpKind::Mul ||
+           kind == OpKind::Div;
+}
+
+bool is_commutative(OpKind kind) {
+    return kind == OpKind::Add || kind == OpKind::Mul;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,55 @@
+// IR operations.
+//
+// Every non-Store operation defines exactly one scalar variable (its dest);
+// Store writes an array element. Operations are owned by the Kernel and
+// referenced from basic blocks by OpId in program order.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "ir/affine.hpp"
+#include "ir/type.hpp"
+
+namespace slpwlo {
+
+enum class OpKind {
+    Const,  ///< dest = literal
+    Copy,   ///< dest = arg0
+    Load,   ///< dest = array[index]
+    Store,  ///< array[index] = arg0
+    Add,    ///< dest = arg0 + arg1
+    Sub,    ///< dest = arg0 - arg1
+    Mul,    ///< dest = arg0 * arg1
+    Div,    ///< dest = arg0 / arg1
+    Neg,    ///< dest = -arg0
+};
+
+std::string to_string(OpKind kind);
+
+/// Number of variable operands consumed by an op of this kind.
+int operand_count(OpKind kind);
+
+/// True for the binary arithmetic kinds (Add, Sub, Mul, Div).
+bool is_binary_arith(OpKind kind);
+
+/// True for kinds whose operands commute (Add, Mul).
+bool is_commutative(OpKind kind);
+
+struct Op {
+    OpKind kind = OpKind::Const;
+    /// Defined variable; invalid for Store.
+    VarId dest;
+    /// Variable operands; unused slots are invalid.
+    std::array<VarId, 2> args{};
+    /// Literal for Const.
+    double const_value = 0.0;
+    /// Array and index for Load/Store.
+    ArrayId array;
+    Affine index;
+
+    int num_args() const { return operand_count(kind); }
+    bool is_memory() const { return kind == OpKind::Load || kind == OpKind::Store; }
+};
+
+}  // namespace slpwlo

@@ -1,0 +1,92 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "support/text.hpp"
+
+namespace slpwlo {
+namespace {
+
+std::string var_name(const Kernel& kernel, VarId id) {
+    if (!id.valid()) return "<novar>";
+    return kernel.var(id).name;
+}
+
+void print_region(const Kernel& kernel, const Region& region, int indent,
+                  std::ostringstream& os) {
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    for (const RegionItem& item : region.items) {
+        if (item.kind == RegionItem::Kind::Block) {
+            os << pad << "bb" << item.block.index() << " {\n";
+            for (const OpId op : kernel.block(item.block).ops) {
+                os << pad << "  " << print_op(kernel, op) << "\n";
+            }
+            os << pad << "}\n";
+        } else {
+            const Loop& loop = kernel.loop(item.loop);
+            os << pad << "loop " << loop.var_name << " (L" << loop.id.index()
+               << ") = " << loop.begin << ".." << loop.end;
+            if (loop.unroll != 1) os << " unroll " << loop.unroll;
+            os << " {\n";
+            print_region(kernel, loop.body, indent + 1, os);
+            os << pad << "}\n";
+        }
+    }
+}
+
+}  // namespace
+
+std::string print_op(const Kernel& kernel, OpId id) {
+    const Op& op = kernel.op(id);
+    std::ostringstream os;
+    os << "o" << id.index() << ": ";
+    switch (op.kind) {
+        case OpKind::Const:
+            os << var_name(kernel, op.dest) << " = const "
+               << format_double(op.const_value, 12);
+            break;
+        case OpKind::Copy:
+            os << var_name(kernel, op.dest) << " = copy "
+               << var_name(kernel, op.args[0]);
+            break;
+        case OpKind::Load:
+            os << var_name(kernel, op.dest) << " = load "
+               << kernel.array(op.array).name << "[" << op.index.str() << "]";
+            break;
+        case OpKind::Store:
+            os << "store " << kernel.array(op.array).name << "["
+               << op.index.str() << "], " << var_name(kernel, op.args[0]);
+            break;
+        case OpKind::Neg:
+            os << var_name(kernel, op.dest) << " = neg "
+               << var_name(kernel, op.args[0]);
+            break;
+        default:
+            os << var_name(kernel, op.dest) << " = " << to_string(op.kind)
+               << " " << var_name(kernel, op.args[0]) << ", "
+               << var_name(kernel, op.args[1]);
+            break;
+    }
+    return os.str();
+}
+
+std::string print_kernel(const Kernel& kernel) {
+    std::ostringstream os;
+    os << "kernel " << kernel.name() << " {\n";
+    for (const ArrayDecl& a : kernel.arrays()) {
+        os << "  " << to_string(a.storage) << " " << a.name << "[" << a.size
+           << "]";
+        if (a.storage == StorageClass::Input) {
+            os << " range " << a.declared_range.str();
+        }
+        if (a.storage == StorageClass::Param) {
+            os << " = {" << a.values.size() << " values}";
+        }
+        os << "\n";
+    }
+    print_region(kernel, kernel.body(), 1, os);
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,16 @@
+// Human-readable kernel dump, used for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// Render the whole kernel (declarations + loop nest + ops).
+std::string print_kernel(const Kernel& kernel);
+
+/// Render a single op, e.g. "%t3 = mul %t1, %t2" or "store y[L0], acc".
+std::string print_op(const Kernel& kernel, OpId id);
+
+}  // namespace slpwlo

@@ -1,0 +1,15 @@
+#include "ir/type.hpp"
+
+namespace slpwlo {
+
+std::string to_string(StorageClass storage) {
+    switch (storage) {
+        case StorageClass::Input: return "input";
+        case StorageClass::Param: return "param";
+        case StorageClass::Output: return "output";
+        case StorageClass::Buffer: return "buffer";
+    }
+    return "<invalid-storage>";
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,67 @@
+// Core identifier types and enums of the kernel IR.
+//
+// The IR models the *floating-point* kernel the user wrote: data values are
+// real-valued signals, and the fixed-point interpretation lives in a side
+// table (fixpoint::FixedPointSpec) keyed by OpId — mirroring how ID.Fix
+// annotates the GeCoS IR in the paper's flow.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace slpwlo {
+
+/// Strongly typed integer id. Ids index into the owning Kernel's tables.
+template <class Tag>
+struct Id {
+    int32_t value = -1;
+
+    constexpr Id() = default;
+    constexpr explicit Id(int32_t v) : value(v) {}
+
+    constexpr bool valid() const { return value >= 0; }
+    constexpr int32_t index() const { return value; }
+
+    friend constexpr bool operator==(Id, Id) = default;
+    friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct VarTag {};
+struct ArrayTag {};
+struct LoopTag {};
+struct OpTag {};
+struct BlockTag {};
+
+/// A scalar variable (user variable or compiler temporary).
+using VarId = Id<VarTag>;
+/// A declared array (input, parameter, output or scratch buffer).
+using ArrayId = Id<ArrayTag>;
+/// A counted loop in the kernel's loop nest.
+using LoopId = Id<LoopTag>;
+/// A single IR operation.
+using OpId = Id<OpTag>;
+/// A straight-line basic block of operations.
+using BlockId = Id<BlockTag>;
+
+/// Storage class of a declared array.
+enum class StorageClass {
+    Input,   ///< read-only stream data; dynamic range declared by the user
+    Param,   ///< read-only coefficients with compile-time known values
+    Output,  ///< written results; may be read back (IIR feedback)
+    Buffer,  ///< read-write scratch storage
+};
+
+std::string to_string(StorageClass storage);
+
+}  // namespace slpwlo
+
+namespace std {
+template <class Tag>
+struct hash<slpwlo::Id<Tag>> {
+    size_t operator()(slpwlo::Id<Tag> id) const noexcept {
+        return std::hash<int32_t>{}(id.value);
+    }
+};
+}  // namespace std

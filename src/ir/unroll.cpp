@@ -1,0 +1,166 @@
+#include "ir/unroll.hpp"
+
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+namespace {
+
+class Unroller {
+public:
+    explicit Unroller(const Kernel& src) : src_(src), dst_(src.name()) {}
+
+    Kernel run() {
+        for (const ArrayDecl& a : src_.arrays()) dst_.add_array(a);
+        // User variables are copied 1:1 so VarIds stay stable; temporaries
+        // are re-created per instance on demand.
+        for (const VarDecl& v : src_.vars()) {
+            VarDecl copy = v;
+            if (copy.is_temp) copy.name += ".dead";  // placeholder, unused
+            dst_.add_var(std::move(copy));
+        }
+        Ctx ctx;
+        dst_.body_mut() = copy_region(src_.body(), ctx);
+        dst_.invalidate_structure();
+        return std::move(dst_);
+    }
+
+private:
+    struct Ctx {
+        std::map<LoopId, Affine> subst;   // old loop var -> new-index affine
+        std::map<VarId, VarId> temp_map;  // old temp -> instance temp
+    };
+
+    Affine rewrite_index(const Affine& index, const Ctx& ctx) const {
+        Affine out = index;
+        for (const auto& [old_loop, replacement] : ctx.subst) {
+            out = out.substituted(old_loop, replacement);
+        }
+        return out;
+    }
+
+    VarId map_var(VarId v, Ctx& ctx, bool is_def) {
+        if (!v.valid()) return v;
+        if (!src_.var(v).is_temp) return v;
+        if (is_def) {
+            VarDecl decl;
+            decl.name = "%u" + std::to_string(temp_counter_++);
+            decl.is_temp = true;
+            const VarId fresh = dst_.add_var(std::move(decl));
+            ctx.temp_map[v] = fresh;
+            return fresh;
+        }
+        const auto it = ctx.temp_map.find(v);
+        SLPWLO_ASSERT(it != ctx.temp_map.end(),
+                      "temporary read before definition during unroll");
+        return it->second;
+    }
+
+    void copy_block(BlockId block, Ctx& ctx, Region& out) {
+        // Merge into a trailing block so unrolled instances share one BB.
+        BlockId target;
+        if (!out.items.empty() &&
+            out.items.back().kind == RegionItem::Kind::Block) {
+            target = out.items.back().block;
+        } else {
+            target = dst_.add_block();
+            out.items.push_back(RegionItem::make_block(target));
+        }
+        for (const OpId op_id : src_.block(block).ops) {
+            Op op = src_.op(op_id);
+            for (int i = 0; i < op.num_args(); ++i) {
+                op.args[i] = map_var(op.args[i], ctx, /*is_def=*/false);
+            }
+            if (op.is_memory()) op.index = rewrite_index(op.index, ctx);
+            if (op.dest.valid()) op.dest = map_var(op.dest, ctx, /*is_def=*/true);
+            const OpId new_id = dst_.add_op(std::move(op));
+            dst_.block_mut(target).ops.push_back(new_id);
+        }
+    }
+
+    Region copy_region(const Region& region, Ctx& ctx) {
+        Region out;
+        for (const RegionItem& item : region.items) {
+            if (item.kind == RegionItem::Kind::Block) {
+                copy_block(item.block, ctx, out);
+                continue;
+            }
+            const Loop& loop = src_.loop(item.loop);
+            const int trip = loop.trip_count();
+            int factor = loop.unroll == 0 ? trip : loop.unroll;
+            SLPWLO_CHECK(factor >= 1 && trip % factor == 0,
+                         "unroll factor " + std::to_string(factor) +
+                             " does not divide trip count " +
+                             std::to_string(trip) + " of loop `" +
+                             loop.var_name + "`");
+            if (factor == trip) {
+                // Full unroll: inline `trip` instances, no residual loop.
+                for (int i = 0; i < trip; ++i) {
+                    Ctx inst = ctx;
+                    inst.subst[loop.id] = Affine(loop.begin + i);
+                    Region inlined = copy_region(loop.body, inst);
+                    splice(out, std::move(inlined));
+                }
+            } else if (factor == 1) {
+                Loop copy;
+                copy.var_name = loop.var_name;
+                copy.begin = loop.begin;
+                copy.end = loop.end;
+                copy.unroll = 1;
+                const LoopId new_id = dst_.add_loop(std::move(copy));
+                Ctx inner = ctx;
+                inner.subst[loop.id] = Affine::var(new_id);
+                dst_.loop_mut(new_id).body = copy_region(loop.body, inner);
+                out.items.push_back(RegionItem::make_loop(new_id));
+            } else {
+                // Partial unroll: new loop over trip/factor, `factor`
+                // instances of the body with i := begin + factor*j + lane.
+                Loop copy;
+                copy.var_name = loop.var_name + ".u";
+                copy.begin = 0;
+                copy.end = trip / factor;
+                copy.unroll = 1;
+                const LoopId new_id = dst_.add_loop(std::move(copy));
+                Region body;
+                for (int lane = 0; lane < factor; ++lane) {
+                    Ctx inst = ctx;
+                    inst.subst[loop.id] =
+                        Affine::var(new_id) * factor + (loop.begin + lane);
+                    Region inlined = copy_region(loop.body, inst);
+                    splice(body, std::move(inlined));
+                }
+                dst_.loop_mut(new_id).body = std::move(body);
+                out.items.push_back(RegionItem::make_loop(new_id));
+            }
+        }
+        return out;
+    }
+
+    /// Append `src` items to `dst`, merging a leading block of `src` into a
+    /// trailing block of `dst`.
+    void splice(Region& dst, Region&& src) {
+        for (RegionItem& item : src.items) {
+            if (item.kind == RegionItem::Kind::Block && !dst.items.empty() &&
+                dst.items.back().kind == RegionItem::Kind::Block) {
+                BasicBlock& into = dst_.block_mut(dst.items.back().block);
+                const BasicBlock& from = dst_.block(item.block);
+                into.ops.insert(into.ops.end(), from.ops.begin(),
+                                from.ops.end());
+                dst_.block_mut(item.block).ops.clear();
+            } else {
+                dst.items.push_back(item);
+            }
+        }
+    }
+
+    const Kernel& src_;
+    Kernel dst_;
+    int temp_counter_ = 0;
+};
+
+}  // namespace
+
+Kernel unroll_kernel(const Kernel& kernel) { return Unroller(kernel).run(); }
+
+}  // namespace slpwlo

@@ -1,0 +1,23 @@
+// Loop unrolling pass.
+//
+// Consumes the per-loop `unroll` attribute (1 = keep, 0 = full, U = by U)
+// and produces a new kernel in which unrolled body instances are merged
+// into common basic blocks — this is what exposes SLP candidates to the
+// extractor (the paper unrolls the FIR/IIR tap loops by 4 and the 3x3
+// convolution fully, Section V.C).
+//
+// Temporaries are re-created per unrolled instance to preserve single
+// assignment; user variables (accumulators) keep their identity, which
+// yields the serial accumulation chains the dependence analysis must see.
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// Apply all unroll attributes. Throws Error if a partial unroll factor does
+/// not divide the trip count (pad the loop instead, as the built-in IIR
+/// kernel does).
+Kernel unroll_kernel(const Kernel& kernel);
+
+}  // namespace slpwlo

@@ -1,0 +1,146 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+namespace {
+
+class Verifier {
+public:
+    explicit Verifier(const Kernel& kernel) : kernel_(kernel) {}
+
+    void run() {
+        check_arrays();
+        std::set<OpId> seen_ops;
+        for (const BlockId block : kernel_.blocks_in_order()) {
+            check_block(block, seen_ops);
+        }
+        check_temp_single_assignment();
+    }
+
+private:
+    void fail(const std::string& message) const {
+        throw Error("kernel `" + kernel_.name() + "` verification failed: " +
+                    message);
+    }
+
+    void check_arrays() const {
+        for (const ArrayDecl& a : kernel_.arrays()) {
+            if (a.storage == StorageClass::Param &&
+                static_cast<int>(a.values.size()) != a.size) {
+                fail("param array `" + a.name +
+                     "` value count does not match its size");
+            }
+            if (a.storage == StorageClass::Input && a.declared_range.is_empty()) {
+                fail("input array `" + a.name + "` has no declared range");
+            }
+        }
+    }
+
+    void check_index(const Op& op, BlockId block) const {
+        const auto& enclosing = kernel_.enclosing_loops(block);
+        // Every loop referenced by the index must enclose the block, and the
+        // access must stay in bounds over the full iteration space.
+        int lo = op.index.offset();
+        int hi = op.index.offset();
+        for (const auto& [loop_id, coeff] : op.index.coeffs()) {
+            if (std::find(enclosing.begin(), enclosing.end(), loop_id) ==
+                enclosing.end()) {
+                fail("op references loop L" + std::to_string(loop_id.index()) +
+                     " that does not enclose its block: " +
+                     print_op(kernel_, find_op_id(op)));
+            }
+            const Loop& loop = kernel_.loop(loop_id);
+            const int a = coeff * loop.begin;
+            const int b = coeff * (loop.end - 1);
+            lo += std::min(a, b);
+            hi += std::max(a, b);
+        }
+        const ArrayDecl& arr = kernel_.array(op.array);
+        if (lo < 0 || hi >= arr.size) {
+            fail("access to `" + arr.name + "` out of bounds: index range [" +
+                 std::to_string(lo) + ", " + std::to_string(hi) +
+                 "] vs size " + std::to_string(arr.size));
+        }
+    }
+
+    OpId find_op_id(const Op& op) const {
+        for (size_t i = 0; i < kernel_.ops().size(); ++i) {
+            if (&kernel_.ops()[i] == &op) return OpId(static_cast<int32_t>(i));
+        }
+        return OpId();
+    }
+
+    void check_block(BlockId block, std::set<OpId>& seen_ops) const {
+        for (const OpId op_id : kernel_.block(block).ops) {
+            if (!op_id.valid() ||
+                op_id.index() >= static_cast<int32_t>(kernel_.ops().size())) {
+                fail("block references an op id out of range");
+            }
+            if (!seen_ops.insert(op_id).second) {
+                fail("op o" + std::to_string(op_id.index()) +
+                     " appears in more than one block position");
+            }
+            const Op& op = kernel_.op(op_id);
+            for (int i = 0; i < op.num_args(); ++i) {
+                if (!op.args[i].valid() ||
+                    op.args[i].index() >=
+                        static_cast<int32_t>(kernel_.vars().size())) {
+                    fail("missing operand " + std::to_string(i) + " of " +
+                         print_op(kernel_, op_id));
+                }
+            }
+            if (op.kind == OpKind::Store) {
+                if (op.dest.valid()) fail("store must not define a variable");
+                const ArrayDecl& arr = kernel_.array(op.array);
+                if (arr.storage == StorageClass::Input ||
+                    arr.storage == StorageClass::Param) {
+                    fail("write to read-only array `" + arr.name + "`");
+                }
+            } else {
+                if (!op.dest.valid() ||
+                    op.dest.index() >=
+                        static_cast<int32_t>(kernel_.vars().size())) {
+                    fail("op has no destination: " + print_op(kernel_, op_id));
+                }
+            }
+            if (op.is_memory()) {
+                if (!op.array.valid() ||
+                    op.array.index() >=
+                        static_cast<int32_t>(kernel_.arrays().size())) {
+                    fail("memory op references an undeclared array");
+                }
+                check_index(op, block);
+            }
+        }
+    }
+
+    void check_temp_single_assignment() const {
+        std::vector<int> def_count(kernel_.vars().size(), 0);
+        for (const BlockId block : kernel_.blocks_in_order()) {
+            for (const OpId op_id : kernel_.block(block).ops) {
+                const Op& op = kernel_.op(op_id);
+                if (op.dest.valid()) def_count[op.dest.index()]++;
+            }
+        }
+        for (size_t v = 0; v < kernel_.vars().size(); ++v) {
+            const VarDecl& decl = kernel_.vars()[v];
+            if (decl.is_temp && def_count[v] > 1) {
+                fail("temporary `" + decl.name + "` assigned " +
+                     std::to_string(def_count[v]) + " times");
+            }
+        }
+    }
+
+    const Kernel& kernel_;
+};
+
+}  // namespace
+
+void verify_kernel(const Kernel& kernel) { Verifier(kernel).run(); }
+
+}  // namespace slpwlo

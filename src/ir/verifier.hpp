@@ -1,0 +1,22 @@
+// Structural well-formedness checks for kernels.
+//
+// verify_kernel throws slpwlo::Error describing the first problem found:
+//  - operand/dest ids out of range, missing operands for the op kind;
+//  - Store with a dest, non-Store without one;
+//  - array accesses referencing undeclared arrays, writes to read-only
+//    storage, reads of Output arrays before any write (feedback is allowed,
+//    reads-before-first-write of outputs are not checked dynamically here);
+//  - index expressions referencing loops that do not enclose the block;
+//  - statically out-of-bounds accesses over the loop iteration ranges;
+//  - Param arrays with missing values; Input arrays with empty ranges;
+//  - temps assigned more than once (single-assignment of temporaries).
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// Throws Error on the first violation; returns normally if well-formed.
+void verify_kernel(const Kernel& kernel);
+
+}  // namespace slpwlo

@@ -1,0 +1,51 @@
+#include "ir/builder.hpp"
+#include "ir/unroll.hpp"
+#include "kernels/kernels.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::kernels {
+
+std::vector<double> design_conv3x3() {
+    // Gaussian blur, exactly representable magnitudes spanning a factor 4.
+    return {1.0 / 16, 2.0 / 16, 1.0 / 16,  //
+            2.0 / 16, 4.0 / 16, 2.0 / 16,  //
+            1.0 / 16, 2.0 / 16, 1.0 / 16};
+}
+
+Kernel make_conv3x3(const ConvConfig& config) {
+    SLPWLO_CHECK(config.height >= 1 && config.width >= 1,
+                 "CONV output must be non-empty");
+    const int kh = 3;
+    const int kw = 3;
+    const int in_w = config.width + kw - 1;
+    const int in_h = config.height + kh - 1;
+
+    KernelBuilder b("conv3x3");
+    const ArrayId img = b.input("img", in_h * in_w, Interval(-1.0, 1.0));
+    const ArrayId coef = b.param("k", design_conv3x3());
+    const ArrayId out = b.output("out", config.height * config.width);
+    const VarId acc = b.user_var("acc");
+
+    const LoopId i = b.begin_loop("i", 0, config.height);
+    const LoopId j = b.begin_loop("j", 0, config.width);
+    b.set_const(acc, 0.0);
+    // Stencil loops, fully unrolled by the unroll pass (the paper: "the
+    // convolution kernel (3x3) is fully unrolled").
+    const LoopId u = b.begin_loop("u", 0, kh, /*unroll=*/0);
+    const LoopId v = b.begin_loop("v", 0, kw, /*unroll=*/0);
+    const Affine pixel =
+        (Affine::var(i) + Affine::var(u)) * in_w + Affine::var(j) +
+        Affine::var(v);
+    const Affine tap = Affine::var(u) * kw + Affine::var(v);
+    const VarId prod = b.mul(b.load(img, pixel), b.load(coef, tap));
+    b.add(acc, prod, acc);
+    b.end_loop();
+    b.end_loop();
+    b.store(out, Affine::var(i) * config.width + Affine::var(j), acc);
+    b.end_loop();
+    b.end_loop();
+
+    return unroll_kernel(b.take());
+}
+
+}  // namespace slpwlo::kernels

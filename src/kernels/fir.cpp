@@ -1,0 +1,82 @@
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::kernels {
+
+std::vector<double> design_fir_lowpass(int taps) {
+    SLPWLO_CHECK(taps >= 2, "FIR needs at least two taps");
+    std::vector<double> c(static_cast<size_t>(taps));
+    const double fc = 0.2;  // normalized cutoff
+    const double mid = (taps - 1) / 2.0;
+    for (int k = 0; k < taps; ++k) {
+        const double t = k - mid;
+        const double sinc =
+            t == 0.0 ? 2.0 * fc : std::sin(2.0 * M_PI * fc * t) / (M_PI * t);
+        const double hamming =
+            0.54 - 0.46 * std::cos(2.0 * M_PI * k / (taps - 1));
+        c[static_cast<size_t>(k)] = sinc * hamming;
+    }
+    // Unit DC gain.
+    double sum = 0.0;
+    for (const double v : c) sum += v;
+    for (double& v : c) v /= sum;
+    return c;
+}
+
+Kernel make_fir64(const FirConfig& config) {
+    SLPWLO_CHECK(config.lanes >= 1 && config.taps % config.lanes == 0,
+                 "FIR taps must be a multiple of the lane count");
+    const int taps = config.taps;
+    const int lanes = config.lanes;
+    const int n_in = config.samples + taps - 1;
+
+    KernelBuilder b("fir" + std::to_string(taps));
+    const ArrayId x = b.input("x", n_in, Interval(-1.0, 1.0));
+    const ArrayId c = b.param("c", design_fir_lowpass(taps));
+    const ArrayId y = b.output("y", config.samples);
+
+    std::vector<VarId> acc(static_cast<size_t>(lanes));
+    for (int j = 0; j < lanes; ++j) {
+        acc[static_cast<size_t>(j)] = b.user_var("acc" + std::to_string(j));
+    }
+
+    const LoopId n = b.begin_loop("n", 0, config.samples);
+    for (int j = 0; j < lanes; ++j) {
+        b.set_const(acc[static_cast<size_t>(j)], 0.0);
+    }
+    // Tap loop, manually unrolled by `lanes` with one partial accumulator
+    // per lane — the "partially unrolled by 4 to expose SLP" shape.
+    const LoopId k = b.begin_loop("k", 0, taps / lanes);
+    for (int j = 0; j < lanes; ++j) {
+        // tap index t = lanes*k + j
+        const Affine tap = Affine::var(k) * lanes + j;
+        // y[n] = sum_t c[t] * x[n + taps-1 - t]
+        const Affine sample = Affine::var(n) - tap + (taps - 1);
+        const VarId prod = b.mul(b.load(x, sample), b.load(c, tap));
+        b.add(acc[static_cast<size_t>(j)], prod, acc[static_cast<size_t>(j)]);
+    }
+    b.end_loop();
+    // Pairwise reduction of the partial accumulators.
+    VarId sum = acc[0];
+    if (lanes >= 2) {
+        std::vector<VarId> level = acc;
+        while (level.size() > 1) {
+            std::vector<VarId> next;
+            for (size_t i = 0; i + 1 < level.size(); i += 2) {
+                next.push_back(b.add(level[i], level[i + 1]));
+            }
+            if (level.size() % 2 == 1) next.push_back(level.back());
+            level = std::move(next);
+        }
+        sum = level[0];
+    }
+    b.store(y, Affine::var(n), sum);
+    b.end_loop();
+
+    return b.take();
+}
+
+}  // namespace slpwlo::kernels

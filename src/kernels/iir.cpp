@@ -1,0 +1,123 @@
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "support/diagnostics.hpp"
+#include "support/polynomial.hpp"
+
+namespace slpwlo::kernels {
+
+IirDesign design_iir(int order) {
+    SLPWLO_CHECK(order >= 2 && order % 2 == 0,
+                 "IIR design requires an even order >= 2");
+    // Conjugate pole pairs at radius r and spread angles:
+    //   (1 - 2 r cos(theta) z^-1 + r^2 z^-2) per section.
+    const double r = 0.82;
+    std::vector<std::pair<double, double>> pole_sections;
+    const int sections = order / 2;
+    for (int s = 0; s < sections; ++s) {
+        const double theta = M_PI * (0.15 + 0.12 * s);
+        pole_sections.emplace_back(-2.0 * r * std::cos(theta), r * r);
+    }
+    const Polynomial a_full = expand_biquad_sections(pole_sections);
+
+    // Zeros at z = -1 (low-pass) for every section.
+    std::vector<std::pair<double, double>> zero_sections(
+        static_cast<size_t>(sections), {2.0, 1.0});
+    Polynomial b_full = expand_biquad_sections(zero_sections);
+
+    // Scale to DC gain 0.25 to keep outputs within [-1, 1].
+    const double dc = poly_eval(b_full, 1.0) / poly_eval(a_full, 1.0);
+    for (double& v : b_full) v *= 0.25 / dc;
+
+    IirDesign design;
+    design.b = b_full;  // b[0..order]
+    design.a.assign(a_full.begin() + 1, a_full.end());  // a[1..order]
+    return design;
+}
+
+Kernel make_iir10(const IirConfig& config) {
+    SLPWLO_CHECK(config.lanes >= 1, "IIR lane count must be >= 1");
+    const int order = config.order;
+    const IirDesign design = design_iir(order);
+
+    // Pad both tap sets to a multiple of the lane count (zero coefficients),
+    // the standard embedded-DSP trick for clean unrolling.
+    const int lanes = config.lanes;
+    const int ff_taps = ((order + 1 + lanes - 1) / lanes) * lanes;  // b[0..order]
+    const int fb_taps = ((order + lanes - 1) / lanes) * lanes;      // a[1..order]
+
+    std::vector<double> b_pad(static_cast<size_t>(ff_taps), 0.0);
+    for (int t = 0; t <= order; ++t) b_pad[t] = design.b[t];
+    std::vector<double> a_pad(static_cast<size_t>(fb_taps), 0.0);
+    for (int t = 1; t <= order; ++t) a_pad[t - 1] = design.a[t - 1];
+
+    // Output is written shifted by `fb_taps` so feedback reads stay in
+    // bounds; the first fb_taps elements are the zero initial state.
+    const int y_shift = fb_taps;
+    const int x_shift = ff_taps - 1;
+
+    KernelBuilder b("iir" + std::to_string(order));
+    const ArrayId x =
+        b.input("x", config.samples + x_shift, Interval(-1.0, 1.0));
+    const ArrayId bc = b.param("b", b_pad);
+    const ArrayId ac = b.param("a", a_pad);
+    const ArrayId y = b.output("y", config.samples + y_shift);
+
+    std::vector<VarId> facc(static_cast<size_t>(lanes));
+    std::vector<VarId> racc(static_cast<size_t>(lanes));
+    for (int j = 0; j < lanes; ++j) {
+        facc[static_cast<size_t>(j)] = b.user_var("ff" + std::to_string(j));
+        racc[static_cast<size_t>(j)] = b.user_var("fb" + std::to_string(j));
+    }
+
+    const LoopId n = b.begin_loop("n", 0, config.samples);
+    for (int j = 0; j < lanes; ++j) {
+        b.set_const(facc[static_cast<size_t>(j)], 0.0);
+        b.set_const(racc[static_cast<size_t>(j)], 0.0);
+    }
+
+    // Feed-forward taps: sum_t b[t] * x[n - t], t in [0, ff_taps).
+    const LoopId k = b.begin_loop("k", 0, ff_taps / lanes);
+    for (int j = 0; j < lanes; ++j) {
+        const Affine tap = Affine::var(k) * lanes + j;
+        const Affine sample = Affine::var(n) - tap + x_shift;
+        const VarId prod = b.mul(b.load(x, sample), b.load(bc, tap));
+        b.add(facc[static_cast<size_t>(j)], prod,
+              facc[static_cast<size_t>(j)]);
+    }
+    b.end_loop();
+
+    // Feedback taps: sum_t a[t] * y[n - t], t in [1, fb_taps].
+    const LoopId m = b.begin_loop("m", 0, fb_taps / lanes);
+    for (int j = 0; j < lanes; ++j) {
+        const Affine tap = Affine::var(m) * lanes + j;  // tap index t-1
+        const Affine sample = Affine::var(n) - tap + (y_shift - 1);
+        const VarId prod = b.mul(b.load(y, sample), b.load(ac, tap));
+        b.add(racc[static_cast<size_t>(j)], prod,
+              racc[static_cast<size_t>(j)]);
+    }
+    b.end_loop();
+
+    // y[n] = ff - fb, with pairwise lane reduction.
+    auto reduce = [&](std::vector<VarId> level) {
+        while (level.size() > 1) {
+            std::vector<VarId> next;
+            for (size_t i = 0; i + 1 < level.size(); i += 2) {
+                next.push_back(b.add(level[i], level[i + 1]));
+            }
+            if (level.size() % 2 == 1) next.push_back(level.back());
+            level = std::move(next);
+        }
+        return level[0];
+    };
+    const VarId ff_sum = reduce(facc);
+    const VarId fb_sum = reduce(racc);
+    const VarId out = b.sub(ff_sum, fb_sum);
+    b.store(y, Affine::var(n) + y_shift, out);
+    b.end_loop();
+
+    return b.take();
+}
+
+}  // namespace slpwlo::kernels

@@ -1,0 +1,74 @@
+// Built-in benchmark kernels: the three workloads of the paper's evaluation
+// (Section V.C), plus their filter designers.
+//
+//  * FIR-64: 64-tap low-pass FIR, inner tap loop unrolled by 4 with four
+//    partial accumulators (the unrolling the paper applies "to expose SLP");
+//  * IIR-10: 10th-order direct-form-I IIR (stable pole-placed design), both
+//    tap loops zero-padded to 12 and unrolled by 4;
+//  * CONV-3x3: 2-D 3x3 image convolution, fully unrolled stencil.
+//
+// Inputs are declared in [-1, 1] as in the paper ("the input samples are
+// pre-normalized to [-1,1]").
+#pragma once
+
+#include <vector>
+
+#include "fixpoint/range_analysis.hpp"
+#include "ir/kernel.hpp"
+
+namespace slpwlo::kernels {
+
+struct FirConfig {
+    int taps = 64;
+    int samples = 512;
+    int lanes = 4;  ///< unroll factor / number of partial accumulators
+};
+
+struct IirConfig {
+    int order = 10;   ///< filter order (padded to a multiple of `lanes`)
+    int samples = 512;
+    int lanes = 4;
+};
+
+struct ConvConfig {
+    int height = 16;  ///< output height
+    int width = 16;   ///< output width
+};
+
+/// Windowed-sinc low-pass FIR coefficients (Hamming window, fc = 0.2).
+/// Magnitudes vary by orders of magnitude across taps, which is what makes
+/// per-node IWLs heterogeneous.
+std::vector<double> design_fir_lowpass(int taps);
+
+/// Stable 10th-order IIR: cascade of `order/2` conjugate pole pairs at
+/// radius 0.82 expanded to direct-form denominator `a` (a[0] = 1 implicit,
+/// returns a[1..order]) and numerator `b` (returns b[0..order]), scaled to
+/// unit DC gain times 0.25 to keep the output within [-1, 1].
+struct IirDesign {
+    std::vector<double> b;  ///< feed-forward taps b[0..order]
+    std::vector<double> a;  ///< feedback taps a[1..order]
+};
+IirDesign design_iir(int order);
+
+/// 3x3 Gaussian blur kernel {1,2,1;2,4,2;1,2,1}/16, row-major.
+std::vector<double> design_conv3x3();
+
+Kernel make_fir64(const FirConfig& config = {});
+Kernel make_iir10(const IirConfig& config = {});
+Kernel make_conv3x3(const ConvConfig& config = {});
+
+/// A benchmark entry: the kernel plus the range-analysis options the flow
+/// should use for it (the recursive IIR needs simulation-based ranges).
+struct BenchmarkKernel {
+    std::string name;
+    Kernel kernel;
+    RangeOptions range_options;
+};
+
+/// Names of the paper's benchmarks: "FIR", "IIR", "CONV".
+const std::vector<std::string>& benchmark_kernel_names();
+
+/// Construct a benchmark by name (throws Error for unknown names).
+BenchmarkKernel make_benchmark_kernel(const std::string& name);
+
+}  // namespace slpwlo::kernels

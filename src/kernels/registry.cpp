@@ -1,0 +1,31 @@
+#include "kernels/kernels.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::kernels {
+
+const std::vector<std::string>& benchmark_kernel_names() {
+    static const std::vector<std::string> names{"FIR", "IIR", "CONV"};
+    return names;
+}
+
+BenchmarkKernel make_benchmark_kernel(const std::string& name) {
+    RangeOptions range_options;
+    if (name == "FIR") {
+        range_options.method = RangeMethod::Interval;
+        return BenchmarkKernel{name, make_fir64(), range_options};
+    }
+    if (name == "IIR") {
+        // Interval iteration diverges through the feedback taps; use
+        // simulated ranges with a safety margin (DESIGN.md section 4).
+        range_options.method = RangeMethod::Simulation;
+        return BenchmarkKernel{name, make_iir10(), range_options};
+    }
+    if (name == "CONV") {
+        range_options.method = RangeMethod::Interval;
+        return BenchmarkKernel{name, make_conv3x3(), range_options};
+    }
+    throw Error("unknown benchmark kernel `" + name +
+                "`; known: FIR, IIR, CONV");
+}
+
+}  // namespace slpwlo::kernels

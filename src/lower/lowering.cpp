@@ -1,0 +1,929 @@
+#include "lower/lowering.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ir/dependence.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+std::string to_string(LowerMode mode) {
+    switch (mode) {
+        case LowerMode::FixedScalar: return "fixed-scalar";
+        case LowerMode::FixedSimd: return "fixed-simd";
+        case LowerMode::Float: return "float";
+    }
+    return "<invalid-mode>";
+}
+
+namespace {
+
+/// Where a kernel value currently lives at machine level.
+struct ValueLoc {
+    int producer = -1;  ///< machine op index (-1: constant / live-in)
+    int group = -1;     ///< owning group if the value sits in a vector lane
+    int lane = 0;
+};
+
+class BlockLowering {
+public:
+    BlockLowering(const Kernel& kernel, const FixedPointSpec* spec,
+                  const std::vector<SimdGroup>& groups,
+                  const TargetModel& target, LowerMode mode, BlockId block)
+        : kernel_(kernel),
+          spec_(spec),
+          groups_(groups),
+          target_(target),
+          mode_(mode),
+          block_(block) {}
+
+    MachineBlock run() {
+        index_groups();
+        for (const int unit : block_unit_order(kernel_, block_, groups_)) {
+            if (unit >= 0) {
+                lower_scalar(kernel_.block(block_).ops[static_cast<size_t>(
+                    unit)]);
+            } else {
+                lower_group(-unit - 1);
+            }
+        }
+        add_loop_carried();
+        fill_structure();
+        return std::move(out_);
+    }
+
+private:
+    // --- bookkeeping ---------------------------------------------------------
+
+    void index_groups() {
+        const auto& ops = kernel_.block(block_).ops;
+        for (size_t pos = 0; pos < ops.size(); ++pos) {
+            position_[ops[pos]] = static_cast<int>(pos);
+        }
+        group_emit_pos_.assign(groups_.size(), -1);
+        if (mode_ != LowerMode::FixedSimd) return;
+        for (size_t g = 0; g < groups_.size(); ++g) {
+            for (size_t lane = 0; lane < groups_[g].lanes.size(); ++lane) {
+                const OpId op = groups_[g].lanes[lane];
+                group_of_[op] = static_cast<int>(g);
+                lane_of_[op] = static_cast<int>(lane);
+                group_emit_pos_[g] =
+                    std::max(group_emit_pos_[g], position_.at(op));
+            }
+        }
+    }
+
+    int group_of(OpId op) const {
+        const auto it = group_of_.find(op);
+        return it == group_of_.end() ? -1 : it->second;
+    }
+
+    int emit(MachOp op) {
+        out_.ops.push_back(std::move(op));
+        return static_cast<int>(out_.ops.size()) - 1;
+    }
+
+    void add_pred(MachOp& op, int pred) {
+        if (pred >= 0) op.preds.push_back(pred);
+    }
+
+    int result_wl(OpId op) const {
+        if (mode_ == LowerMode::Float || spec_ == nullptr) {
+            return target_.native_wl;
+        }
+        return target_.storage_wl_for(spec_->result_format(op).wl());
+    }
+
+    int result_fwl(OpId op) const { return spec_->result_format(op).fwl; }
+
+    /// FWL of the value read through `op`'s argument `arg` (the defining
+    /// node's format; live-ins default to the variable's own node).
+    int operand_fwl(OpId op, int arg) const {
+        const OpId def = def_of(op, arg);
+        if (def.valid()) return result_fwl(def);
+        return spec_->var_format(kernel_.op(op).args[arg]).fwl;
+    }
+
+    OpId def_of(OpId op, int arg) const {
+        const auto it = defs_.find({op, arg});
+        return it == defs_.end() ? OpId() : it->second;
+    }
+
+    // --- memory dependences ----------------------------------------------------
+
+    struct MemAccess {
+        int mach = 0;
+        bool is_store = false;
+        std::vector<Affine> indices;
+    };
+
+    void mem_deps(MachOp& op, ArrayId array, bool is_store,
+                  const std::vector<Affine>& indices) {
+        for (const MemAccess& prev : mem_[array]) {
+            if (!is_store && !prev.is_store) continue;
+            bool alias = false;
+            for (const Affine& a : indices) {
+                for (const Affine& b : prev.indices) {
+                    if (may_alias(a, b)) alias = true;
+                }
+            }
+            if (alias) add_pred(op, prev.mach);
+        }
+    }
+
+    void record_mem(int mach, ArrayId array, bool is_store,
+                    std::vector<Affine> indices) {
+        mem_[array].push_back(MemAccess{mach, is_store, std::move(indices)});
+    }
+
+    // --- scalar lowering -----------------------------------------------------------
+
+    /// Machine index of the scalar value of variable read by (op, arg),
+    /// inserting an Extract when the value lives in a vector lane.
+    int scalar_operand(OpId op, int arg) {
+        const VarId var = kernel_.op(op).args[arg];
+        const auto it = values_.find(var);
+        if (it == values_.end()) return -1;  // live-in or constant
+        ValueLoc& loc = it->second;
+        if (loc.group >= 0) {
+            // Extract the lane to a scalar register (cached).
+            const auto cached = extracted_.find(var);
+            if (cached != extracted_.end()) return cached->second;
+            MachOp ex;
+            ex.kind = MachKind::Extract;
+            ex.wl = target_.native_wl;
+            ex.why = "lane-to-scalar";
+            add_pred(ex, loc.producer);
+            int idx = -1;
+            for (int i = 0; i < target_.extract_ops; ++i) {
+                idx = emit(ex);
+                ex.preds = {idx};
+            }
+            extracted_[var] = idx;
+            return idx;
+        }
+        return loc.producer;
+    }
+
+    /// Emit a scaling shift of `amount` (nonzero) on top of `source`.
+    int emit_shift(int source, int amount, int lanes, int wl,
+                   const char* why) {
+        MachOp sh;
+        sh.kind = MachKind::Shift;
+        sh.lanes = lanes;
+        sh.wl = wl;
+        sh.shift_amount = std::abs(amount);
+        sh.why = why;
+        add_pred(sh, source);
+        return emit(sh);
+    }
+
+    /// Scalar value of (op, arg) aligned to fwl `target_fwl`.
+    int aligned_scalar_operand(OpId op, int arg, int target_fwl, int wl) {
+        int idx = scalar_operand(op, arg);
+        const int amount = operand_fwl(op, arg) - target_fwl;
+        if (amount != 0) {
+            idx = emit_shift(idx, amount, 1, wl, "align");
+        }
+        return idx;
+    }
+
+    void lower_scalar(OpId op_id) {
+        const Op& op = kernel_.op(op_id);
+        switch (op.kind) {
+            case OpKind::Const:
+                // Immediates are free; the value has no machine producer.
+                values_[op.dest] = ValueLoc{};
+                main_mach_[op_id] = -1;
+                break;
+            case OpKind::Copy: {
+                MachOp m;
+                m.kind = MachKind::Alu;
+                m.wl = result_wl(op_id);
+                m.why = "copy";
+                add_pred(m, scalar_operand(op_id, 0));
+                const int idx = emit(m);
+                set_scalar_result(op_id, idx);
+                break;
+            }
+            case OpKind::Load: {
+                MachOp m;
+                m.kind = MachKind::Load;
+                m.wl = result_wl(op_id);
+                m.array = op.array;
+                m.index = op.index;
+                mem_deps(m, op.array, false, {op.index});
+                const int idx = emit(m);
+                record_mem(idx, op.array, false, {op.index});
+                set_scalar_result(op_id, idx);
+                break;
+            }
+            case OpKind::Store: {
+                int value;
+                if (mode_ == LowerMode::Float) {
+                    value = scalar_operand(op_id, 0);
+                } else {
+                    value = aligned_scalar_operand(
+                        op_id, 0, spec_->array_format(op.array).fwl,
+                        result_wl(op_id));
+                }
+                MachOp m;
+                m.kind = MachKind::Store;
+                m.wl = result_wl(op_id);
+                m.array = op.array;
+                m.index = op.index;
+                add_pred(m, value);
+                mem_deps(m, op.array, true, {op.index});
+                const int idx = emit(m);
+                record_mem(idx, op.array, true, {op.index});
+                main_mach_[op_id] = idx;
+                break;
+            }
+            case OpKind::Add:
+            case OpKind::Sub:
+            case OpKind::Neg: {
+                if (mode_ == LowerMode::Float) {
+                    lower_float_arith(op_id, /*is_mul=*/false);
+                    break;
+                }
+                MachOp m;
+                m.kind = MachKind::Alu;
+                m.wl = result_wl(op_id);
+                const int fr = result_fwl(op_id);
+                for (int a = 0; a < op.num_args(); ++a) {
+                    add_pred(m, aligned_scalar_operand(op_id, a, fr, m.wl));
+                }
+                const int idx = emit(m);
+                set_scalar_result(op_id, idx);
+                break;
+            }
+            case OpKind::Mul:
+            case OpKind::Div: {
+                if (mode_ == LowerMode::Float) {
+                    lower_float_arith(op_id, /*is_mul=*/true);
+                    break;
+                }
+                MachOp m;
+                m.kind = MachKind::Mul;
+                m.wl = result_wl(op_id);
+                add_pred(m, scalar_operand(op_id, 0));
+                add_pred(m, scalar_operand(op_id, 1));
+                int idx = emit(m);
+                // Product quantization back to the result format.
+                const int amount = operand_fwl_sum(op_id) - result_fwl(op_id);
+                if (op.kind == OpKind::Mul && amount != 0) {
+                    idx = emit_shift(idx, amount, 1, m.wl, "mul-quant");
+                }
+                set_scalar_result(op_id, idx);
+                break;
+            }
+        }
+    }
+
+    int operand_fwl_sum(OpId op_id) const {
+        return operand_fwl(op_id, 0) + operand_fwl(op_id, 1);
+    }
+
+    void lower_float_arith(OpId op_id, bool is_mul) {
+        const Op& op = kernel_.op(op_id);
+        MachOp m;
+        if (target_.fp.hardware) {
+            m.kind = is_mul ? MachKind::Mul : MachKind::FloatOp;
+            if (is_mul) m.kind = MachKind::FloatOp;
+        } else {
+            m.kind = MachKind::SoftFloat;
+            m.soft_cycles = op.kind == OpKind::Div ? target_.fp.div_cycles
+                            : is_mul               ? target_.fp.mul_cycles
+                                                   : target_.fp.add_cycles;
+        }
+        m.wl = target_.native_wl;
+        for (int a = 0; a < op.num_args(); ++a) {
+            add_pred(m, scalar_operand(op_id, a));
+        }
+        set_scalar_result(op_id, emit(m));
+    }
+
+    void set_scalar_result(OpId op_id, int mach) {
+        const Op& op = kernel_.op(op_id);
+        values_[op.dest] = ValueLoc{mach, -1, 0};
+        extracted_.erase(op.dest);
+        main_mach_[op_id] = mach;
+        record_defs(op_id);
+    }
+
+    /// Record which op defines each later operand (for fwl queries).
+    void record_defs(OpId op_id) {
+        const Op& op = kernel_.op(op_id);
+        if (op.dest.valid()) last_def_[op.dest] = op_id;
+    }
+
+    // --- group lowering -----------------------------------------------------------
+
+    /// Scaling amounts of operand `slot` of each lane, relative to the
+    /// lane's result fwl (add/sub alignment). Empty when not applicable.
+    std::vector<int> lane_align_amounts(const SimdGroup& group, int slot) {
+        std::vector<int> amounts;
+        amounts.reserve(group.lanes.size());
+        for (const OpId lane : group.lanes) {
+            amounts.push_back(operand_fwl(lane, slot) - result_fwl(lane));
+        }
+        return amounts;
+    }
+
+    /// True when operand `slot` of every lane reads the lane's own
+    /// destination variable (acc = acc + p): the operand superword is the
+    /// group's own result of the previous iteration and lives in a vector
+    /// register — no packing, no machine dependence within the iteration.
+    bool self_accumulation(const SimdGroup& group, int slot) const {
+        for (const OpId lane : group.lanes) {
+            const Op& op = kernel_.op(lane);
+            if (!op.dest.valid() || op.args[slot] != op.dest) return false;
+            if (def_of(lane, slot).valid()) return false;  // defined in-block
+        }
+        return true;
+    }
+
+    /// Produce the operand superword for `slot` of `group`, including the
+    /// required scalings. Returns the machine index of the vector.
+    int vector_operand(const SimdGroup& group, int slot, int wl,
+                       const std::vector<int>& amounts) {
+        if (self_accumulation(group, slot)) {
+            return -1;  // loop-carried vector register, already in place
+        }
+        const bool uniform = std::all_of(
+            amounts.begin(), amounts.end(),
+            [&](int a) { return a == amounts[0]; });
+
+        // Is the operand produced lane-exactly by another lowered group —
+        // directly, or in reverse lane order (one vector permute)?
+        std::vector<OpId> defs;
+        bool have_defs = true;
+        for (const OpId lane : group.lanes) {
+            const OpId def = def_of(lane, slot);
+            if (!def.valid()) {
+                have_defs = false;
+                break;
+            }
+            defs.push_back(def);
+        }
+        int producer_group = -1;
+        bool reversed = false;
+        if (have_defs) {
+            const std::vector<OpId> defs_reversed(defs.rbegin(), defs.rend());
+            for (size_t g = 0; g < groups_.size(); ++g) {
+                if (groups_[g].lanes == defs) {
+                    producer_group = static_cast<int>(g);
+                    break;
+                }
+                if (groups_[g].lanes == defs_reversed) {
+                    producer_group = static_cast<int>(g);
+                    reversed = true;
+                    break;
+                }
+            }
+        }
+
+        const int w = static_cast<int>(group.lanes.size());
+        if (producer_group >= 0 &&
+            group_vector_.count(producer_group) != 0) {
+            int vec = group_vector_.at(producer_group);
+            if (reversed) {
+                MachOp perm;
+                perm.kind = MachKind::Pack;
+                perm.lanes = w;
+                perm.wl = wl;
+                perm.why = "permute";
+                add_pred(perm, vec);
+                vec = emit(perm);
+            }
+            // Element-width conversion between producer and consumer
+            // vectors (e.g. an 8-bit loaded vector feeding 16-bit lanes).
+            int producer_wl = 0;
+            for (const OpId def : defs) {
+                producer_wl = std::max(producer_wl, result_wl(def));
+            }
+            if (producer_wl != wl) {
+                MachOp cvt;
+                cvt.kind = MachKind::Pack;
+                cvt.lanes = w;
+                cvt.wl = wl;
+                cvt.why = "lane-convert";
+                add_pred(cvt, vec);
+                vec = emit(cvt);
+            }
+            if (uniform) {
+                if (amounts[0] == 0) return vec;  // direct superword reuse
+                return emit_shift(vec, amounts[0], w, wl, "align-vshift");
+            }
+            // Fig. 2 right side: unequal scalings break the reuse chain —
+            // unpack, shift each lane, repack.
+            std::vector<int> lanes_scalar;
+            for (int lane = 0; lane < w; ++lane) {
+                MachOp ex;
+                ex.kind = MachKind::Extract;
+                ex.wl = wl;
+                ex.why = "scaling-unpack";
+                add_pred(ex, vec);
+                int idx = emit(ex);
+                if (amounts[static_cast<size_t>(lane)] != 0) {
+                    idx = emit_shift(idx, amounts[static_cast<size_t>(lane)],
+                                     1, wl, "lane-shift");
+                }
+                lanes_scalar.push_back(idx);
+            }
+            return emit_pack(lanes_scalar, wl, "scaling-repack");
+        }
+
+        // Assemble from scalars (aligning each lane as needed).
+        std::vector<int> lanes_scalar;
+        for (size_t lane = 0; lane < group.lanes.size(); ++lane) {
+            int idx = scalar_operand(group.lanes[lane], slot);
+            const int amount = amounts[lane];
+            if (amount != 0) idx = emit_shift(idx, amount, 1, wl, "align");
+            lanes_scalar.push_back(idx);
+        }
+        // Splat of one live-in value still needs one pack op.
+        const bool splat =
+            !have_defs &&
+            std::all_of(group.lanes.begin(), group.lanes.end(),
+                        [&](OpId lane) {
+                            return kernel_.op(lane).args[slot] ==
+                                   kernel_.op(group.lanes.front()).args[slot];
+                        }) &&
+            std::all_of(amounts.begin(), amounts.end(),
+                        [](int a) { return a == 0; });
+        if (splat) {
+            MachOp pk;
+            pk.kind = MachKind::Pack;
+            pk.lanes = w;
+            pk.wl = wl;
+            pk.why = "splat";
+            add_pred(pk, lanes_scalar.front());
+            return emit(pk);
+        }
+        return emit_pack(lanes_scalar, wl, "lane-pack");
+    }
+
+    /// (w-1) * pack2_ops pack operations assembling scalars into a vector.
+    int emit_pack(const std::vector<int>& lanes_scalar, int wl,
+                  const char* why) {
+        const int w = static_cast<int>(lanes_scalar.size());
+        int last = -1;
+        for (int step = 0; step < (w - 1) * target_.pack2_ops; ++step) {
+            MachOp pk;
+            pk.kind = MachKind::Pack;
+            pk.lanes = w;
+            pk.wl = wl;
+            pk.why = why;
+            if (step == 0) {
+                for (const int lane : lanes_scalar) add_pred(pk, lane);
+            } else {
+                add_pred(pk, last);
+            }
+            last = emit(pk);
+        }
+        if (last < 0) {
+            // Single-lane "vector": nothing to pack.
+            return lanes_scalar.front();
+        }
+        return last;
+    }
+
+    std::vector<Affine> lane_indices(const SimdGroup& group) const {
+        std::vector<Affine> indices;
+        for (const OpId lane : group.lanes) {
+            indices.push_back(kernel_.op(lane).index);
+        }
+        return indices;
+    }
+
+    bool adjacent(const std::vector<Affine>& indices) const {
+        for (size_t i = 1; i < indices.size(); ++i) {
+            const auto diff =
+                indices[i].constant_difference(indices[i - 1]);
+            if (!diff.has_value() || *diff != 1) return false;
+        }
+        return true;
+    }
+
+    void lower_group(int g) {
+        const SimdGroup& group = groups_[static_cast<size_t>(g)];
+        const int w = group.width();
+        const OpKind kind = kernel_.op(group.lanes.front()).kind;
+        int wl = 0;
+        for (const OpId lane : group.lanes) {
+            wl = std::max(wl, result_wl(lane));
+        }
+
+        switch (kind) {
+            case OpKind::Load: {
+                const std::vector<Affine> indices = lane_indices(group);
+                int idx;
+                if (adjacent(indices)) {
+                    MachOp m;
+                    m.kind = MachKind::Load;
+                    m.lanes = w;
+                    m.wl = wl;
+                    m.array = kernel_.op(group.lanes.front()).array;
+                    m.index = indices.front();
+                    mem_deps(m, m.array, false, indices);
+                    idx = emit(m);
+                    record_mem(idx, m.array, false, indices);
+                } else {
+                    // Gather: scalar loads + pack.
+                    std::vector<int> lanes_scalar;
+                    for (const OpId lane : group.lanes) {
+                        const Op& lop = kernel_.op(lane);
+                        MachOp m;
+                        m.kind = MachKind::Load;
+                        m.wl = wl;
+                        m.array = lop.array;
+                        m.index = lop.index;
+                        mem_deps(m, lop.array, false, {lop.index});
+                        const int li = emit(m);
+                        record_mem(li, lop.array, false, {lop.index});
+                        lanes_scalar.push_back(li);
+                    }
+                    idx = emit_pack(lanes_scalar, wl, "gather-pack");
+                }
+                register_group_result(g, idx);
+                break;
+            }
+            case OpKind::Store: {
+                // Per-lane narrowing amounts to each lane's array format.
+                std::vector<int> amounts;
+                const int f_arr =
+                    spec_->array_format(kernel_.op(group.lanes.front()).array)
+                        .fwl;
+                for (const OpId lane : group.lanes) {
+                    amounts.push_back(operand_fwl(lane, 0) - f_arr);
+                }
+                const int value = vector_operand(group, 0, wl, amounts);
+                const std::vector<Affine> indices = lane_indices(group);
+                if (adjacent(indices)) {
+                    MachOp m;
+                    m.kind = MachKind::Store;
+                    m.lanes = w;
+                    m.wl = wl;
+                    m.array = kernel_.op(group.lanes.front()).array;
+                    m.index = indices.front();
+                    add_pred(m, value);
+                    mem_deps(m, m.array, true, indices);
+                    const int idx = emit(m);
+                    record_mem(idx, m.array, true, indices);
+                    for (const OpId lane : group.lanes) {
+                        main_mach_[lane] = idx;
+                    }
+                } else {
+                    // Scatter: extract lanes + scalar stores.
+                    for (int lane = 0; lane < w; ++lane) {
+                        MachOp ex;
+                        ex.kind = MachKind::Extract;
+                        ex.wl = wl;
+                        ex.why = "scatter-unpack";
+                        add_pred(ex, value);
+                        const int s = emit(ex);
+                        const Op& lop = kernel_.op(group.lanes[lane]);
+                        MachOp m;
+                        m.kind = MachKind::Store;
+                        m.wl = wl;
+                        m.array = lop.array;
+                        m.index = lop.index;
+                        add_pred(m, s);
+                        mem_deps(m, lop.array, true, {lop.index});
+                        const int idx = emit(m);
+                        record_mem(idx, lop.array, true, {lop.index});
+                        main_mach_[group.lanes[lane]] = idx;
+                    }
+                }
+                for (const OpId lane : group.lanes) record_defs(lane);
+                break;
+            }
+            case OpKind::Add:
+            case OpKind::Sub:
+            case OpKind::Neg: {
+                MachOp m;
+                m.kind = MachKind::Alu;
+                m.lanes = w;
+                m.wl = wl;
+                const int nargs = kernel_.op(group.lanes.front()).num_args();
+                for (int slot = 0; slot < nargs; ++slot) {
+                    add_pred(m, vector_operand(group, slot, wl,
+                                               lane_align_amounts(group, slot)));
+                }
+                register_group_result(g, emit(m));
+                break;
+            }
+            case OpKind::Mul: {
+                MachOp m;
+                m.kind = MachKind::Mul;
+                m.lanes = w;
+                m.wl = wl;
+                const std::vector<int> zero(static_cast<size_t>(w), 0);
+                add_pred(m, vector_operand(group, 0, wl, zero));
+                add_pred(m, vector_operand(group, 1, wl, zero));
+                int idx = emit(m);
+                // Product quantization per lane.
+                std::vector<int> amounts;
+                for (const OpId lane : group.lanes) {
+                    amounts.push_back(operand_fwl_sum(lane) -
+                                      result_fwl(lane));
+                }
+                const bool uniform = std::all_of(
+                    amounts.begin(), amounts.end(),
+                    [&](int a) { return a == amounts[0]; });
+                if (uniform) {
+                    if (amounts[0] != 0) {
+                        idx = emit_shift(idx, amounts[0], w, wl, "mulq-vshift");
+                    }
+                } else {
+                    std::vector<int> lanes_scalar;
+                    for (int lane = 0; lane < w; ++lane) {
+                        MachOp ex;
+                        ex.kind = MachKind::Extract;
+                        ex.wl = wl;
+                        ex.why = "mulq-unpack";
+                        add_pred(ex, idx);
+                        int s = emit(ex);
+                        if (amounts[static_cast<size_t>(lane)] != 0) {
+                            s = emit_shift(s,
+                                           amounts[static_cast<size_t>(lane)],
+                                           1, wl, "mulq-lane-shift");
+                        }
+                        lanes_scalar.push_back(s);
+                    }
+                    idx = emit_pack(lanes_scalar, wl, "mulq-repack");
+                }
+                register_group_result(g, idx);
+                break;
+            }
+            default:
+                throw InternalError("unloweable group kind " +
+                                    to_string(kind));
+        }
+    }
+
+    void register_group_result(int g, int mach) {
+        group_vector_[g] = mach;
+        const SimdGroup& group = groups_[static_cast<size_t>(g)];
+        for (size_t lane = 0; lane < group.lanes.size(); ++lane) {
+            const OpId lane_op = group.lanes[lane];
+            const Op& op = kernel_.op(lane_op);
+            if (op.dest.valid()) {
+                values_[op.dest] =
+                    ValueLoc{mach, g, static_cast<int>(lane)};
+                extracted_.erase(op.dest);
+            }
+            main_mach_[lane_op] = mach;
+            record_defs(lane_op);
+        }
+    }
+
+    // --- loop-carried recurrences ------------------------------------------------
+
+    void add_loop_carried() {
+        const auto& chain = kernel_.enclosing_loops(block_);
+        if (chain.empty()) return;
+        const LoopId loop = chain.back();
+
+        // Memory recurrences: stores feeding loads of later iterations.
+        for (const auto& [array, accesses] : mem_) {
+            (void)array;
+            for (const MemAccess& load : accesses) {
+                if (load.is_store) continue;
+                for (const MemAccess& store : accesses) {
+                    if (!store.is_store) continue;
+                    for (const Affine& si : store.indices) {
+                        for (const Affine& li : load.indices) {
+                            const auto d =
+                                loop_carried_distance(si, li, loop);
+                            if (d.has_value()) {
+                                out_.recurrences.push_back(Recurrence{
+                                    load.mach, store.mach, *d});
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scalar recurrences through loop-carried user variables: the last
+        // in-block definition feeds the first read of the next iteration.
+        const auto& ops = kernel_.block(block_).ops;
+        std::map<VarId, OpId> first_read_before_def;
+        std::map<VarId, OpId> last_def;
+        std::map<VarId, bool> defined;
+        for (const OpId op_id : ops) {
+            const Op& op = kernel_.op(op_id);
+            for (int a = 0; a < op.num_args(); ++a) {
+                const VarId v = op.args[a];
+                if (!defined[v] && first_read_before_def.count(v) == 0 &&
+                    !kernel_.var(v).is_temp) {
+                    first_read_before_def[v] = op_id;
+                }
+            }
+            if (op.dest.valid()) {
+                defined[op.dest] = true;
+                last_def[op.dest] = op_id;
+            }
+        }
+        for (const auto& [var, reader] : first_read_before_def) {
+            const auto def = last_def.find(var);
+            if (def == last_def.end()) continue;
+            const int from = main_mach_.count(reader) ? main_mach_.at(reader) : -1;
+            const int to = main_mach_.count(def->second)
+                               ? main_mach_.at(def->second)
+                               : -1;
+            if (from >= 0 && to >= 0 && from <= to) {
+                out_.recurrences.push_back(Recurrence{from, to, 1});
+            }
+        }
+    }
+
+    void fill_structure() {
+        const auto& chain = kernel_.enclosing_loops(block_);
+        out_.frequency = kernel_.block_frequency(block_);
+        if (chain.empty()) {
+            out_.innermost_trip = 1;
+            out_.entries = 1;
+        } else {
+            out_.innermost = chain.back();
+            out_.innermost_trip = kernel_.loop(chain.back()).trip_count();
+            out_.entries = out_.frequency / out_.innermost_trip;
+        }
+    }
+
+    const Kernel& kernel_;
+    const FixedPointSpec* spec_;
+    const std::vector<SimdGroup>& groups_;
+    const TargetModel& target_;
+    LowerMode mode_;
+    BlockId block_;
+
+    MachineBlock out_;
+    std::map<OpId, int> position_;
+    std::map<OpId, int> group_of_;
+    std::map<OpId, int> lane_of_;
+    std::vector<int> group_emit_pos_;
+    std::map<int, int> group_vector_;
+    std::map<VarId, ValueLoc> values_;
+    std::map<VarId, int> extracted_;
+    std::map<OpId, int> main_mach_;
+    std::map<VarId, OpId> last_def_;
+    std::map<std::pair<OpId, int>, OpId> defs_;
+    std::map<ArrayId, std::vector<MemAccess>> mem_;
+
+public:
+    /// Pre-pass: record in-block defining ops for operand-format queries.
+    void compute_defs() {
+        std::map<VarId, OpId> def;
+        for (const OpId op_id : kernel_.block(block_).ops) {
+            const Op& op = kernel_.op(op_id);
+            for (int a = 0; a < op.num_args(); ++a) {
+                const auto it = def.find(op.args[a]);
+                if (it != def.end()) defs_[{op_id, a}] = it->second;
+            }
+            if (op.dest.valid()) def[op.dest] = op_id;
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<int> block_unit_order(const Kernel& kernel, BlockId block,
+                                  const std::vector<SimdGroup>& groups) {
+    const auto& ops = kernel.block(block).ops;
+    const int n = static_cast<int>(ops.size());
+
+    // Unit id per position: scalar units use their position, group lanes
+    // map to the group unit.
+    std::map<OpId, int> group_of;
+    for (size_t g = 0; g < groups.size(); ++g) {
+        for (const OpId op : groups[g].lanes) {
+            group_of[op] = static_cast<int>(g);
+        }
+    }
+    auto unit_of_pos = [&](int pos) {
+        const auto it = group_of.find(ops[static_cast<size_t>(pos)]);
+        return it == group_of.end() ? pos : -it->second - 1;
+    };
+
+    // Anchor (earliest lane position) per unit for tie-breaking.
+    std::map<int, int> anchor;
+    for (int pos = 0; pos < n; ++pos) {
+        const int unit = unit_of_pos(pos);
+        if (anchor.count(unit) == 0) anchor[unit] = pos;
+    }
+
+    // Unit-level edges: scalar def-use plus memory ordering.
+    std::map<int, std::set<int>> succs;
+    std::map<int, int> in_degree;
+    for (const auto& [unit, a] : anchor) {
+        (void)a;
+        in_degree[unit] = 0;
+    }
+    auto add_edge = [&](int from, int to) {
+        if (from == to) return;
+        if (succs[from].insert(to).second) in_degree[to]++;
+    };
+
+    std::map<VarId, int> def_pos;
+    struct Access {
+        int pos;
+        bool is_store;
+        Affine index;
+    };
+    std::map<ArrayId, std::vector<Access>> accesses;
+    for (int pos = 0; pos < n; ++pos) {
+        const Op& op = kernel.op(ops[static_cast<size_t>(pos)]);
+        const int unit = unit_of_pos(pos);
+        for (int a = 0; a < op.num_args(); ++a) {
+            const auto it = def_pos.find(op.args[a]);
+            if (it != def_pos.end()) {
+                add_edge(unit_of_pos(it->second), unit);
+            }
+        }
+        if (op.dest.valid()) def_pos[op.dest] = pos;
+        if (op.is_memory()) {
+            auto& list = accesses[op.array];
+            const bool is_store = op.kind == OpKind::Store;
+            for (const Access& prev : list) {
+                if (!is_store && !prev.is_store) continue;
+                if (may_alias(op.index, prev.index)) {
+                    add_edge(unit_of_pos(prev.pos), unit);
+                }
+            }
+            list.push_back(Access{pos, is_store, op.index});
+        }
+    }
+
+    // Kahn's algorithm, smallest anchor first (deterministic).
+    std::vector<int> order;
+    std::set<std::pair<int, int>> ready;  // (anchor, unit)
+    for (const auto& [unit, degree] : in_degree) {
+        if (degree == 0) ready.insert({anchor[unit], unit});
+    }
+    while (!ready.empty()) {
+        const auto [a, unit] = *ready.begin();
+        (void)a;
+        ready.erase(ready.begin());
+        order.push_back(unit);
+        for (const int next : succs[unit]) {
+            if (--in_degree[next] == 0) {
+                ready.insert({anchor[next], next});
+            }
+        }
+    }
+    SLPWLO_ASSERT(order.size() == in_degree.size(),
+                  "cyclic unit dependences in block lowering");
+    return order;
+}
+
+MachineKernel lower_kernel(const Kernel& kernel, const FixedPointSpec* spec,
+                           const std::vector<BlockGroups>* groups,
+                           const TargetModel& target, LowerMode mode) {
+    if (mode != LowerMode::Float) {
+        SLPWLO_CHECK(spec != nullptr,
+                     "fixed-point lowering requires a spec");
+    }
+    MachineKernel machine;
+    machine.name = kernel.name() + "." + to_string(mode);
+
+    static const std::vector<SimdGroup> no_groups;
+    for (const BlockId block : kernel.blocks_in_order()) {
+        const std::vector<SimdGroup>* block_groups = &no_groups;
+        if (mode == LowerMode::FixedSimd && groups != nullptr) {
+            for (const BlockGroups& bg : *groups) {
+                if (bg.block == block) block_groups = &bg.groups;
+            }
+        }
+        BlockLowering lowering(kernel, spec, *block_groups, target, mode,
+                               block);
+        lowering.compute_defs();
+        machine.blocks.push_back(lowering.run());
+    }
+
+    // Loop-control overhead accounting: total iterations of every loop.
+    for (const Loop& loop : kernel.loops()) {
+        long long iters = loop.trip_count();
+        for (const LoopId outer : kernel.enclosing_loops(loop.id)) {
+            iters *= kernel.loop(outer).trip_count();
+        }
+        machine.total_loop_iterations += iters;
+    }
+    return machine;
+}
+
+int count_ops(const MachineKernel& machine, MachKind kind) {
+    int count = 0;
+    for (const MachineBlock& block : machine.blocks) {
+        for (const MachOp& op : block.ops) {
+            if (op.kind == kind) count++;
+        }
+    }
+    return count;
+}
+
+}  // namespace slpwlo

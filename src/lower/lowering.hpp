@@ -1,0 +1,43 @@
+// Lowering: kernel IR + fixed-point spec + SIMD groups -> machine IR.
+//
+// Three modes, matching the three code versions the paper measures:
+//  * FixedScalar — the fixed-point C code with no SIMD: every op scalar,
+//    every format change an explicit scaling shift (the speedup baseline);
+//  * FixedSimd — selected groups become vector ops; operand superwords are
+//    reused when a producing group exists, assembled with pack ops
+//    otherwise; per-lane scaling amounts fold into one vector shift iff
+//    they are equal, and otherwise cost extract/shift/pack per lane
+//    (Fig. 2's penalty — what the scaling optimization removes);
+//  * Float — the original single-precision code: hardware FP ops on
+//    targets that have them, serializing soft-float calls elsewhere.
+#pragma once
+
+#include "core/slp_aware_wlo.hpp"
+#include "lower/machine_ir.hpp"
+
+namespace slpwlo {
+
+enum class LowerMode { FixedScalar, FixedSimd, Float };
+
+std::string to_string(LowerMode mode);
+
+/// Lower the whole kernel. `spec` is required for the fixed modes;
+/// `groups` only matters for FixedSimd (pass the WLO result's
+/// block_groups). Cross-checked invariants throw InternalError.
+MachineKernel lower_kernel(const Kernel& kernel, const FixedPointSpec* spec,
+                           const std::vector<BlockGroups>* groups,
+                           const TargetModel& target, LowerMode mode);
+
+/// Count machine ops of one kind across the whole machine kernel
+/// (static count, unweighted). Useful for tests and ablation reports.
+int count_ops(const MachineKernel& machine, MachKind kind);
+
+/// Dependence-topological emission order for a block partitioned into SIMD
+/// groups: values >= 0 are block positions of ungrouped scalar ops, -g-1
+/// encodes group g. A group's last lane can precede its producer group's
+/// last lane in program order, so plain program order is not topological.
+/// Shared by the machine lowering and the SIMD C emitter.
+std::vector<int> block_unit_order(const Kernel& kernel, BlockId block,
+                                  const std::vector<SimdGroup>& groups);
+
+}  // namespace slpwlo

@@ -1,0 +1,87 @@
+#include "lower/machine_ir.hpp"
+
+#include <sstream>
+
+namespace slpwlo {
+
+std::string to_string(MachKind kind) {
+    switch (kind) {
+        case MachKind::Alu: return "alu";
+        case MachKind::Mul: return "mul";
+        case MachKind::Load: return "load";
+        case MachKind::Store: return "store";
+        case MachKind::Shift: return "shift";
+        case MachKind::Pack: return "pack";
+        case MachKind::Extract: return "extract";
+        case MachKind::FloatOp: return "fop";
+        case MachKind::SoftFloat: return "softfloat";
+    }
+    return "<invalid-mach>";
+}
+
+OpClass op_class(const MachOp& op, const TargetModel& target) {
+    switch (op.kind) {
+        case MachKind::Alu:
+        case MachKind::Pack:
+        case MachKind::Extract:
+            return OpClass::Alu;
+        case MachKind::Mul:
+            return OpClass::MulUnit;
+        case MachKind::Load:
+        case MachKind::Store:
+            return OpClass::Mem;
+        case MachKind::Shift:
+            return target.shift_slots > 0 ? OpClass::Shift : OpClass::Alu;
+        case MachKind::FloatOp:
+            return OpClass::Float;
+        case MachKind::SoftFloat:
+            return OpClass::Alu;  // serialization handled by the scheduler
+    }
+    return OpClass::Alu;
+}
+
+int op_latency(const MachOp& op, const TargetModel& target) {
+    switch (op.kind) {
+        case MachKind::Alu:
+        case MachKind::Pack:
+        case MachKind::Extract:
+            return target.alu_latency;
+        case MachKind::Mul:
+            return target.mul_latency;
+        case MachKind::Load:
+        case MachKind::Store:
+            return target.mem_latency;
+        case MachKind::Shift:
+            return target.barrel_shifter
+                       ? target.shift_latency
+                       : target.shift_latency +
+                             std::max(0, op.shift_amount - 1);
+        case MachKind::FloatOp:
+            return target.float_latency;
+        case MachKind::SoftFloat:
+            return op.soft_cycles;
+    }
+    return 1;
+}
+
+std::string print_machine_block(const MachineBlock& block) {
+    std::ostringstream os;
+    os << "machine block (freq " << block.frequency << ", trip "
+       << block.innermost_trip << "):\n";
+    for (size_t i = 0; i < block.ops.size(); ++i) {
+        const MachOp& op = block.ops[i];
+        os << "  m" << i << ": " << to_string(op.kind);
+        if (op.lanes > 1) os << " x" << op.lanes;
+        os << " wl" << op.wl;
+        if (op.kind == MachKind::Shift) os << " by " << op.shift_amount;
+        if (!op.preds.empty()) {
+            os << " <-";
+            for (const int p : op.preds) os << " m" << p;
+        }
+        if (op.why[0] != '\0') os << "  ; " << op.why;
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace slpwlo

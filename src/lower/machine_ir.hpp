@@ -1,0 +1,96 @@
+// Machine IR: the target-level operation stream the timing model runs on.
+//
+// Lowering (lower/lowering.hpp) turns each kernel basic block plus the
+// fixed-point spec and the selected SIMD groups into a MachineBlock of
+// target operations: arithmetic (scalar or vector), loads/stores, the
+// scaling shifts implied by the fixed-point formats, pack/extract lane
+// traffic, and (for the float flow) hardware-FP or serializing soft-float
+// ops. This is where the paper's central effects become visible as real
+// instructions: equal per-lane scaling amounts fold into one vector shift,
+// unequal ones explode into extract/shift/pack sequences (Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "target/target_model.hpp"
+
+namespace slpwlo {
+
+enum class MachKind {
+    Alu,        ///< add/sub/neg (scalar or vector)
+    Mul,        ///< multiply (scalar or vector)
+    Load,       ///< memory read (vector if lanes > 1)
+    Store,      ///< memory write
+    Shift,      ///< scaling shift; `shift_amount` holds the magnitude
+    Pack,       ///< insert scalars into vector lanes (ALU slot)
+    Extract,    ///< move one lane to a scalar register (ALU slot)
+    FloatOp,    ///< hardware floating-point operation
+    SoftFloat,  ///< soft-float library call: serializes the machine
+};
+
+std::string to_string(MachKind kind);
+
+struct MachOp {
+    MachKind kind = MachKind::Alu;
+    /// Vector lane count (1 = scalar).
+    int lanes = 1;
+    /// Element word length.
+    int wl = 32;
+    /// Shift magnitude (Shift ops; drives serial-shifter cost).
+    int shift_amount = 0;
+    /// Soft-float cycle cost (SoftFloat ops).
+    int soft_cycles = 0;
+    /// Dependence predecessors (indices into the owning block).
+    std::vector<int> preds;
+    /// Memory identity for loop-carried dependence analysis.
+    ArrayId array;
+    Affine index;
+    /// Debug provenance, e.g. "align-vshift", "lane-pack".
+    const char* why = "";
+};
+
+/// A loop-carried dependence: op `to` of iteration i feeds op `from` of
+/// iteration i + distance. Bounds the recurrence-constrained II:
+/// II >= path_latency(from..to) / distance.
+struct Recurrence {
+    int from = 0;  ///< consumer (earlier in the block)
+    int to = 0;    ///< producer (later in the block)
+    int distance = 1;
+};
+
+struct MachineBlock {
+    std::vector<MachOp> ops;
+    std::vector<Recurrence> recurrences;
+    /// The innermost enclosing loop (invalid if none) — carries the
+    /// recurrence distances for the II computation.
+    LoopId innermost;
+    /// Trip count of that loop (1 if none).
+    long long innermost_trip = 1;
+    /// Total executions per kernel run.
+    long long frequency = 1;
+    /// Number of times the enclosing loop is entered (frequency /
+    /// innermost_trip) — each entry pays the pipeline fill.
+    long long entries = 1;
+};
+
+struct MachineKernel {
+    std::string name;
+    std::vector<MachineBlock> blocks;
+    /// Total loop iterations executed across the whole run (for the
+    /// per-iteration loop-control overhead).
+    long long total_loop_iterations = 0;
+};
+
+/// FU class an op occupies (Shift maps to Alu when the target has no
+/// dedicated shift slots).
+OpClass op_class(const MachOp& op, const TargetModel& target);
+
+/// Result latency of an op on the target.
+int op_latency(const MachOp& op, const TargetModel& target);
+
+/// Debug dump of a machine block.
+std::string print_machine_block(const MachineBlock& block);
+
+}  // namespace slpwlo

@@ -1,0 +1,26 @@
+#include "schedule/cycle_model.hpp"
+
+#include <algorithm>
+
+namespace slpwlo {
+
+CycleReport estimate_cycles(const MachineKernel& machine,
+                            const TargetModel& target) {
+    CycleReport report;
+    for (const MachineBlock& block : machine.blocks) {
+        BlockCycleReport entry;
+        entry.schedule = schedule_block(block, target);
+        const long long ii = entry.schedule.ii;
+        const long long fill =
+            std::max(0, entry.schedule.length - entry.schedule.ii);
+        entry.total = ii * block.frequency + fill * block.entries;
+        report.total_cycles += entry.total;
+        report.blocks.push_back(std::move(entry));
+    }
+    report.loop_overhead =
+        machine.total_loop_iterations * target.loop_overhead_cycles;
+    report.total_cycles += report.loop_overhead;
+    return report;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,28 @@
+// Cycle accounting: machine kernel -> total execution cycles.
+//
+// Per block: II * frequency in steady state plus the pipeline-fill
+// difference (length - II) paid once per loop entry. Loop-control overhead
+// is charged per executed loop iteration. This replaces the paper's vendor
+// cycle-accurate simulators (DESIGN.md, "Substitutions"); absolute numbers
+// are indicative, ratios are the reproduction target.
+#pragma once
+
+#include "schedule/list_scheduler.hpp"
+
+namespace slpwlo {
+
+struct BlockCycleReport {
+    BlockSchedule schedule;
+    long long total = 0;
+};
+
+struct CycleReport {
+    std::vector<BlockCycleReport> blocks;
+    long long loop_overhead = 0;
+    long long total_cycles = 0;
+};
+
+CycleReport estimate_cycles(const MachineKernel& machine,
+                            const TargetModel& target);
+
+}  // namespace slpwlo

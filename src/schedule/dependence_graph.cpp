@@ -1,0 +1,99 @@
+#include "schedule/dependence_graph.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+std::vector<int> critical_path_heights(const MachineBlock& block,
+                                       const TargetModel& target) {
+    const int n = static_cast<int>(block.ops.size());
+    std::vector<int> height(static_cast<size_t>(n), 0);
+    for (int i = n - 1; i >= 0; --i) {
+        height[static_cast<size_t>(i)] =
+            std::max(height[static_cast<size_t>(i)],
+                     op_latency(block.ops[static_cast<size_t>(i)], target));
+    }
+    // Successor pass: propagate heights to predecessors.
+    for (int i = n - 1; i >= 0; --i) {
+        const MachOp& op = block.ops[static_cast<size_t>(i)];
+        for (const int p : op.preds) {
+            height[static_cast<size_t>(p)] = std::max(
+                height[static_cast<size_t>(p)],
+                op_latency(block.ops[static_cast<size_t>(p)], target) +
+                    height[static_cast<size_t>(i)]);
+        }
+    }
+    return height;
+}
+
+int longest_path_latency(const MachineBlock& block, const TargetModel& target,
+                         int from, int to) {
+    const int n = static_cast<int>(block.ops.size());
+    SLPWLO_ASSERT(from >= 0 && from < n && to >= 0 && to < n,
+                  "path endpoints out of range");
+    if (from > to) return -1;
+    // dist[i]: longest latency of a chain from `from` to i, inclusive.
+    std::vector<int> dist(static_cast<size_t>(n), -1);
+    dist[static_cast<size_t>(from)] =
+        op_latency(block.ops[static_cast<size_t>(from)], target);
+    for (int i = from + 1; i <= to; ++i) {
+        const MachOp& op = block.ops[static_cast<size_t>(i)];
+        int best = -1;
+        for (const int p : op.preds) {
+            if (p >= from && dist[static_cast<size_t>(p)] >= 0) {
+                best = std::max(best, dist[static_cast<size_t>(p)]);
+            }
+        }
+        if (best >= 0) {
+            dist[static_cast<size_t>(i)] = best + op_latency(op, target);
+        }
+    }
+    return dist[static_cast<size_t>(to)];
+}
+
+int recurrence_mii(const MachineBlock& block, const TargetModel& target) {
+    int mii = 1;
+    for (const Recurrence& rec : block.recurrences) {
+        const int latency =
+            rec.from == rec.to
+                ? op_latency(block.ops[static_cast<size_t>(rec.from)], target)
+                : longest_path_latency(block, target, rec.from, rec.to);
+        if (latency < 0) continue;  // producer does not depend on consumer
+        const int distance = std::max(1, rec.distance);
+        mii = std::max(mii, (latency + distance - 1) / distance);
+    }
+    return mii;
+}
+
+int resource_mii(const MachineBlock& block, const TargetModel& target) {
+    int alu = 0, mul = 0, mem = 0, shift = 0, flt = 0, total = 0;
+    for (const MachOp& op : block.ops) {
+        if (op.kind == MachKind::SoftFloat) continue;  // serialized separately
+        switch (op_class(op, target)) {
+            case OpClass::Alu: alu++; break;
+            case OpClass::MulUnit: mul++; break;
+            case OpClass::Mem: mem++; break;
+            case OpClass::Shift: shift++; break;
+            case OpClass::Float: flt++; break;
+            case OpClass::Branch: break;
+        }
+        total++;
+    }
+    auto pressure = [](int count, int slots) {
+        return slots > 0 ? (count + slots - 1) / slots : count;
+    };
+    int mii = 1;
+    mii = std::max(mii, pressure(alu, target.alu_slots));
+    mii = std::max(mii, pressure(mul, target.mul_slots));
+    mii = std::max(mii, pressure(mem, target.mem_slots));
+    if (target.shift_slots > 0) {
+        mii = std::max(mii, pressure(shift, target.shift_slots));
+    }
+    mii = std::max(mii, pressure(flt, target.float_slots));
+    mii = std::max(mii, pressure(total, target.issue_width));
+    return mii;
+}
+
+}  // namespace slpwlo

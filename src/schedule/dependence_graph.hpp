@@ -1,0 +1,31 @@
+// Dependence-graph utilities over machine blocks: topological properties,
+// critical-path heights, and longest-path latencies for recurrence-II
+// computation. Machine-block dependences always point backwards (preds have
+// smaller indices), so index order is a topological order.
+#pragma once
+
+#include <vector>
+
+#include "lower/machine_ir.hpp"
+
+namespace slpwlo {
+
+/// Per-op critical-path height: latency of the op plus the longest latency
+/// chain through its successors (used as list-scheduling priority).
+std::vector<int> critical_path_heights(const MachineBlock& block,
+                                       const TargetModel& target);
+
+/// Longest latency path from op `from` to op `to` (inclusive of both ops'
+/// latencies), or -1 if `to` does not depend on `from`.
+int longest_path_latency(const MachineBlock& block, const TargetModel& target,
+                         int from, int to);
+
+/// Recurrence-constrained minimum II: max over loop-carried recurrences of
+/// ceil(path_latency / distance). 1 when there are no recurrences.
+int recurrence_mii(const MachineBlock& block, const TargetModel& target);
+
+/// Resource-constrained minimum II: per-FU-class and total-issue pressure.
+/// Soft-float serialization is accounted separately by the scheduler.
+int resource_mii(const MachineBlock& block, const TargetModel& target);
+
+}  // namespace slpwlo

@@ -1,0 +1,117 @@
+#include "schedule/list_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+namespace {
+
+/// Per-cycle slot usage.
+struct CycleResources {
+    int total = 0;
+    std::map<OpClass, int> per_class;
+};
+
+bool fits(const CycleResources& used, OpClass cls, const TargetModel& target) {
+    if (used.total >= target.issue_width) return false;
+    const auto it = used.per_class.find(cls);
+    const int in_use = it == used.per_class.end() ? 0 : it->second;
+    switch (cls) {
+        case OpClass::Alu: return in_use < target.alu_slots;
+        case OpClass::MulUnit: return in_use < target.mul_slots;
+        case OpClass::Mem: return in_use < target.mem_slots;
+        case OpClass::Shift:
+            return in_use < (target.shift_slots > 0 ? target.shift_slots
+                                                    : target.alu_slots);
+        case OpClass::Float: return in_use < target.float_slots;
+        case OpClass::Branch: return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+BlockSchedule schedule_block(const MachineBlock& block,
+                             const TargetModel& target) {
+    const int n = static_cast<int>(block.ops.size());
+    BlockSchedule sched;
+    sched.cycle_of.assign(static_cast<size_t>(n), -1);
+    sched.res_mii = resource_mii(block, target);
+    sched.rec_mii = recurrence_mii(block, target);
+
+    const std::vector<int> height = critical_path_heights(block, target);
+
+    // Ready list ordered by (height desc, index asc) for determinism.
+    std::vector<int> order(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return height[static_cast<size_t>(a)] > height[static_cast<size_t>(b)];
+    });
+
+    std::map<int, CycleResources> usage;
+    std::vector<bool> scheduled(static_cast<size_t>(n), false);
+    int scheduled_count = 0;
+    // Cycle before which nothing may issue (soft-float serialization).
+    int machine_free_at = 0;
+    int makespan = 0;
+
+    while (scheduled_count < n) {
+        bool progress = false;
+        for (const int i : order) {
+            if (scheduled[static_cast<size_t>(i)]) continue;
+            const MachOp& op = block.ops[static_cast<size_t>(i)];
+            // Earliest dependence-legal cycle.
+            int earliest = machine_free_at;
+            bool deps_ready = true;
+            for (const int p : op.preds) {
+                if (!scheduled[static_cast<size_t>(p)]) {
+                    deps_ready = false;
+                    break;
+                }
+                earliest = std::max(
+                    earliest,
+                    sched.cycle_of[static_cast<size_t>(p)] +
+                        op_latency(block.ops[static_cast<size_t>(p)], target));
+            }
+            if (!deps_ready) continue;
+
+            if (op.kind == MachKind::SoftFloat) {
+                // A call: takes over the whole machine for its duration.
+                const int start = std::max(earliest, machine_free_at);
+                sched.cycle_of[static_cast<size_t>(i)] = start;
+                machine_free_at = start + std::max(1, op.soft_cycles);
+                makespan = std::max(makespan, machine_free_at);
+                sched.serial_cycles += std::max(1, op.soft_cycles);
+            } else {
+                const OpClass cls = op_class(op, target);
+                int cycle = earliest;
+                while (!fits(usage[cycle], cls, target)) ++cycle;
+                usage[cycle].total++;
+                usage[cycle].per_class[cls]++;
+                sched.cycle_of[static_cast<size_t>(i)] = cycle;
+                makespan = std::max(makespan, cycle + op_latency(op, target));
+            }
+            scheduled[static_cast<size_t>(i)] = true;
+            scheduled_count++;
+            progress = true;
+        }
+        SLPWLO_ASSERT(progress, "scheduler deadlock: cyclic dependences");
+    }
+
+    sched.length = makespan;
+    sched.ii = std::max(sched.res_mii, sched.rec_mii) + sched.serial_cycles;
+    // One execution can never beat its own schedule... but II is a
+    // steady-state rate and may legitimately exceed the single-shot length
+    // (e.g. long recurrences); clamp only the degenerate empty case.
+    if (n == 0) {
+        sched.length = 0;
+        sched.ii = 0;
+        sched.res_mii = 0;
+        sched.rec_mii = 0;
+    }
+    return sched;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,32 @@
+// VLIW list scheduler.
+//
+// Produces a resource- and dependence-legal cycle assignment for one
+// machine block (the single-execution schedule length) plus the
+// steady-state initiation interval II = max(resMII, recMII) with soft-float
+// serialization added on top. This pair is what the cycle model needs: a
+// loop executes len + II * (trip - 1) cycles per entry, the standard
+// modulo-scheduling approximation of what an optimizing VLIW compiler
+// (-O3, as in the paper's setup) achieves.
+#pragma once
+
+#include "schedule/dependence_graph.hpp"
+
+namespace slpwlo {
+
+struct BlockSchedule {
+    /// Issue cycle per op (single execution).
+    std::vector<int> cycle_of;
+    /// Cycles for one execution of the block.
+    int length = 0;
+    /// Steady-state initiation interval.
+    int ii = 0;
+    int res_mii = 0;
+    int rec_mii = 0;
+    /// Serialized soft-float cycles per execution.
+    int serial_cycles = 0;
+};
+
+BlockSchedule schedule_block(const MachineBlock& block,
+                             const TargetModel& target);
+
+}  // namespace slpwlo

@@ -1,0 +1,139 @@
+#include "sim/double_sim.hpp"
+
+#include <algorithm>
+
+#include "sim/walker.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+Stimulus make_stimulus(const Kernel& kernel, uint64_t seed) {
+    Stimulus stimulus(kernel.arrays().size());
+    for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+        const ArrayDecl& decl = kernel.arrays()[a];
+        if (decl.storage != StorageClass::Input) continue;
+        Rng rng(seed, "stimulus/" + decl.name);
+        auto& values = stimulus[a];
+        values.resize(static_cast<size_t>(decl.size));
+        for (double& v : values) {
+            v = rng.uniform(decl.declared_range.lo(), decl.declared_range.hi());
+        }
+    }
+    return stimulus;
+}
+
+DoubleSimResult run_double(const Kernel& kernel, const Stimulus& stimulus,
+                           const DoubleSimOptions& options) {
+    // Memory image.
+    std::vector<std::vector<double>> mem(kernel.arrays().size());
+    for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+        const ArrayDecl& decl = kernel.arrays()[a];
+        mem[a].assign(static_cast<size_t>(decl.size), 0.0);
+        if (decl.storage == StorageClass::Input) {
+            SLPWLO_CHECK(a < stimulus.size() &&
+                             stimulus[a].size() == mem[a].size(),
+                         "stimulus missing or mis-sized for input array `" +
+                             decl.name + "`");
+            mem[a] = stimulus[a];
+        } else if (decl.storage == StorageClass::Param) {
+            mem[a] = decl.values;
+        }
+    }
+
+    for (const auto& inj : options.array_injections) {
+        auto& elements = mem[static_cast<size_t>(inj.array.index())];
+        SLPWLO_CHECK(inj.element >= 0 &&
+                         inj.element < static_cast<int>(elements.size()),
+                     "array injection element out of bounds");
+        elements[static_cast<size_t>(inj.element)] += inj.delta;
+    }
+
+    std::vector<double> vars(kernel.vars().size(), 0.0);
+    std::vector<long long> occurrence(kernel.ops().size(), 0);
+
+    // Injections sorted per op for O(1) matching (few injections in practice).
+    std::vector<std::vector<const DoubleSimOptions::Injection*>> inj_by_op(
+        kernel.ops().size());
+    for (const auto& inj : options.injections) {
+        inj_by_op[static_cast<size_t>(inj.op.index())].push_back(&inj);
+    }
+
+    DoubleSimResult result;
+    if (options.record_ranges) {
+        result.var_ranges.assign(kernel.vars().size(), Interval::empty());
+        result.array_ranges.assign(kernel.arrays().size(), Interval::empty());
+        for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+            // Initial contents participate in the array's value range.
+            for (const double v : mem[a]) {
+                result.array_ranges[a] =
+                    result.array_ranges[a].hull(Interval(v));
+            }
+        }
+    }
+
+    walk_kernel(kernel, [&](OpId op_id, const std::vector<int>& loop_values) {
+        const Op& op = kernel.op(op_id);
+        const size_t oi = static_cast<size_t>(op_id.index());
+
+        double value = 0.0;
+        switch (op.kind) {
+            case OpKind::Const:
+                value = op.const_value;
+                break;
+            case OpKind::Copy:
+                value = vars[op.args[0].index()];
+                break;
+            case OpKind::Neg:
+                value = -vars[op.args[0].index()];
+                break;
+            case OpKind::Add:
+                value = vars[op.args[0].index()] + vars[op.args[1].index()];
+                break;
+            case OpKind::Sub:
+                value = vars[op.args[0].index()] - vars[op.args[1].index()];
+                break;
+            case OpKind::Mul:
+                value = vars[op.args[0].index()] * vars[op.args[1].index()];
+                break;
+            case OpKind::Div:
+                value = vars[op.args[0].index()] / vars[op.args[1].index()];
+                break;
+            case OpKind::Load: {
+                const int idx = evaluate_affine(op.index, loop_values);
+                value = mem[op.array.index()][static_cast<size_t>(idx)];
+                break;
+            }
+            case OpKind::Store:
+                value = vars[op.args[0].index()];
+                break;
+        }
+
+        for (const auto* inj : inj_by_op[oi]) {
+            if (inj->occurrence == occurrence[oi]) value += inj->delta;
+        }
+        occurrence[oi]++;
+
+        if (op.kind == OpKind::Store) {
+            const int idx = evaluate_affine(op.index, loop_values);
+            mem[op.array.index()][static_cast<size_t>(idx)] = value;
+            const ArrayDecl& decl = kernel.array(op.array);
+            if (decl.storage == StorageClass::Output) {
+                result.outputs.push_back(value);
+            }
+            if (options.record_ranges) {
+                auto& hull = result.array_ranges[op.array.index()];
+                hull = hull.hull(Interval(value));
+            }
+        } else {
+            vars[op.dest.index()] = value;
+            if (options.record_ranges) {
+                auto& hull = result.var_ranges[op.dest.index()];
+                hull = hull.hull(Interval(value));
+            }
+        }
+    });
+
+    return result;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,122 @@
+#include "sim/fixed_sim.hpp"
+
+#include "sim/walker.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+FixedSimResult run_fixed(const Kernel& kernel, const FixedPointSpec& spec,
+                         const Stimulus& stimulus) {
+    const QuantMode mode = spec.quant_mode();
+    FixedSimResult result;
+
+    auto quantize_into = [&](double value, const FixedFormat& fmt) {
+        bool overflowed = false;
+        const double q = quantize_saturate(value, fmt, mode, &overflowed);
+        if (overflowed) result.overflow_count++;
+        return q;
+    };
+
+    // Memory image, quantized to each array's storage format.
+    std::vector<std::vector<double>> mem(kernel.arrays().size());
+    for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+        const ArrayDecl& decl = kernel.arrays()[a];
+        const FixedFormat fmt = spec.array_format(ArrayId(static_cast<int32_t>(a)));
+        mem[a].assign(static_cast<size_t>(decl.size), 0.0);
+        const std::vector<double>* source = nullptr;
+        if (decl.storage == StorageClass::Input) {
+            SLPWLO_CHECK(a < stimulus.size() &&
+                             stimulus[a].size() == mem[a].size(),
+                         "stimulus missing or mis-sized for input array `" +
+                             decl.name + "`");
+            source = &stimulus[a];
+        } else if (decl.storage == StorageClass::Param) {
+            source = &decl.values;
+        }
+        if (source != nullptr) {
+            for (size_t i = 0; i < mem[a].size(); ++i) {
+                mem[a][i] = quantize_into((*source)[i], fmt);
+            }
+        }
+    }
+
+    std::vector<double> vars(kernel.vars().size(), 0.0);
+
+    walk_kernel(kernel, [&](OpId op_id, const std::vector<int>& loop_values) {
+        const Op& op = kernel.op(op_id);
+
+        if (op.kind == OpKind::Store) {
+            const FixedFormat fmt = spec.array_format(op.array);
+            const double value = quantize_into(vars[op.args[0].index()], fmt);
+            const int idx = evaluate_affine(op.index, loop_values);
+            mem[op.array.index()][static_cast<size_t>(idx)] = value;
+            if (kernel.array(op.array).storage == StorageClass::Output) {
+                result.outputs.push_back(value);
+            }
+            return;
+        }
+
+        const FixedFormat fmt = spec.result_format(op_id);
+        double value = 0.0;
+        switch (op.kind) {
+            case OpKind::Const:
+                value = quantize_into(op.const_value, fmt);
+                break;
+            case OpKind::Copy:
+                value = quantize_into(vars[op.args[0].index()], fmt);
+                break;
+            case OpKind::Neg:
+                value = quantize_into(-vars[op.args[0].index()], fmt);
+                break;
+            case OpKind::Add:
+            case OpKind::Sub: {
+                // Operands are aligned to the result FWL before the add:
+                // a right shift truncates, exactly as the generated C does.
+                const double a =
+                    quantize_value(vars[op.args[0].index()], fmt.fwl, mode);
+                const double b =
+                    quantize_value(vars[op.args[1].index()], fmt.fwl, mode);
+                value = quantize_into(op.kind == OpKind::Add ? a + b : a - b,
+                                      fmt);
+                break;
+            }
+            case OpKind::Mul:
+                // Full-precision product, then quantization to the result
+                // format (one shift in the generated code).
+                value = quantize_into(
+                    vars[op.args[0].index()] * vars[op.args[1].index()], fmt);
+                break;
+            case OpKind::Div:
+                value = quantize_into(
+                    vars[op.args[0].index()] / vars[op.args[1].index()], fmt);
+                break;
+            case OpKind::Load: {
+                const int idx = evaluate_affine(op.index, loop_values);
+                value = mem[op.array.index()][static_cast<size_t>(idx)];
+                break;
+            }
+            case OpKind::Store:
+                break;  // handled above
+        }
+        vars[op.dest.index()] = value;
+    });
+
+    return result;
+}
+
+double measure_noise_power(const Kernel& kernel, const FixedPointSpec& spec,
+                           const Stimulus& stimulus) {
+    const DoubleSimResult ref = run_double(kernel, stimulus);
+    const FixedSimResult fix = run_fixed(kernel, spec, stimulus);
+    SLPWLO_ASSERT(ref.outputs.size() == fix.outputs.size(),
+                  "reference and fixed-point output traces differ in length");
+    if (ref.outputs.empty()) return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < ref.outputs.size(); ++i) {
+        const double e = fix.outputs[i] - ref.outputs[i];
+        sum += e * e;
+    }
+    return sum / static_cast<double>(ref.outputs.size());
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,55 @@
+// Shared kernel-execution walker.
+//
+// Walks the loop nest in execution order, maintaining current loop-variable
+// values, and invokes the visitor for every dynamic op instance. Both
+// simulators and the gain analyzer are built on this.
+#pragma once
+
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// Evaluate an affine index against loop values indexed by LoopId.
+inline int evaluate_affine(const Affine& index,
+                           const std::vector<int>& loop_values) {
+    int result = index.offset();
+    for (const auto& [loop, coeff] : index.coeffs()) {
+        result += coeff * loop_values[static_cast<size_t>(loop.index())];
+    }
+    return result;
+}
+
+/// Visitor signature: void(OpId op, const std::vector<int>& loop_values).
+template <class Visitor>
+void walk_kernel(const Kernel& kernel, Visitor&& visit) {
+    std::vector<int> loop_values(kernel.loops().size(), 0);
+
+    struct Walker {
+        const Kernel& kernel;
+        std::vector<int>& loop_values;
+        Visitor& visit;
+
+        void region(const Region& r) {
+            for (const RegionItem& item : r.items) {
+                if (item.kind == RegionItem::Kind::Block) {
+                    for (const OpId op : kernel.block(item.block).ops) {
+                        visit(op, loop_values);
+                    }
+                } else {
+                    const Loop& loop = kernel.loop(item.loop);
+                    int& value = loop_values[static_cast<size_t>(loop.id.index())];
+                    for (value = loop.begin; value < loop.end; ++value) {
+                        region(loop.body);
+                    }
+                }
+            }
+        }
+    };
+
+    Walker walker{kernel, loop_values, visit};
+    walker.region(kernel.body());
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,87 @@
+#include "slp/benefit.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+double benefit_score(const Economics& econ, BenefitMode mode) {
+    switch (mode) {
+        case BenefitMode::ReuseOverCost:
+            return (1.0 + econ.reuse) /
+                   (1.0 + econ.pack_cost + econ.unpack_cost);
+        case BenefitMode::SavingsOnly:
+            return 2.0 * econ.saved_ops - (econ.pack_cost + econ.unpack_cost);
+    }
+    return 0.0;
+}
+
+std::vector<std::pair<int, int>> select_candidates(
+    const PackedView& view, std::vector<Candidate> candidates,
+    const ConflictSet& conflicts, const TargetModel& target, BenefitMode mode,
+    double min_benefit, const TrySelect& try_select, int* rejected_count) {
+    // Track original candidate indices so the conflict matrix stays valid.
+    std::vector<size_t> index(candidates.size());
+    for (size_t i = 0; i < index.size(); ++i) index[i] = i;
+    std::vector<bool> alive(candidates.size(), true);
+
+    std::vector<std::pair<int, int>> selected;
+    std::vector<Candidate> committed;
+    int alive_count = static_cast<int>(candidates.size());
+
+    while (alive_count > 0) {
+        double best_score = 0.0;
+        double best_saved = 0.0;
+        size_t best = candidates.size();
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (!alive[i]) continue;
+            // Estimate against the candidates this selection could coexist
+            // with: the alive non-conflicting ones plus the selections
+            // already committed this round. Reuse promised by a candidate
+            // that selecting `i` would eliminate is not real.
+            std::vector<Candidate> pool;
+            pool.reserve(static_cast<size_t>(alive_count) + committed.size());
+            for (size_t j = 0; j < candidates.size(); ++j) {
+                if (alive[j] && !conflicts.conflict(i, j)) {
+                    pool.push_back(candidates[j]);
+                }
+            }
+            pool.insert(pool.end(), committed.begin(), committed.end());
+            const Economics econ =
+                evaluate_candidate(view, pool, candidates[i], target);
+            const double score = benefit_score(econ, mode);
+            const bool better =
+                best == candidates.size() || score > best_score ||
+                (score == best_score && econ.saved_ops > best_saved);
+            if (better) {
+                best = i;
+                best_score = score;
+                best_saved = econ.saved_ops;
+            }
+        }
+        SLPWLO_ASSERT(best < candidates.size(), "no candidate selected");
+        if (best_score < min_benefit) break;  // only unprofitable ones left
+
+        alive[best] = false;
+        alive_count--;
+
+        if (try_select && !try_select(candidates[best])) {
+            if (rejected_count != nullptr) (*rejected_count)++;
+            continue;
+        }
+        selected.emplace_back(candidates[best].a, candidates[best].b);
+        committed.push_back(candidates[best]);
+
+        // Eliminate everything in conflict with the selection.
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (alive[i] && conflicts.conflict(best, i)) {
+                alive[i] = false;
+                alive_count--;
+            }
+        }
+    }
+    return selected;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,77 @@
+#include "slp/candidate.hpp"
+
+namespace slpwlo {
+
+bool is_groupable(OpKind kind) {
+    switch (kind) {
+        case OpKind::Add:
+        case OpKind::Sub:
+        case OpKind::Mul:
+        case OpKind::Neg:
+        case OpKind::Load:
+        case OpKind::Store:
+            return true;
+        case OpKind::Const:
+        case OpKind::Copy:
+        case OpKind::Div:
+            return false;
+    }
+    return false;
+}
+
+bool isomorphic(const PackedView& view, int a, int b) {
+    const OpKind kind = view.kind(a);
+    if (kind != view.kind(b)) return false;
+    if (!is_groupable(kind)) return false;
+    if (view.width(a) != view.width(b)) return false;
+    if (kind == OpKind::Load || kind == OpKind::Store) {
+        const Op& oa = view.kernel().op(view.node(a).lanes.front());
+        const Op& ob = view.kernel().op(view.node(b).lanes.front());
+        if (oa.array != ob.array) return false;
+    }
+    return true;
+}
+
+namespace {
+
+/// Memory index of the first/last lane of a node (memory kinds only).
+const Affine& first_index(const PackedView& view, int node) {
+    return view.kernel().op(view.node(node).lanes.front()).index;
+}
+const Affine& last_index(const PackedView& view, int node) {
+    return view.kernel().op(view.node(node).lanes.back()).index;
+}
+
+/// Orient a memory candidate so that, when the tail of `a` is adjacent to
+/// the head of `b` (ascending addresses), lanes come out contiguous.
+Candidate orient(const PackedView& view, int a, int b) {
+    const OpKind kind = view.kind(a);
+    if (kind == OpKind::Load || kind == OpKind::Store) {
+        const auto fwd = first_index(view, b).constant_difference(
+            last_index(view, a));
+        if (fwd.has_value() && *fwd == 1) return Candidate{a, b};
+        const auto rev = first_index(view, a).constant_difference(
+            last_index(view, b));
+        if (rev.has_value() && *rev == 1) return Candidate{b, a};
+    }
+    return Candidate{a, b};
+}
+
+}  // namespace
+
+std::vector<Candidate> extract_candidates(const PackedView& view,
+                                          const TargetModel& target) {
+    std::vector<Candidate> out;
+    for (int a = 0; a < view.size(); ++a) {
+        for (int b = a + 1; b < view.size(); ++b) {
+            if (!isomorphic(view, a, b)) continue;
+            const int fused_width = view.width(a) + view.width(b);
+            if (!target.supports_group_size(fused_width)) continue;
+            if (!view.independent(a, b)) continue;
+            out.push_back(orient(view, a, b));
+        }
+    }
+    return out;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,38 @@
+// SIMD group candidate extraction (Fig. 1c "Candidates Extraction").
+//
+// A candidate is a pair of isomorphic, independent view nodes of equal
+// width whose fusion the target can implement (equation 1 must have a
+// solution for the combined lane count). For loads/stores, isomorphism
+// additionally requires the same array — mixed-array vectors have no
+// memory-instruction realization.
+#pragma once
+
+#include <vector>
+
+#include "slp/packed_view.hpp"
+#include "target/target_model.hpp"
+
+namespace slpwlo {
+
+struct Candidate {
+    /// View-node indices; the fused lane order is lanes(a) then lanes(b).
+    int a = -1;
+    int b = -1;
+
+    friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// True if `kind` participates in SIMD grouping at all.
+bool is_groupable(OpKind kind);
+
+/// True if nodes (a, b) are isomorphic: same groupable kind, same array for
+/// memory ops, equal widths.
+bool isomorphic(const PackedView& view, int a, int b);
+
+/// All candidates in the current view. Load/store pairs are oriented so
+/// that ascending-adjacent memory indices come out in lane order when
+/// possible; other pairs are oriented by program order. Deterministic.
+std::vector<Candidate> extract_candidates(const PackedView& view,
+                                          const TargetModel& target);
+
+}  // namespace slpwlo

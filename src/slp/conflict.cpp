@@ -1,0 +1,54 @@
+#include "slp/conflict.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+ConflictSet::ConflictSet(size_t candidate_count)
+    : matrix_(candidate_count, std::vector<bool>(candidate_count, false)) {}
+
+void ConflictSet::add(size_t i, size_t j) {
+    SLPWLO_ASSERT(i < matrix_.size() && j < matrix_.size(),
+                  "conflict index out of range");
+    if (i == j || matrix_[i][j]) return;
+    matrix_[i][j] = true;
+    matrix_[j][i] = true;
+    pairs_++;
+}
+
+bool ConflictSet::conflict(size_t i, size_t j) const {
+    return matrix_[i][j];
+}
+
+bool shares_node(const Candidate& x, const Candidate& y) {
+    return x.a == y.a || x.a == y.b || x.b == y.a || x.b == y.b;
+}
+
+bool cyclic_dependency(const PackedView& view, const Candidate& x,
+                       const Candidate& y) {
+    // Group X = {x.a, x.b}, group Y = {y.a, y.b}. A cycle arises when some
+    // member of Y depends on a member of X and some member of X depends on
+    // a member of Y.
+    auto group_depends = [&view](int ga, int gb, int ha, int hb) {
+        return view.depends(ga, ha) || view.depends(ga, hb) ||
+               view.depends(gb, ha) || view.depends(gb, hb);
+    };
+    return group_depends(y.a, y.b, x.a, x.b) &&
+           group_depends(x.a, x.b, y.a, y.b);
+}
+
+ConflictSet detect_structural_conflicts(
+    const PackedView& view, const std::vector<Candidate>& candidates) {
+    ConflictSet conflicts(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        for (size_t j = i + 1; j < candidates.size(); ++j) {
+            if (shares_node(candidates[i], candidates[j]) ||
+                cyclic_dependency(view, candidates[i], candidates[j])) {
+                conflicts.add(i, j);
+            }
+        }
+    }
+    return conflicts;
+}
+
+}  // namespace slpwlo

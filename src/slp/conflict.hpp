@@ -1,0 +1,45 @@
+// Structural conflict detection between SIMD group candidates
+// (Fig. 1c "Conflicts Detection", the Liu et al. part).
+//
+// Two candidates conflict when they share a view node (an operation can be
+// in only one group) or when selecting both would create a cyclic
+// dependency between the two groups (each group depends on a member of the
+// other). Accuracy conflicts — the paper's extension — are added on top by
+// the accuracy-aware extractor in src/core.
+#pragma once
+
+#include <vector>
+
+#include "slp/candidate.hpp"
+
+namespace slpwlo {
+
+class ConflictSet {
+public:
+    explicit ConflictSet(size_t candidate_count);
+
+    void add(size_t i, size_t j);
+    bool conflict(size_t i, size_t j) const;
+
+    /// Number of conflicting pairs recorded.
+    size_t pair_count() const { return pairs_; }
+
+    bool any() const { return pairs_ > 0; }
+
+private:
+    std::vector<std::vector<bool>> matrix_;
+    size_t pairs_ = 0;
+};
+
+/// True if candidates share a view node.
+bool shares_node(const Candidate& x, const Candidate& y);
+
+/// True if selecting both candidates creates a cyclic dependency.
+bool cyclic_dependency(const PackedView& view, const Candidate& x,
+                       const Candidate& y);
+
+/// All structural conflicts among `candidates`.
+ConflictSet detect_structural_conflicts(const PackedView& view,
+                                        const std::vector<Candidate>& candidates);
+
+}  // namespace slpwlo

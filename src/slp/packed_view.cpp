@@ -1,0 +1,161 @@
+#include "slp/packed_view.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+PackedView::PackedView(const Kernel& kernel, BlockId block)
+    : kernel_(&kernel), block_(block), deps_(kernel, block) {
+    const std::vector<OpId>& ops = kernel.block(block).ops;
+    const int n = static_cast<int>(ops.size());
+
+    position_.assign(kernel.ops().size(), -1);
+    for (int pos = 0; pos < n; ++pos) {
+        position_[static_cast<size_t>(ops[pos].index())] = pos;
+    }
+
+    // Per-position def-of-arg and consumer lists.
+    def_of_arg_.assign(static_cast<size_t>(n), {OpId(), OpId()});
+    consumers_.assign(static_cast<size_t>(n), {});
+    external_use_.assign(static_cast<size_t>(n), false);
+
+    std::map<VarId, int> last_def;  // var -> defining position
+    for (int pos = 0; pos < n; ++pos) {
+        const Op& op = kernel.op(ops[pos]);
+        for (int a = 0; a < op.num_args(); ++a) {
+            const auto it = last_def.find(op.args[a]);
+            if (it != last_def.end()) {
+                def_of_arg_[static_cast<size_t>(pos)][static_cast<size_t>(a)] =
+                    ops[it->second];
+                consumers_[static_cast<size_t>(it->second)].push_back(ops[pos]);
+            }
+        }
+        if (op.dest.valid()) last_def[op.dest] = pos;
+    }
+
+    // A value escapes the view if its variable is read in another block or
+    // is a user variable (loop-carried state, reductions); only the last
+    // in-block definition of such a variable is live-out.
+    std::vector<bool> read_elsewhere(kernel.vars().size(), false);
+    for (const BlockId other : kernel.blocks_in_order()) {
+        if (other == block) continue;
+        for (const OpId op_id : kernel.block(other).ops) {
+            const Op& op = kernel.op(op_id);
+            for (int a = 0; a < op.num_args(); ++a) {
+                read_elsewhere[static_cast<size_t>(op.args[a].index())] = true;
+            }
+        }
+    }
+    for (const auto& [var, pos] : last_def) {
+        const bool escapes = !kernel.var(var).is_temp ||
+                             read_elsewhere[static_cast<size_t>(var.index())];
+        if (escapes) external_use_[static_cast<size_t>(pos)] = true;
+    }
+
+    // Initial view: one node per scalar op.
+    nodes_.reserve(static_cast<size_t>(n));
+    for (int pos = 0; pos < n; ++pos) {
+        Node node;
+        node.lanes = {ops[pos]};
+        node.anchor = pos;
+        nodes_.push_back(std::move(node));
+    }
+    rebuild_node_deps();
+}
+
+OpKind PackedView::kind(int i) const {
+    return kernel_->op(node(i).lanes.front()).kind;
+}
+
+int PackedView::position_of(OpId op) const {
+    const int pos = position_[static_cast<size_t>(op.index())];
+    SLPWLO_ASSERT(pos >= 0, "op is not part of this block");
+    return pos;
+}
+
+OpId PackedView::def_of_arg(OpId op, int arg) const {
+    return def_of_arg_[static_cast<size_t>(position_of(op))]
+                      [static_cast<size_t>(arg)];
+}
+
+const std::vector<OpId>& PackedView::consumers_of(OpId op) const {
+    return consumers_[static_cast<size_t>(position_of(op))];
+}
+
+bool PackedView::has_external_uses(OpId op) const {
+    return external_use_[static_cast<size_t>(position_of(op))];
+}
+
+bool PackedView::depends(int later, int earlier) const {
+    return node_dep_[static_cast<size_t>(later)][static_cast<size_t>(earlier)];
+}
+
+bool PackedView::independent(int a, int b) const {
+    if (a == b) return false;
+    return !depends(a, b) && !depends(b, a);
+}
+
+void PackedView::rebuild_node_deps() {
+    const int n = size();
+    node_dep_.assign(static_cast<size_t>(n),
+                     std::vector<bool>(static_cast<size_t>(n), false));
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if (i == j) continue;
+            bool dep = false;
+            for (const OpId la : nodes_[static_cast<size_t>(i)].lanes) {
+                for (const OpId lb : nodes_[static_cast<size_t>(j)].lanes) {
+                    if (deps_.depends(position_of(la), position_of(lb))) {
+                        dep = true;
+                        break;
+                    }
+                }
+                if (dep) break;
+            }
+            node_dep_[static_cast<size_t>(i)][static_cast<size_t>(j)] = dep;
+        }
+    }
+}
+
+void PackedView::fuse(const std::vector<std::pair<int, int>>& pairs) {
+    std::vector<bool> consumed(nodes_.size(), false);
+    std::vector<Node> next;
+    next.reserve(nodes_.size());
+    for (const auto& [a, b] : pairs) {
+        SLPWLO_ASSERT(a != b && !consumed[static_cast<size_t>(a)] &&
+                          !consumed[static_cast<size_t>(b)],
+                      "fuse pairs must be disjoint");
+        consumed[static_cast<size_t>(a)] = true;
+        consumed[static_cast<size_t>(b)] = true;
+        Node fused;
+        fused.lanes = nodes_[static_cast<size_t>(a)].lanes;
+        fused.lanes.insert(fused.lanes.end(),
+                           nodes_[static_cast<size_t>(b)].lanes.begin(),
+                           nodes_[static_cast<size_t>(b)].lanes.end());
+        fused.anchor = std::min(nodes_[static_cast<size_t>(a)].anchor,
+                                nodes_[static_cast<size_t>(b)].anchor);
+        next.push_back(std::move(fused));
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (!consumed[i]) next.push_back(std::move(nodes_[i]));
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Node& x, const Node& y) { return x.anchor < y.anchor; });
+    nodes_ = std::move(next);
+    rebuild_node_deps();
+}
+
+std::vector<SimdGroup> PackedView::groups() const {
+    std::vector<SimdGroup> out;
+    for (const Node& node : nodes_) {
+        if (node.width() >= 2) {
+            out.push_back(SimdGroup{node.lanes});
+        }
+    }
+    return out;
+}
+
+}  // namespace slpwlo

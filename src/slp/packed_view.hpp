@@ -1,0 +1,96 @@
+// PackedView: the working representation of a basic block during iterative
+// SLP extraction.
+//
+// Each view node is either a scalar operation (one lane) or an SIMD group
+// formed in an earlier round (2+ lanes). Extraction rounds pair up view
+// nodes of equal width — fusing two pairs yields a width-4 group, which is
+// the "extension of the groups size beyond 2" rewriting step of the paper
+// (Fig. 1a line 11 / Section III.A).
+//
+// Dependences are maintained at node level (any lane of i depends on any
+// lane of j), derived from the block's scalar dependence analysis.
+#pragma once
+
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "ir/kernel.hpp"
+
+namespace slpwlo {
+
+/// A selected SIMD group: >= 2 isomorphic scalar ops executed as one
+/// instruction, lane order significant (it defines memory adjacency and
+/// superword lane matching).
+struct SimdGroup {
+    std::vector<OpId> lanes;
+
+    int width() const { return static_cast<int>(lanes.size()); }
+};
+
+class PackedView {
+public:
+    PackedView(const Kernel& kernel, BlockId block);
+
+    struct Node {
+        std::vector<OpId> lanes;
+        /// Program-order anchor (position of the first lane in the block);
+        /// used for deterministic ordering.
+        int anchor = 0;
+
+        int width() const { return static_cast<int>(lanes.size()); }
+    };
+
+    const Kernel& kernel() const { return *kernel_; }
+    BlockId block() const { return block_; }
+
+    int size() const { return static_cast<int>(nodes_.size()); }
+    const Node& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+    OpKind kind(int i) const;
+    int width(int i) const { return node(i).width(); }
+
+    /// Node-level dependence: does node `later` transitively depend on node
+    /// `earlier` through any lanes?
+    bool depends(int later, int earlier) const;
+
+    /// True if no dependence connects the two nodes in either direction.
+    bool independent(int a, int b) const;
+
+    /// Position of an op within the original block.
+    int position_of(OpId op) const;
+
+    /// Defining op of `op`'s argument `arg` within the block, or an invalid
+    /// id when the value is live-in to the block.
+    OpId def_of_arg(OpId op, int arg) const;
+
+    /// Ops inside the block that read `op`'s destination before it is
+    /// redefined (its in-block consumers).
+    const std::vector<OpId>& consumers_of(OpId op) const;
+
+    /// True if `op`'s destination is (or may be) read after the block or
+    /// after a redefinition — i.e. its value has uses the view cannot see.
+    bool has_external_uses(OpId op) const;
+
+    /// Fuse pairs selected in this round: each (a, b) becomes one node with
+    /// lanes(a) + lanes(b). Indices refer to the pre-fusion view.
+    void fuse(const std::vector<std::pair<int, int>>& pairs);
+
+    /// All groups formed so far (nodes with width >= 2), in anchor order.
+    std::vector<SimdGroup> groups() const;
+
+private:
+    void rebuild_node_deps();
+
+    const Kernel* kernel_;
+    BlockId block_;
+    BlockDeps deps_;
+    std::vector<Node> nodes_;
+    /// node_reach_[i][j]: node i depends on node j (transitively, via lanes).
+    std::vector<std::vector<bool>> node_dep_;
+
+    std::vector<int> position_;                    // op index -> block position
+    std::vector<std::array<OpId, 2>> def_of_arg_;  // per position
+    std::vector<std::vector<OpId>> consumers_;     // per position
+    std::vector<bool> external_use_;               // per position
+};
+
+}  // namespace slpwlo

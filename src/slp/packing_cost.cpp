@@ -1,0 +1,186 @@
+#include "slp/packing_cost.hpp"
+
+#include <algorithm>
+
+namespace slpwlo {
+
+std::vector<OpId> fused_lanes(const PackedView& view, const Candidate& c) {
+    std::vector<OpId> lanes = view.node(c.a).lanes;
+    const auto& more = view.node(c.b).lanes;
+    lanes.insert(lanes.end(), more.begin(), more.end());
+    return lanes;
+}
+
+bool lanes_memory_adjacent(const PackedView& view,
+                           const std::vector<OpId>& lanes) {
+    const Kernel& kernel = view.kernel();
+    const Op& first = kernel.op(lanes.front());
+    if (!first.is_memory()) return false;
+    for (size_t i = 1; i < lanes.size(); ++i) {
+        const Op& op = kernel.op(lanes[i]);
+        if (op.array != first.array) return false;
+        const auto diff =
+            op.index.constant_difference(kernel.op(lanes[i - 1]).index);
+        if (!diff.has_value() || *diff != 1) return false;
+    }
+    return true;
+}
+
+std::vector<OpId> operand_defs(const PackedView& view,
+                               const std::vector<OpId>& lanes, int slot) {
+    std::vector<OpId> defs;
+    defs.reserve(lanes.size());
+    for (const OpId lane : lanes) {
+        const OpId def = view.def_of_arg(lane, slot);
+        if (!def.valid()) return {};
+        defs.push_back(def);
+    }
+    return defs;
+}
+
+namespace {
+
+enum class SuperwordMatch { No, Direct, Reversed };
+
+/// Does some candidate or existing group produce exactly `defs` — in lane
+/// order (Direct) or in reverse (Reversed, realizable with one vector
+/// permute; the FIR convolution's x-descending / c-ascending pattern)?
+/// A load producer only counts when its lanes are memory-adjacent: a
+/// gathered (non-contiguous) load group merely relocates the packing cost,
+/// it does not produce a free superword.
+SuperwordMatch producible_as_superword(const PackedView& view,
+                                       const std::vector<Candidate>& available,
+                                       const std::vector<OpId>& defs) {
+    if (defs.empty()) return SuperwordMatch::No;
+    std::vector<OpId> reversed(defs.rbegin(), defs.rend());
+
+    auto usable = [&view](const std::vector<OpId>& producer_lanes) {
+        if (view.kernel().op(producer_lanes.front()).kind != OpKind::Load) {
+            return true;
+        }
+        return lanes_memory_adjacent(view, producer_lanes);
+    };
+
+    for (const Candidate& c : available) {
+        const std::vector<OpId> lanes = fused_lanes(view, c);
+        if (lanes == defs && usable(lanes)) return SuperwordMatch::Direct;
+        if (lanes == reversed && usable(lanes)) return SuperwordMatch::Reversed;
+    }
+    for (int i = 0; i < view.size(); ++i) {
+        if (view.width(i) < 2) continue;
+        const std::vector<OpId>& lanes = view.node(i).lanes;
+        if (lanes == defs && usable(lanes)) return SuperwordMatch::Direct;
+        if (lanes == reversed && usable(lanes)) return SuperwordMatch::Reversed;
+    }
+    return SuperwordMatch::No;
+}
+
+/// True if every lane reads the same live-in variable (splat).
+bool is_splat(const PackedView& view, const std::vector<OpId>& lanes,
+              int slot) {
+    const Kernel& kernel = view.kernel();
+    const VarId first = kernel.op(lanes.front()).args[slot];
+    for (const OpId lane : lanes) {
+        if (view.def_of_arg(lane, slot).valid()) return false;
+        if (kernel.op(lane).args[slot] != first) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Economics evaluate_candidate(const PackedView& view,
+                             const std::vector<Candidate>& available,
+                             const Candidate& c, const TargetModel& target) {
+    Economics econ;
+    econ.saved_ops = 1.0;  // two issues become one
+    const Kernel& kernel = view.kernel();
+    const std::vector<OpId> lanes = fused_lanes(view, c);
+    const int w = static_cast<int>(lanes.size());
+    const OpKind kind = view.kind(c.a);
+
+    if (kind == OpKind::Load || kind == OpKind::Store) {
+        if (!lanes_memory_adjacent(view, lanes)) {
+            // Gather/scatter: synthesize the vector (or tear it apart)
+            // lane by lane.
+            econ.pack_cost += (w - 1) * target.pack2_ops;
+        }
+    }
+
+    // Operand superwords of arithmetic ops and the stored value of stores.
+    const int slots = kernel.op(lanes.front()).num_args();
+    for (int slot = 0; slot < slots; ++slot) {
+        // acc = acc + p: the operand is the group's own previous-iteration
+        // result, held in a vector register — a reuse, not a pack.
+        const bool self_accumulation = std::all_of(
+            lanes.begin(), lanes.end(), [&](OpId lane) {
+                const Op& op = kernel.op(lane);
+                return op.dest.valid() && op.args[slot] == op.dest &&
+                       !view.def_of_arg(lane, slot).valid();
+            });
+        if (self_accumulation) {
+            econ.reuse += 1.0;
+            continue;
+        }
+        const std::vector<OpId> defs = operand_defs(view, lanes, slot);
+        switch (producible_as_superword(view, available, defs)) {
+            case SuperwordMatch::Direct:
+                econ.reuse += 1.0;
+                break;
+            case SuperwordMatch::Reversed:
+                econ.reuse += 1.0;
+                econ.pack_cost += 1.0;  // one vector permute
+                break;
+            case SuperwordMatch::No:
+                if (!defs.empty() && lanes_memory_adjacent(view, defs)) {
+                    // Loads that could be vectorized even w/o a candidate.
+                    econ.reuse += 0.5;
+                } else if (is_splat(view, lanes, slot)) {
+                    econ.pack_cost += 1.0;
+                } else {
+                    econ.pack_cost += (w - 1) * target.pack2_ops;
+                }
+                break;
+        }
+    }
+
+    // Result side (stores produce no value).
+    if (kind != OpKind::Store) {
+        // A consuming candidate whose operand lanes match c's lanes turns
+        // the result into a reused superword. A self-accumulating group
+        // consumes its own result in the next iteration.
+        bool consumed_as_superword = false;
+        for (int slot = 0; slot < slots && !consumed_as_superword; ++slot) {
+            consumed_as_superword = std::all_of(
+                lanes.begin(), lanes.end(), [&](OpId lane) {
+                    const Op& op = kernel.op(lane);
+                    return op.dest.valid() && op.args[slot] == op.dest;
+                });
+        }
+        const std::vector<OpId> lanes_reversed(lanes.rbegin(), lanes.rend());
+        for (const Candidate& d : available) {
+            if (d == c) continue;
+            const std::vector<OpId> dl = fused_lanes(view, d);
+            const int dslots = kernel.op(dl.front()).num_args();
+            for (int slot = 0; slot < dslots; ++slot) {
+                const std::vector<OpId> defs = operand_defs(view, dl, slot);
+                if (defs == lanes || defs == lanes_reversed) {
+                    econ.reuse += 1.0;
+                    consumed_as_superword = true;
+                }
+            }
+        }
+        if (!consumed_as_superword) {
+            for (const OpId lane : lanes) {
+                if (!view.consumers_of(lane).empty() ||
+                    view.has_external_uses(lane)) {
+                    econ.unpack_cost += target.extract_ops;
+                }
+            }
+        }
+    }
+
+    return econ;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,51 @@
+// Candidate economics: superword reuse and packing/unpacking cost
+// (the Liu-style benefit inputs, Section II.A / III.B).
+//
+// For a candidate (the tentative fusion of two view nodes), we analyze:
+//  * memory adjacency — contiguous loads/stores become one vector access,
+//    anything else needs per-lane packing/extraction;
+//  * operand superwords — an operand vector is free when another candidate
+//    (or an already-formed group) produces exactly those lanes in order,
+//    cheap when it is a splat, and otherwise costs pack operations;
+//  * result use — a result consumed lane-by-lane by scalar code costs
+//    extraction; consumed by a matching candidate it is a reuse.
+#pragma once
+
+#include <vector>
+
+#include "slp/candidate.hpp"
+
+namespace slpwlo {
+
+struct Economics {
+    /// Superword reuses enabled by selecting this candidate (operand vectors
+    /// produced by other candidates/groups + consumers that can take the
+    /// result as a superword).
+    double reuse = 0.0;
+    /// ALU ops to assemble operand vectors that are not reusable.
+    double pack_cost = 0.0;
+    /// ALU ops to extract lanes consumed by scalar code.
+    double unpack_cost = 0.0;
+    /// Instruction issues saved by fusing (one per fusion).
+    double saved_ops = 0.0;
+};
+
+/// The fused lane list of a candidate: lanes(a) followed by lanes(b).
+std::vector<OpId> fused_lanes(const PackedView& view, const Candidate& c);
+
+/// True if the lanes are loads/stores of consecutive elements (ascending,
+/// constant step 1) of one array.
+bool lanes_memory_adjacent(const PackedView& view,
+                           const std::vector<OpId>& lanes);
+
+/// In-block defining ops of each lane's operand `slot`; empty if any lane's
+/// operand is live-in to the block.
+std::vector<OpId> operand_defs(const PackedView& view,
+                               const std::vector<OpId>& lanes, int slot);
+
+/// Economics of candidate `c` given the other candidates still available.
+Economics evaluate_candidate(const PackedView& view,
+                             const std::vector<Candidate>& available,
+                             const Candidate& c, const TargetModel& target);
+
+}  // namespace slpwlo

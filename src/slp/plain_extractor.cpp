@@ -1,0 +1,100 @@
+#include "slp/plain_extractor.hpp"
+
+namespace slpwlo {
+
+SlpStats& SlpStats::operator+=(const SlpStats& other) {
+    rounds += other.rounds;
+    candidates_seen += other.candidates_seen;
+    invalid_candidates += other.invalid_candidates;
+    structural_conflicts += other.structural_conflicts;
+    extra_conflicts += other.extra_conflicts;
+    selected += other.selected;
+    rejected_at_select += other.rejected_at_select;
+    return *this;
+}
+
+std::vector<SimdGroup> extract_slp(PackedView& view, const TargetModel& target,
+                                   const SlpOptions& options,
+                                   const SlpHooks& hooks, SlpStats* stats) {
+    SlpStats local;
+    for (int round = 0; round < options.max_rounds; ++round) {
+        if (hooks.round_begin) hooks.round_begin();
+        std::vector<Candidate> candidates = extract_candidates(view, target);
+        local.candidates_seen += static_cast<int>(candidates.size());
+
+        if (hooks.candidate_valid) {
+            std::vector<Candidate> valid;
+            valid.reserve(candidates.size());
+            for (const Candidate& c : candidates) {
+                if (hooks.candidate_valid(c)) {
+                    valid.push_back(c);
+                } else {
+                    local.invalid_candidates++;
+                }
+            }
+            candidates = std::move(valid);
+        }
+        if (candidates.empty()) break;
+
+        ConflictSet conflicts = detect_structural_conflicts(view, candidates);
+        local.structural_conflicts += static_cast<int>(conflicts.pair_count());
+        if (hooks.extra_conflict) {
+            for (size_t i = 0; i < candidates.size(); ++i) {
+                for (size_t j = i + 1; j < candidates.size(); ++j) {
+                    if (conflicts.conflict(i, j)) continue;
+                    if (hooks.extra_conflict(candidates[i], candidates[j])) {
+                        conflicts.add(i, j);
+                        local.extra_conflicts++;
+                    }
+                }
+            }
+        }
+
+        std::vector<std::pair<int, int>> selected = select_candidates(
+            view, std::move(candidates), conflicts, target,
+            options.benefit_mode, options.min_benefit, hooks.try_select,
+            &local.rejected_at_select);
+        if (hooks.round_finish) {
+            std::vector<Candidate> as_candidates;
+            as_candidates.reserve(selected.size());
+            for (const auto& [a, b] : selected) {
+                as_candidates.push_back(Candidate{a, b});
+            }
+            as_candidates = hooks.round_finish(std::move(as_candidates));
+            selected.clear();
+            for (const Candidate& c : as_candidates) {
+                selected.emplace_back(c.a, c.b);
+            }
+        }
+        if (selected.empty()) break;
+
+        local.selected += static_cast<int>(selected.size());
+        local.rounds++;
+        view.fuse(selected);
+    }
+    if (stats != nullptr) *stats += local;
+    return view.groups();
+}
+
+std::vector<SimdGroup> extract_slp_plain(PackedView& view,
+                                         const TargetModel& target,
+                                         const FixedPointSpec& spec,
+                                         const SlpOptions& options,
+                                         SlpStats* stats) {
+    SlpHooks hooks;
+    hooks.candidate_valid = [&view, &target, &spec](const Candidate& c) {
+        // All elements of a group must have the same WL, and a SIMD
+        // configuration must exist whose element slots hold that WL.
+        const std::vector<OpId> lanes = fused_lanes(view, c);
+        const int wl = spec.result_format(lanes.front()).wl();
+        for (const OpId lane : lanes) {
+            if (spec.result_format(lane).wl() != wl) return false;
+        }
+        const auto slot_wl =
+            target.simd_element_wl(static_cast<int>(lanes.size()));
+        return slot_wl.has_value() && *slot_wl >= wl;
+    };
+    return extract_slp(view, target, options, hooks, stats);
+}
+
+}  // namespace slpwlo

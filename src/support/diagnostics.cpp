@@ -1,0 +1,27 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace slpwlo {
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : Error("parse error at " + std::to_string(line) + ":" +
+            std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+    std::ostringstream os;
+    os << "internal error: assertion `" << expr << "` failed at " << file
+       << ":" << line;
+    if (!message.empty()) {
+        os << ": " << message;
+    }
+    throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace slpwlo

@@ -1,0 +1,63 @@
+// Diagnostics: error type and assertion helpers used across the library.
+//
+// The library reports user-facing failures (malformed kernels, invalid
+// configurations, infeasible constraints) by throwing slpwlo::Error.
+// Internal invariant violations use SLPWLO_ASSERT, which throws
+// InternalError with source location so tests can detect logic bugs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace slpwlo {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Raised when an internal invariant is violated (a bug in the library).
+class InternalError : public Error {
+public:
+    explicit InternalError(const std::string& message) : Error(message) {}
+};
+
+/// Raised by the frontend on malformed kernel-DSL input.
+class ParseError : public Error {
+public:
+    ParseError(const std::string& message, int line, int column);
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace slpwlo
+
+/// Internal invariant check. Always enabled: the algorithms in this library
+/// are cheap relative to the cost of silently producing a wrong fixed-point
+/// specification.
+#define SLPWLO_ASSERT(expr, message)                                          \
+    do {                                                                      \
+        if (!(expr)) {                                                        \
+            ::slpwlo::detail::assert_fail(#expr, __FILE__, __LINE__,          \
+                                          (message));                        \
+        }                                                                     \
+    } while (false)
+
+/// User-facing precondition check: throws slpwlo::Error with `message`.
+#define SLPWLO_CHECK(expr, message)                                           \
+    do {                                                                      \
+        if (!(expr)) {                                                        \
+            throw ::slpwlo::Error(message);                                   \
+        }                                                                     \
+    } while (false)

@@ -1,0 +1,77 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+namespace {
+
+uint64_t splitmix64(uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t hash_name(std::string_view name) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+Rng::Rng(uint64_t seed, std::string_view stream_name)
+    : Rng(seed ^ hash_name(stream_name)) {}
+
+Rng::Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+        word = splitmix64(sm);
+    }
+}
+
+uint64_t Rng::next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::next_double() {
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    SLPWLO_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * next_double();
+}
+
+int Rng::uniform_int(int lo, int hi) {
+    SLPWLO_CHECK(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+    const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::normal() {
+    // Box-Muller; discard the second variate for simplicity.
+    double u1 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace slpwlo

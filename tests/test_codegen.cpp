@@ -1,0 +1,216 @@
+// Code-generation tests: structural checks on the emitted C, plus the
+// compile-and-run integration test — the generated fixed-point and SIMD C
+// must be bit-exact with the bit-accurate simulator (host compiler
+// required; skipped if none is available).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/fixed_c.hpp"
+#include "codegen/simd_c.hpp"
+#include "flow/flow.hpp"
+#include "sim/fixed_sim.hpp"
+#include "support/dbmath.hpp"
+#include "support/text.hpp"
+#include "target/target_model.hpp"
+#include "codegen/c_emitter.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+using ::slpwlo::testing::initial_spec;
+using ::slpwlo::testing::set_uniform_wl;
+using ::slpwlo::testing::small_fir;
+
+bool host_cc_available() {
+    static const bool available =
+        std::system("cc --version > /dev/null 2>&1") == 0;
+    return available;
+}
+
+TEST(FixedC, StructuralContent) {
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    const FixedCResult result = emit_fixed_c(k, spec);
+    EXPECT_EQ(result.function_name, "fir16_fixed");
+    EXPECT_TRUE(contains(result.code, "void fir16_fixed("));
+    EXPECT_TRUE(contains(result.code, "static const int16_t c[16]"));
+    EXPECT_TRUE(contains(result.code, "for (int"));
+    EXPECT_TRUE(contains(result.code, "slpwlo_shr"));  // scaling shifts
+    EXPECT_TRUE(contains(result.code, "slpwlo_sat"));
+}
+
+TEST(FixedC, RawCoefficientValues) {
+    const Kernel& k = ::slpwlo::testing::make_two_tap(0.5, 0.25);
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    const FixedCResult result = emit_fixed_c(k, spec);
+    // c in format <iwl=0 (|c|<=0.5), fwl=16>: 0.5 saturates to 0.5-2^-16.
+    const FixedFormat fmt = spec.array_format(k.find_array("c"));
+    const long long raw0 = raw_fixed_value(0.5, fmt, QuantMode::Truncate);
+    EXPECT_TRUE(contains(result.code, std::to_string(raw0)));
+}
+
+TEST(SimdC, StructuralContent) {
+    const KernelContext ctx(small_fir());
+    FlowOptions options;
+    options.accuracy_db = -30.0;
+    const FlowResult flow =
+        run_wlo_slp_flow(ctx, targets::xentium(), options);
+    const FixedCResult result =
+        emit_simd_c(ctx.kernel(), flow.spec, flow.groups);
+    EXPECT_TRUE(contains(result.code, "SLPWLO_VLOAD"));
+    EXPECT_TRUE(contains(result.code, "SLPWLO_VMUL"));
+    EXPECT_TRUE(contains(result.code, "SLPWLO_VADD"));
+    EXPECT_TRUE(contains(result.code, "slpwlo_simd_emu.h"));
+}
+
+TEST(SimdC, EmulationHeaderAndMappingNotes) {
+    const std::string header = simd_emulation_header();
+    EXPECT_TRUE(contains(header, "SLPWLO_VADD"));
+    EXPECT_TRUE(contains(header, "slpwlo_vec"));
+    const std::string notes =
+        simd_target_mapping_comment(targets::xentium());
+    EXPECT_TRUE(contains(notes, "XENTIUM"));
+    EXPECT_TRUE(contains(notes, "32 bits"));
+}
+
+/// Compile-and-run equivalence: generated code vs bit-accurate simulator.
+class CodegenRoundTrip : public ::testing::Test {
+protected:
+    /// Writes a main() that feeds raw inputs, runs the generated function
+    /// and prints outputs; returns the printed raw outputs.
+    std::vector<long long> compile_and_run(const std::string& code,
+                                           const std::string& fn,
+                                           const Kernel& kernel,
+                                           const FixedPointSpec& spec,
+                                           const Stimulus& stimulus,
+                                           const std::string& tag) {
+        const std::string dir = ::testing::TempDir() + "slpwlo_" + tag;
+        std::system(("mkdir -p " + dir).c_str());
+        {
+            std::ofstream emu(dir + "/slpwlo_simd_emu.h");
+            emu << simd_emulation_header();
+        }
+        std::ofstream src(dir + "/gen.c");
+        src << code << "\n#include <stdio.h>\n";
+        // Driver.
+        const ArrayDecl& in = kernel.arrays()[0];
+        const FixedFormat in_fmt = spec.array_format(ArrayId(0));
+        src << "int main(void) {\n";
+        src << "  static " << (in_fmt.wl() <= 8    ? "int8_t"
+                               : in_fmt.wl() <= 16 ? "int16_t"
+                                                   : "int32_t")
+            << " in[" << in.size << "] = {";
+        for (int i = 0; i < in.size; ++i) {
+            src << raw_fixed_value(stimulus[0][static_cast<size_t>(i)],
+                                   in_fmt, spec.quant_mode())
+                << (i + 1 < in.size ? "," : "");
+        }
+        src << "};\n";
+        ArrayId out_id;
+        for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+            if (kernel.arrays()[a].storage == StorageClass::Output) {
+                out_id = ArrayId(static_cast<int32_t>(a));
+            }
+        }
+        const ArrayDecl& out = kernel.array(out_id);
+        const FixedFormat out_fmt = spec.array_format(out_id);
+        src << "  static " << (out_fmt.wl() <= 8    ? "int8_t"
+                               : out_fmt.wl() <= 16 ? "int16_t"
+                                                    : "int32_t")
+            << " out[" << out.size << "] = {0};\n";
+        src << "  " << fn << "(in, out);\n";
+        src << "  for (int i = 0; i < " << out.size
+            << "; ++i) printf(\"%lld\\n\", (long long)out[i]);\n";
+        src << "  return 0;\n}\n";
+        src.close();
+
+        const std::string bin = dir + "/gen";
+        const std::string cmd =
+            "cc -std=c99 -O1 -I " + dir + " -o " + bin + " " + dir + "/gen.c";
+        EXPECT_EQ(std::system(cmd.c_str()), 0) << "generated C must compile";
+
+        std::vector<long long> values;
+        FILE* pipe = popen((bin).c_str(), "r");
+        EXPECT_NE(pipe, nullptr);
+        long long v = 0;
+        while (fscanf(pipe, "%lld", &v) == 1) values.push_back(v);
+        pclose(pipe);
+        return values;
+    }
+
+    void expect_matches_simulator(const Kernel& kernel,
+                                  const FixedPointSpec& spec,
+                                  const std::vector<long long>& raw_outputs) {
+        const Stimulus stimulus = make_stimulus(kernel, 0xC0DE);
+        const FixedSimResult sim = run_fixed(kernel, spec, stimulus);
+        ArrayId out_id;
+        for (size_t a = 0; a < kernel.arrays().size(); ++a) {
+            if (kernel.arrays()[a].storage == StorageClass::Output) {
+                out_id = ArrayId(static_cast<int32_t>(a));
+            }
+        }
+        const double step = spec.array_format(out_id).step();
+        // The driver prints the whole output array; kernels that shift
+        // their writes (IIR warm-up region) leave a zero prefix.
+        ASSERT_GE(raw_outputs.size(), sim.outputs.size());
+        const size_t offset = raw_outputs.size() - sim.outputs.size();
+        for (size_t i = 0; i < offset; ++i) {
+            EXPECT_EQ(raw_outputs[i], 0) << "warm-up element " << i;
+        }
+        for (size_t i = 0; i < sim.outputs.size(); ++i) {
+            const long long expected =
+                static_cast<long long>(std::llround(sim.outputs[i] / step));
+            EXPECT_EQ(raw_outputs[i + offset], expected) << "output " << i;
+        }
+    }
+};
+
+TEST_F(CodegenRoundTrip, FixedCMatchesSimulatorBitExactly) {
+    if (!host_cc_available()) GTEST_SKIP() << "no host C compiler";
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    const Stimulus stimulus = make_stimulus(k, 0xC0DE);
+    const FixedCResult gen = emit_fixed_c(k, spec);
+    const auto raw = compile_and_run(gen.code, gen.function_name, k, spec,
+                                     stimulus, "fixed");
+    expect_matches_simulator(k, spec, raw);
+}
+
+TEST_F(CodegenRoundTrip, SimdCMatchesSimulatorBitExactly) {
+    if (!host_cc_available()) GTEST_SKIP() << "no host C compiler";
+    const KernelContext ctx(small_fir());
+    FlowOptions options;
+    options.accuracy_db = -30.0;
+    const FlowResult flow = run_wlo_slp_flow(ctx, targets::vex4(), options);
+    const Stimulus stimulus = make_stimulus(ctx.kernel(), 0xC0DE);
+    const FixedCResult gen =
+        emit_simd_c(ctx.kernel(), flow.spec, flow.groups);
+    const auto raw = compile_and_run(gen.code, gen.function_name,
+                                     ctx.kernel(), flow.spec, stimulus,
+                                     "simd");
+    expect_matches_simulator(ctx.kernel(), flow.spec, raw);
+}
+
+TEST_F(CodegenRoundTrip, IirFixedCMatches) {
+    if (!host_cc_available()) GTEST_SKIP() << "no host C compiler";
+    const Kernel& k = ::slpwlo::testing::small_iir();
+    RangeOptions range;
+    range.method = RangeMethod::Auto;
+    FixedPointSpec spec = build_initial_spec(k, range);
+    set_uniform_wl(spec, 16);
+    const Stimulus stimulus = make_stimulus(k, 0xC0DE);
+    const FixedCResult gen = emit_fixed_c(k, spec);
+    const auto raw = compile_and_run(gen.code, gen.function_name, k, spec,
+                                     stimulus, "iir");
+    expect_matches_simulator(k, spec, raw);
+}
+
+}  // namespace
+}  // namespace slpwlo

@@ -1,0 +1,277 @@
+// Tests for the paper's core algorithms: SLP-aware WLO (Fig. 1a),
+// accuracy-aware SLP (Fig. 1c), scaling optimization (Fig. 1b), plus the
+// Tabu WLO / WLO-First baseline.
+#include <gtest/gtest.h>
+
+#include "accuracy/sim_evaluator.hpp"
+#include "core/slp_aware_wlo.hpp"
+#include "core/wlo_first.hpp"
+#include "support/diagnostics.hpp"
+#include "target/target_model.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+using ::slpwlo::testing::cached_evaluator;
+using ::slpwlo::testing::initial_spec;
+using ::slpwlo::testing::small_conv;
+using ::slpwlo::testing::small_fir;
+using ::slpwlo::testing::small_iir;
+
+// --- Fig. 1a ---------------------------------------------------------------------
+
+TEST(SlpAwareWlo, RespectsEquationOne) {
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    const TargetModel target = targets::vex4();
+    WloSlpOptions options;
+    options.accuracy_db = -20.0;
+    const WloSlpResult result = run_slp_aware_wlo(
+        k, spec, cached_evaluator(k), target, options);
+    for (const BlockGroups& bg : result.block_groups) {
+        for (const SimdGroup& g : bg.groups) {
+            const auto m = target.simd_element_wl(g.width());
+            ASSERT_TRUE(m.has_value());
+            for (const OpId lane : g.lanes) {
+                EXPECT_LE(spec.result_format(lane).wl(), *m)
+                    << "equation (1) violated";
+            }
+        }
+    }
+}
+
+TEST(SlpAwareWlo, NonGroupedNodesKeepMaxWl) {
+    const Kernel& k = small_conv();
+    FixedPointSpec spec = initial_spec(k);
+    const TargetModel target = targets::xentium();
+    WloSlpOptions options;
+    options.accuracy_db = -30.0;
+    const WloSlpResult result = run_slp_aware_wlo(
+        k, spec, cached_evaluator(k), target, options);
+    // The serial accumulator is never groupable -> stays at 32.
+    const VarId acc = k.find_var("acc");
+    ASSERT_TRUE(acc.valid());
+    EXPECT_EQ(spec.var_format(acc).wl(), target.max_wl());
+    (void)result;
+}
+
+/// The central contract: across the whole constraint sweep the final spec
+/// satisfies the analytic accuracy constraint.
+class WloConstraintSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WloConstraintSweep, FinalSpecMeetsConstraint) {
+    const double a = GetParam();
+    for (const Kernel* k : {&small_fir(), &small_iir(), &small_conv()}) {
+        FixedPointSpec spec = initial_spec(*k);
+        WloSlpOptions options;
+        options.accuracy_db = a;
+        run_slp_aware_wlo(*k, spec, cached_evaluator(*k),
+                          targets::vex4(), options);
+        EXPECT_LE(cached_evaluator(*k).noise_power_db(spec), a + 1e-9)
+            << k->name() << " at " << a << " dB";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Constraints, WloConstraintSweep,
+                         ::testing::Values(-10.0, -25.0, -40.0, -55.0,
+                                           -70.0));
+
+TEST(SlpAwareWlo, MeasuredNoiseNearConstraintRegime) {
+    // Cross-validation with the bit-accurate simulator: the *measured*
+    // noise of the optimized spec must not exceed the constraint by more
+    // than the analytic model's error margin in its valid regime.
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    WloSlpOptions options;
+    options.accuracy_db = -40.0;
+    run_slp_aware_wlo(k, spec, cached_evaluator(k), targets::vex4(), options);
+    const SimulationEvaluator sim(k, 2);
+    EXPECT_LE(sim.noise_power_db(spec), -40.0 + 4.0);
+}
+
+TEST(SlpAwareWlo, InfeasibleConstraintThrows) {
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    WloSlpOptions options;
+    options.accuracy_db = -500.0;  // impossible even at 32 bits
+    EXPECT_THROW(run_slp_aware_wlo(k, spec, cached_evaluator(k),
+                                   targets::xentium(), options),
+                 Error);
+}
+
+TEST(SlpAwareWlo, StricterConstraintNeverMoreCoverage) {
+    // Group *count* is not monotone (width-4 merges reduce it), but the
+    // number of ops covered by SIMD groups must not grow as the accuracy
+    // constraint tightens.
+    const Kernel& k = small_fir();
+    const TargetModel target = targets::vex4();
+    int previous = 1 << 30;
+    for (const double a : {-10.0, -30.0, -50.0, -70.0}) {
+        FixedPointSpec spec = initial_spec(k);
+        WloSlpOptions options;
+        options.accuracy_db = a;
+        const auto result = run_slp_aware_wlo(k, spec, cached_evaluator(k),
+                                              target, options);
+        int lanes = 0;
+        for (const BlockGroups& bg : result.block_groups) {
+            for (const SimdGroup& g : bg.groups) lanes += g.width();
+        }
+        EXPECT_LE(lanes, previous)
+            << "SIMD coverage should shrink as A tightens";
+        previous = lanes;
+    }
+}
+
+TEST(SlpAwareWlo, BlocksVisitedByPriority) {
+    const Kernel& k = small_fir();
+    const auto order = blocks_by_priority(k);
+    for (size_t i = 1; i < order.size(); ++i) {
+        EXPECT_GE(k.block_frequency(order[i - 1]),
+                  k.block_frequency(order[i]));
+    }
+}
+
+// --- Fig. 1b ---------------------------------------------------------------------
+
+TEST(ScalingOptim, EqualizesConvMulAmounts) {
+    // CONV's 9 products have heterogeneous IWLs; after optimization the
+    // mul groups' per-lane quantization amounts must be uniform.
+    const Kernel& k = small_conv();
+    FixedPointSpec spec = initial_spec(k);
+    WloSlpOptions options;
+    options.accuracy_db = -30.0;
+    const auto result = run_slp_aware_wlo(k, spec, cached_evaluator(k),
+                                          targets::st240(), options);
+    EXPECT_GT(result.scaling_stats.equalized, 0);
+
+    const auto def_nodes = compute_var_def_nodes(k);
+    for (const BlockGroups& bg : result.block_groups) {
+        for (const SimdGroup& g : bg.groups) {
+            if (k.op(g.lanes[0]).kind != OpKind::Mul) continue;
+            std::set<int> amounts;
+            for (const OpId lane : g.lanes) {
+                const Op& op = k.op(lane);
+                const int full =
+                    spec.format(def_nodes[op.args[0].index()]).fwl +
+                    spec.format(def_nodes[op.args[1].index()]).fwl;
+                amounts.insert(full - spec.result_format(lane).fwl);
+            }
+            EXPECT_EQ(amounts.size(), 1u)
+                << "mul group scalings not equalized";
+        }
+    }
+}
+
+TEST(ScalingOptim, KeepsWordLengthsIntact) {
+    // Fig. 1b trades FWL for IWL but never changes WL.
+    const Kernel& k = small_conv();
+    FixedPointSpec with = initial_spec(k);
+    FixedPointSpec without = initial_spec(k);
+    WloSlpOptions on;
+    on.accuracy_db = -30.0;
+    WloSlpOptions off = on;
+    off.scaling_optim = false;
+    run_slp_aware_wlo(k, with, cached_evaluator(k), targets::st240(), on);
+    run_slp_aware_wlo(k, without, cached_evaluator(k), targets::st240(), off);
+    for (const NodeRef node : with.nodes()) {
+        EXPECT_EQ(with.format(node).wl(), without.format(node).wl());
+    }
+}
+
+TEST(ScalingOptim, StillMeetsConstraint) {
+    const Kernel& k = small_conv();
+    FixedPointSpec spec = initial_spec(k);
+    WloSlpOptions options;
+    options.accuracy_db = -35.0;
+    run_slp_aware_wlo(k, spec, cached_evaluator(k), targets::st240(),
+                      options);
+    EXPECT_LE(cached_evaluator(k).noise_power_db(spec), -35.0 + 1e-9);
+}
+
+// --- Tabu / WLO-First -------------------------------------------------------------
+
+TEST(TabuWlo, ReturnsFeasibleAndCheaper) {
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    const TabuStats stats = run_tabu_wlo(spec, cached_evaluator(k),
+                                         targets::xentium(), -30.0);
+    EXPECT_TRUE(stats.feasible);
+    EXPECT_LT(stats.best_cost, stats.initial_cost);
+    EXPECT_LE(cached_evaluator(k).noise_power_db(spec), -30.0 + 1e-9);
+}
+
+TEST(TabuWlo, StricterConstraintCostsMore) {
+    const Kernel& k = small_fir();
+    const WlCostModel cost_model(k, targets::xentium());
+    double previous = 0.0;
+    for (const double a : {-10.0, -40.0, -70.0}) {
+        FixedPointSpec spec = initial_spec(k);
+        run_tabu_wlo(spec, cached_evaluator(k), targets::xentium(), a);
+        const double cost = cost_model.cost(spec);
+        EXPECT_GE(cost, previous - 1e-9);
+        previous = cost;
+    }
+}
+
+TEST(TabuWlo, Deterministic) {
+    const Kernel& k = small_fir();
+    FixedPointSpec a = initial_spec(k);
+    FixedPointSpec b = initial_spec(k);
+    run_tabu_wlo(a, cached_evaluator(k), targets::vex4(), -35.0);
+    run_tabu_wlo(b, cached_evaluator(k), targets::vex4(), -35.0);
+    for (const NodeRef node : a.nodes()) {
+        EXPECT_EQ(a.format(node), b.format(node));
+    }
+}
+
+TEST(WlCostModel, WlProportionalProxy) {
+    const Kernel& k = small_fir();
+    const TargetModel target = targets::xentium();
+    const WlCostModel model(k, target);
+    FixedPointSpec wide = initial_spec(k);
+    ::slpwlo::testing::set_uniform_wl(wide, 32);
+    FixedPointSpec narrow = initial_spec(k);
+    ::slpwlo::testing::set_uniform_wl(narrow, 16);
+    EXPECT_NEAR(model.cost(narrow), model.cost(wide) / 2.0,
+                model.cost(wide) * 0.01);
+    EXPECT_DOUBLE_EQ(model.cost(wide), model.max_cost());
+}
+
+TEST(WloFirst, GroupsRespectEqualWlRule) {
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    WloFirstOptions options;
+    options.accuracy_db = -30.0;
+    const WloFirstResult result = run_wlo_first(
+        k, spec, cached_evaluator(k), targets::vex4(), options);
+    for (const BlockGroups& bg : result.block_groups) {
+        for (const SimdGroup& g : bg.groups) {
+            const int wl = spec.result_format(g.lanes[0]).wl();
+            for (const OpId lane : g.lanes) {
+                EXPECT_EQ(spec.result_format(lane).wl(), wl);
+            }
+        }
+    }
+}
+
+TEST(WloFirst, NeverChangesSpecDuringExtraction) {
+    // The decoupled baseline's SLP stage must not touch word lengths.
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    WloFirstOptions options;
+    options.accuracy_db = -30.0;
+    run_tabu_wlo(spec, cached_evaluator(k), targets::vex4(), -30.0,
+                 options.tabu);
+    std::vector<FixedFormat> before;
+    for (const NodeRef node : spec.nodes()) before.push_back(spec.format(node));
+    PackedView view(k, blocks_by_priority(k).front());
+    extract_slp_plain(view, targets::vex4(), spec, options.slp);
+    size_t i = 0;
+    for (const NodeRef node : spec.nodes()) {
+        EXPECT_EQ(spec.format(node), before[i++]);
+    }
+}
+
+}  // namespace
+}  // namespace slpwlo

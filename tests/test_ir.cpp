@@ -1,0 +1,370 @@
+// Unit tests for the IR: affine indices, builder, printer, verifier,
+// dependence analysis, unrolling.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "ir/builder.hpp"
+#include "ir/dependence.hpp"
+#include "ir/printer.hpp"
+#include "ir/unroll.hpp"
+#include "ir/verifier.hpp"
+#include "sim/double_sim.hpp"
+#include "support/diagnostics.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+using ::slpwlo::testing::small_fir;
+
+// --- Affine ---------------------------------------------------------------------
+
+TEST(Affine, ConstantAlgebra) {
+    const Affine a(5);
+    EXPECT_TRUE(a.is_constant());
+    EXPECT_EQ((a + 3).offset(), 8);
+    EXPECT_EQ((a - 7).offset(), -2);
+    EXPECT_EQ((a * 2).offset(), 10);
+    EXPECT_EQ((-a).offset(), -5);
+}
+
+TEST(Affine, VariableAlgebra) {
+    const LoopId l0(0), l1(1);
+    const Affine idx = Affine::var(l0) * 3 - Affine::var(l1) + 7;
+    EXPECT_EQ(idx.coeff(l0), 3);
+    EXPECT_EQ(idx.coeff(l1), -1);
+    EXPECT_EQ(idx.offset(), 7);
+    EXPECT_FALSE(idx.is_constant());
+}
+
+TEST(Affine, ZeroCoefficientsPruned) {
+    const LoopId l0(0);
+    const Affine idx = Affine::var(l0) - Affine::var(l0);
+    EXPECT_TRUE(idx.is_constant());
+    EXPECT_EQ(idx.offset(), 0);
+    EXPECT_TRUE((Affine::var(l0) * 0).is_constant());
+}
+
+TEST(Affine, ComparableAndDifference) {
+    const LoopId l0(0), l1(1);
+    const Affine a = Affine::var(l0) + 5;
+    const Affine b = Affine::var(l0) + 2;
+    const Affine c = Affine::var(l1) + 5;
+    EXPECT_TRUE(a.comparable(b));
+    EXPECT_EQ(a.constant_difference(b), 3);
+    EXPECT_FALSE(a.comparable(c));
+    EXPECT_EQ(a.constant_difference(c), std::nullopt);
+}
+
+TEST(Affine, Substitution) {
+    const LoopId k(0), j(1);
+    // i = 4j + 2 substituted into (3i + 1) gives 12j + 7.
+    const Affine idx = Affine::var(k) * 3 + 1;
+    const Affine sub = idx.substituted(k, Affine::var(j) * 4 + 2);
+    EXPECT_EQ(sub.coeff(j), 12);
+    EXPECT_EQ(sub.offset(), 7);
+    EXPECT_EQ(sub.coeff(k), 0);
+}
+
+TEST(Affine, Evaluate) {
+    const LoopId l0(0), l1(1);
+    const Affine idx = Affine::var(l0) * 2 + Affine::var(l1) * -1 + 3;
+    EXPECT_EQ(idx.evaluate({{l0, 5}, {l1, 4}}), 9);
+    EXPECT_THROW(idx.evaluate({{l0, 5}}), Error);
+}
+
+// --- Builder / printer / structure -------------------------------------------------
+
+TEST(Builder, SmallKernelStructure) {
+    const Kernel& k = small_fir();
+    EXPECT_EQ(k.name(), "fir16");
+    ASSERT_EQ(k.arrays().size(), 3u);
+    EXPECT_EQ(k.array(ArrayId(0)).name, "x");
+    EXPECT_EQ(k.array(ArrayId(1)).storage, StorageClass::Param);
+    EXPECT_EQ(k.array(ArrayId(2)).storage, StorageClass::Output);
+    EXPECT_EQ(k.loops().size(), 2u);
+    EXPECT_EQ(k.find_array("c"), ArrayId(1));
+    EXPECT_FALSE(k.find_array("nonexistent").valid());
+}
+
+TEST(Builder, RejectsDuplicatesAndBadLoops) {
+    KernelBuilder b("bad");
+    b.output("y", 4);
+    EXPECT_THROW(b.output("y", 4), Error);
+    EXPECT_THROW(b.begin_loop("n", 5, 5), Error);
+    EXPECT_THROW(b.param("empty", {}), Error);
+}
+
+TEST(Builder, TakeRequiresClosedLoops) {
+    KernelBuilder b("open");
+    b.output("y", 4);
+    b.begin_loop("n", 0, 4);
+    EXPECT_THROW(b.take(), Error);
+}
+
+TEST(Builder, BlockFrequencies) {
+    const Kernel& k = small_fir();
+    // Blocks: [acc init] [taps] [reduce+store] — taps block runs
+    // samples * taps/lanes times.
+    const auto blocks = k.blocks_in_order();
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(k.block_frequency(blocks[0]), 128);
+    EXPECT_EQ(k.block_frequency(blocks[1]), 128 * 4);
+    EXPECT_EQ(k.block_frequency_per_sample(blocks[1]), 4);
+    EXPECT_EQ(k.block_frequency_per_sample(blocks[2]), 1);
+}
+
+TEST(Builder, EnclosingLoops) {
+    const Kernel& k = small_fir();
+    const auto blocks = k.blocks_in_order();
+    EXPECT_EQ(k.enclosing_loops(blocks[0]).size(), 1u);
+    EXPECT_EQ(k.enclosing_loops(blocks[1]).size(), 2u);
+    // Outermost first.
+    EXPECT_EQ(k.enclosing_loops(blocks[1])[0],
+              k.enclosing_loops(blocks[0])[0]);
+}
+
+TEST(Printer, MentionsDeclarationsAndOps) {
+    const std::string text = print_kernel(small_fir());
+    EXPECT_NE(text.find("kernel fir16"), std::string::npos);
+    EXPECT_NE(text.find("input x[143] range [-1, 1]"), std::string::npos);
+    EXPECT_NE(text.find("mul"), std::string::npos);
+    EXPECT_NE(text.find("store y["), std::string::npos);
+    EXPECT_NE(text.find("loop n"), std::string::npos);
+}
+
+// --- Verifier -----------------------------------------------------------------
+
+TEST(Verifier, AcceptsBuiltKernels) {
+    EXPECT_NO_THROW(verify_kernel(small_fir()));
+    EXPECT_NO_THROW(verify_kernel(::slpwlo::testing::small_iir()));
+    EXPECT_NO_THROW(verify_kernel(::slpwlo::testing::small_conv()));
+}
+
+TEST(Verifier, CatchesOutOfBounds) {
+    KernelBuilder b("oob");
+    const ArrayId x = b.input("x", 4, Interval(-1.0, 1.0));
+    const ArrayId y = b.output("y", 8);
+    const LoopId n = b.begin_loop("n", 0, 8);
+    b.store(y, Affine::var(n), b.load(x, Affine::var(n)));  // x[7] overflows
+    b.end_loop();
+    const Kernel k = b.take();
+    EXPECT_THROW(verify_kernel(k), Error);
+}
+
+TEST(Verifier, CatchesWriteToReadOnly) {
+    KernelBuilder b("ro");
+    const ArrayId x = b.input("x", 4, Interval(-1.0, 1.0));
+    const VarId v = b.constant(1.0);
+    b.store(x, Affine(0), v);
+    const Kernel k = b.take();
+    EXPECT_THROW(verify_kernel(k), Error);
+}
+
+TEST(Verifier, CatchesForeignLoopIndex) {
+    KernelBuilder b("foreign");
+    const ArrayId y = b.output("y", 8);
+    const LoopId n = b.begin_loop("n", 0, 4);
+    b.set_const(b.user_var("t"), 0.0);
+    b.end_loop();
+    // Index references loop n outside its body.
+    const VarId v = b.constant(1.0);
+    b.store(y, Affine::var(n), v);
+    const Kernel k = b.take();
+    EXPECT_THROW(verify_kernel(k), Error);
+}
+
+// --- Dependence analysis -----------------------------------------------------------
+
+/// Builds: t0 = x[i]; t1 = x[i+1]; a = t0*c; b = t1*c; s = a+b; store y[i] = s
+/// plus an accumulator chain to exercise flow deps.
+struct DepFixture {
+    DepFixture() : builder("deps") {
+        x = builder.input("x", 10, Interval(-1.0, 1.0));
+        y = builder.output("y", 8);
+        n = builder.begin_loop("n", 0, 8);
+    }
+
+    Kernel finish() {
+        builder.end_loop();
+        return builder.take();
+    }
+
+    KernelBuilder builder;
+    ArrayId x, y;
+    LoopId n;
+};
+
+TEST(Dependence, IndependentMulsAndChains) {
+    DepFixture f;
+    const VarId t0 = f.builder.load(f.x, Affine::var(f.n));
+    const VarId t1 = f.builder.load(f.x, Affine::var(f.n) + 1);
+    const VarId m0 = f.builder.mul(t0, t0);
+    const VarId m1 = f.builder.mul(t1, t1);
+    const VarId s = f.builder.add(m0, m1);
+    f.builder.store(f.y, Affine::var(f.n), s);
+    const Kernel k = f.finish();
+
+    const BlockDeps deps(k, k.blocks_in_order()[0]);
+    // loads (0,1) independent; muls (2,3) independent.
+    EXPECT_TRUE(deps.independent(0, 1));
+    EXPECT_TRUE(deps.independent(2, 3));
+    // mul depends on its load; add depends on both muls transitively.
+    EXPECT_TRUE(deps.depends(2, 0));
+    EXPECT_FALSE(deps.depends(2, 1));
+    EXPECT_TRUE(deps.depends(4, 0));
+    EXPECT_TRUE(deps.depends(4, 3));
+    // store depends on everything upstream.
+    EXPECT_TRUE(deps.depends(5, 0));
+}
+
+TEST(Dependence, AccumulatorCreatesSerialChain) {
+    DepFixture f;
+    const VarId acc = f.builder.user_var("acc");
+    f.builder.set_const(acc, 0.0);                           // 0
+    const VarId t0 = f.builder.load(f.x, Affine::var(f.n));  // 1
+    f.builder.add(acc, t0, acc);                             // 2
+    const VarId t1 = f.builder.load(f.x, Affine::var(f.n) + 1);  // 3
+    f.builder.add(acc, t1, acc);                                 // 4
+    f.builder.store(f.y, Affine::var(f.n), acc);                 // 5
+    const Kernel k = f.finish();
+
+    const BlockDeps deps(k, k.blocks_in_order()[0]);
+    // The two accumulate ops are serialized (flow through acc).
+    EXPECT_FALSE(deps.independent(2, 4));
+    EXPECT_TRUE(deps.depends(4, 2));
+    // Loads stay independent of each other.
+    EXPECT_TRUE(deps.independent(1, 3));
+}
+
+TEST(Dependence, MemoryAliasConservatism) {
+    KernelBuilder b("mem");
+    const ArrayId buf = b.buffer("buf", 16);
+    const ArrayId y = b.output("y", 8);
+    const LoopId n = b.begin_loop("n", 0, 8);
+    const VarId v = b.constant(1.0);
+    b.store(buf, Affine::var(n), v);                       // 1
+    const VarId r1 = b.load(buf, Affine::var(n));          // 2: same index
+    const VarId r2 = b.load(buf, Affine::var(n) + 4);      // 3: disjoint
+    b.store(y, Affine::var(n), b.add(r1, r2));
+    b.end_loop();
+    const Kernel k = b.take();
+
+    const BlockDeps deps(k, k.blocks_in_order()[0]);
+    EXPECT_TRUE(deps.depends(2, 1));    // load after aliasing store
+    EXPECT_FALSE(deps.depends(3, 1));   // provably disjoint
+    EXPECT_TRUE(deps.independent(1, 3));
+}
+
+TEST(Dependence, LoopCarriedDistance) {
+    const LoopId n(0);
+    // store y[n], load y[n-1] -> distance 1.
+    EXPECT_EQ(loop_carried_distance(Affine::var(n), Affine::var(n) - 1, n), 1);
+    // store y[n], load y[n-4] -> distance 4.
+    EXPECT_EQ(loop_carried_distance(Affine::var(n), Affine::var(n) - 4, n), 4);
+    // store y[n], load y[n+1] -> never (reads ahead of writes).
+    EXPECT_EQ(loop_carried_distance(Affine::var(n), Affine::var(n) + 1, n),
+              std::nullopt);
+    // Same element every iteration.
+    EXPECT_EQ(loop_carried_distance(Affine(3), Affine(3), n), 1);
+    EXPECT_EQ(loop_carried_distance(Affine(3), Affine(4), n), std::nullopt);
+}
+
+TEST(Dependence, MayAlias) {
+    const LoopId n(0), m(1);
+    EXPECT_TRUE(may_alias(Affine::var(n), Affine::var(n)));
+    EXPECT_FALSE(may_alias(Affine::var(n), Affine::var(n) + 1));
+    // Incomparable -> conservative.
+    EXPECT_TRUE(may_alias(Affine::var(n), Affine::var(m)));
+}
+
+// --- Unrolling ---------------------------------------------------------------------
+
+Kernel make_unroll_test_kernel(int unroll) {
+    KernelBuilder b("unroll_test");
+    const ArrayId x = b.input("x", 16, Interval(-1.0, 1.0));
+    const ArrayId c = b.param("c", {0.5, -0.25, 0.125, 0.75});
+    const ArrayId y = b.output("y", 8);
+    const VarId acc = b.user_var("acc");
+    const LoopId n = b.begin_loop("n", 0, 8);
+    b.set_const(acc, 0.0);
+    const LoopId k = b.begin_loop("k", 0, 4, unroll);
+    const VarId prod =
+        b.mul(b.load(x, Affine::var(n) + Affine::var(k)), b.load(c, Affine::var(k)));
+    b.add(acc, prod, acc);
+    b.end_loop();
+    b.store(y, Affine::var(n), acc);
+    b.end_loop();
+    return b.take();
+}
+
+TEST(Unroll, FullUnrollRemovesLoop) {
+    const Kernel unrolled = unroll_kernel(make_unroll_test_kernel(0));
+    EXPECT_NO_THROW(verify_kernel(unrolled));
+    // Only the outer loop remains.
+    int live_loops = 0;
+    const std::function<void(const Region&)> count = [&](const Region& r) {
+        for (const auto& item : r.items) {
+            if (item.kind == RegionItem::Kind::Loop) {
+                ++live_loops;
+                count(unrolled.loop(item.loop).body);
+            }
+        }
+    };
+    count(unrolled.body());
+    EXPECT_EQ(live_loops, 1);
+    // The merged body block contains all 4 taps: 8 loads, 4 muls, 4 adds,
+    // 1 const, 1 store.
+    const auto blocks = unrolled.blocks_in_order();
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(unrolled.block(blocks[0]).ops.size(), 1u + 4u * 4u + 1u);
+}
+
+TEST(Unroll, PartialUnrollKeepsResidualLoop) {
+    const Kernel unrolled = unroll_kernel(make_unroll_test_kernel(2));
+    EXPECT_NO_THROW(verify_kernel(unrolled));
+    // Inner loop now has trip count 2 and an 8-op body (2 lanes x 4 ops).
+    bool found = false;
+    const std::function<void(const Region&)> scan = [&](const Region& r) {
+        for (const auto& item : r.items) {
+            if (item.kind == RegionItem::Kind::Loop) {
+                const Loop& loop = unrolled.loop(item.loop);
+                if (!loop.body.items.empty() &&
+                    loop.body.items[0].kind == RegionItem::Kind::Block) {
+                    const auto& ops =
+                        unrolled.block(loop.body.items[0].block).ops;
+                    if (ops.size() == 8u) found = true;
+                }
+                scan(loop.body);
+            }
+        }
+    };
+    scan(unrolled.body());
+    EXPECT_TRUE(found);
+}
+
+TEST(Unroll, NonDividingFactorThrows) {
+    EXPECT_THROW(unroll_kernel(make_unroll_test_kernel(3)), Error);
+}
+
+/// Property: unrolling must not change kernel semantics.
+class UnrollEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnrollEquivalence, OutputsMatchOriginal) {
+    const Kernel original = make_unroll_test_kernel(1);
+    const Kernel unrolled = unroll_kernel(make_unroll_test_kernel(GetParam()));
+    const Stimulus stimulus = make_stimulus(original, 99);
+    const auto ref = run_double(original, stimulus);
+    const auto got = run_double(unrolled, stimulus);
+    ASSERT_EQ(ref.outputs.size(), got.outputs.size());
+    for (size_t i = 0; i < ref.outputs.size(); ++i) {
+        EXPECT_NEAR(ref.outputs[i], got.outputs[i], 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnrollEquivalence,
+                         ::testing::Values(0, 1, 2, 4));
+
+}  // namespace
+}  // namespace slpwlo

@@ -1,0 +1,185 @@
+// Tests for the built-in benchmark kernels and their filter designers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/verifier.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/double_sim.hpp"
+#include "support/polynomial.hpp"
+#include "support/diagnostics.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+TEST(FirDesign, UnitDcGainAndSymmetry) {
+    const auto c = kernels::design_fir_lowpass(64);
+    ASSERT_EQ(c.size(), 64u);
+    double sum = 0.0;
+    for (const double v : c) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (size_t k = 0; k < c.size() / 2; ++k) {
+        EXPECT_NEAR(c[k], c[c.size() - 1 - k], 1e-12) << k;
+    }
+}
+
+TEST(FirDesign, MagnitudesSpreadOverOrders) {
+    // Heterogeneous coefficient magnitudes drive heterogeneous IWLs, the
+    // mechanism behind scaling mismatches (DESIGN.md). Expect > 100x spread.
+    const auto c = kernels::design_fir_lowpass(64);
+    double min_abs = 1e9, max_abs = 0.0;
+    for (const double v : c) {
+        min_abs = std::min(min_abs, std::fabs(v));
+        max_abs = std::max(max_abs, std::fabs(v));
+    }
+    EXPECT_GT(max_abs / min_abs, 100.0);
+}
+
+TEST(IirDesign, StableAndUnitShape) {
+    const auto design = kernels::design_iir(10);
+    EXPECT_EQ(design.b.size(), 11u);
+    EXPECT_EQ(design.a.size(), 10u);
+    // DC gain of the designed transfer function is 0.25.
+    Polynomial a_full{1.0};
+    for (const double v : design.a) a_full.push_back(v);
+    EXPECT_NEAR(poly_eval(design.b, 1.0) / poly_eval(a_full, 1.0), 0.25,
+                1e-9);
+}
+
+TEST(IirDesign, ImpulseResponseDecays) {
+    const auto design = kernels::design_iir(10);
+    // Direct-form simulation of the impulse response.
+    std::vector<double> y(400, 0.0);
+    for (int n = 0; n < 400; ++n) {
+        double acc = n <= 10 ? design.b[static_cast<size_t>(n)] : 0.0;
+        for (int t = 1; t <= 10 && t <= n; ++t) {
+            acc -= design.a[static_cast<size_t>(t - 1)] * y[n - t];
+        }
+        y[static_cast<size_t>(n)] = acc;
+    }
+    double tail = 0.0;
+    for (int n = 350; n < 400; ++n) tail += std::fabs(y[n]);
+    EXPECT_LT(tail, 1e-6);
+}
+
+TEST(ConvDesign, GaussianL1IsOne) {
+    const auto k = kernels::design_conv3x3();
+    ASSERT_EQ(k.size(), 9u);
+    double sum = 0.0;
+    for (const double v : k) sum += v;
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+    EXPECT_DOUBLE_EQ(k[4], 0.25);  // center dominates
+}
+
+TEST(BenchmarkKernels, AllVerifyAndRun) {
+    for (const std::string& name : kernels::benchmark_kernel_names()) {
+        const auto bench = kernels::make_benchmark_kernel(name);
+        EXPECT_NO_THROW(verify_kernel(bench.kernel)) << name;
+        const Stimulus stimulus = make_stimulus(bench.kernel, 42);
+        const auto result = run_double(bench.kernel, stimulus);
+        EXPECT_FALSE(result.outputs.empty()) << name;
+        for (const double v : result.outputs) {
+            EXPECT_TRUE(std::isfinite(v)) << name;
+        }
+    }
+}
+
+TEST(BenchmarkKernels, UnknownNameThrows) {
+    EXPECT_THROW(kernels::make_benchmark_kernel("FFT"), Error);
+}
+
+TEST(BenchmarkKernels, FirOutputCountMatchesSamples) {
+    const auto bench = kernels::make_benchmark_kernel("FIR");
+    const auto result = run_double(bench.kernel, make_stimulus(bench.kernel, 1));
+    EXPECT_EQ(result.outputs.size(), 512u);
+}
+
+TEST(BenchmarkKernels, ConvOutputIsImageSized) {
+    const auto bench = kernels::make_benchmark_kernel("CONV");
+    const auto result = run_double(bench.kernel, make_stimulus(bench.kernel, 1));
+    EXPECT_EQ(result.outputs.size(), 256u);
+}
+
+TEST(BenchmarkKernels, IirOutputsBounded) {
+    const auto bench = kernels::make_benchmark_kernel("IIR");
+    const auto result = run_double(bench.kernel, make_stimulus(bench.kernel, 1));
+    EXPECT_EQ(result.outputs.size(), 512u);
+    for (const double v : result.outputs) {
+        EXPECT_LT(std::fabs(v), 4.0);
+    }
+}
+
+TEST(BenchmarkKernels, IirMatchesDirectForm) {
+    // The kernel IR implementation must agree with a plain C++ direct-form
+    // implementation of the same filter.
+    kernels::IirConfig config;
+    config.order = 10;
+    config.samples = 64;
+    const Kernel k = kernels::make_iir10(config);
+    const auto design = kernels::design_iir(10);
+    const Stimulus stimulus = make_stimulus(k, 13);
+    const auto result = run_double(k, stimulus);
+
+    const auto& x = stimulus[0];
+    const int x_shift = static_cast<int>(k.array(ArrayId(0)).size) - 64;
+    std::vector<double> y(64, 0.0);
+    for (int n = 0; n < 64; ++n) {
+        double acc = 0.0;
+        for (int t = 0; t <= 10; ++t) {
+            const int xi = n - t + x_shift;
+            if (xi >= 0) acc += design.b[t] * x[xi];
+        }
+        for (int t = 1; t <= 10; ++t) {
+            if (n - t >= 0) acc -= design.a[t - 1] * y[n - t];
+        }
+        y[n] = acc;
+        EXPECT_NEAR(result.outputs[n], acc, 1e-9) << "sample " << n;
+    }
+}
+
+TEST(BenchmarkKernels, ConvMatchesDirectStencil) {
+    kernels::ConvConfig config;
+    config.height = 4;
+    config.width = 4;
+    const Kernel k = kernels::make_conv3x3(config);
+    const Stimulus stimulus = make_stimulus(k, 17);
+    const auto result = run_double(k, stimulus);
+    const auto& img = stimulus[0];
+    const auto coef = kernels::design_conv3x3();
+    const int in_w = 6;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            double acc = 0.0;
+            for (int u = 0; u < 3; ++u) {
+                for (int v = 0; v < 3; ++v) {
+                    acc += coef[u * 3 + v] * img[(i + u) * in_w + (j + v)];
+                }
+            }
+            EXPECT_NEAR(result.outputs[i * 4 + j], acc, 1e-12);
+        }
+    }
+}
+
+TEST(BenchmarkKernels, FirTapBlockShape) {
+    // The unrolled tap block must contain exactly 4 lanes of
+    // load/load/mul/add (SLP raw material).
+    const auto bench = kernels::make_benchmark_kernel("FIR");
+    const auto blocks = bench.kernel.blocks_in_order();
+    ASSERT_EQ(blocks.size(), 3u);
+    int loads = 0, muls = 0, adds = 0;
+    for (const OpId op : bench.kernel.block(blocks[1]).ops) {
+        switch (bench.kernel.op(op).kind) {
+            case OpKind::Load: ++loads; break;
+            case OpKind::Mul: ++muls; break;
+            case OpKind::Add: ++adds; break;
+            default: break;
+        }
+    }
+    EXPECT_EQ(loads, 8);
+    EXPECT_EQ(muls, 4);
+    EXPECT_EQ(adds, 4);
+}
+
+}  // namespace
+}  // namespace slpwlo

@@ -1,0 +1,301 @@
+// Tests for the SLP substrate: packed view, candidates, conflicts,
+// economics, extraction engine and the plain (WLO-First) extractor.
+#include <gtest/gtest.h>
+
+#include "slp/plain_extractor.hpp"
+#include "support/diagnostics.hpp"
+#include "target/target_model.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+using ::slpwlo::testing::initial_spec;
+using ::slpwlo::testing::set_uniform_wl;
+using ::slpwlo::testing::small_fir;
+
+BlockId hot_block(const Kernel& k) {
+    BlockId best = k.blocks_in_order().front();
+    for (const BlockId b : k.blocks_in_order()) {
+        if (k.block_frequency(b) > k.block_frequency(best)) best = b;
+    }
+    return best;
+}
+
+// --- PackedView ---------------------------------------------------------------
+
+TEST(PackedView, InitialNodesAreScalar) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    EXPECT_EQ(view.size(), 16);  // 4 lanes x (2 loads + mul + add)
+    for (int i = 0; i < view.size(); ++i) {
+        EXPECT_EQ(view.width(i), 1);
+    }
+    EXPECT_TRUE(view.groups().empty());
+}
+
+TEST(PackedView, FuseCreatesWiderNodes) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    // Find two independent muls.
+    std::vector<int> muls;
+    for (int i = 0; i < view.size(); ++i) {
+        if (view.kind(i) == OpKind::Mul) muls.push_back(i);
+    }
+    ASSERT_GE(muls.size(), 2u);
+    ASSERT_TRUE(view.independent(muls[0], muls[1]));
+    view.fuse({{muls[0], muls[1]}});
+    EXPECT_EQ(view.size(), 15);
+    const auto groups = view.groups();
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].width(), 2);
+}
+
+TEST(PackedView, DependenceThroughLanes) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    // The add consuming a mul's result depends on it; fusing keeps that.
+    int mul = -1, add = -1;
+    for (int i = 0; i < view.size(); ++i) {
+        if (view.kind(i) == OpKind::Mul && mul < 0) mul = i;
+        if (view.kind(i) == OpKind::Add && add < 0) add = i;
+    }
+    ASSERT_GE(mul, 0);
+    ASSERT_GE(add, 0);
+    EXPECT_TRUE(view.depends(add, mul) || view.independent(add, mul));
+}
+
+TEST(PackedView, SelfAccumulatorHasExternalUses) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    for (int i = 0; i < view.size(); ++i) {
+        if (view.kind(i) == OpKind::Add) {
+            // acc feeds the reduction in another block.
+            EXPECT_TRUE(view.has_external_uses(view.node(i).lanes[0]));
+        }
+    }
+}
+
+// --- candidates -----------------------------------------------------------------
+
+TEST(Candidates, IsomorphismRules) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const TargetModel target = targets::xentium();
+    const auto candidates = extract_candidates(view, target);
+    EXPECT_FALSE(candidates.empty());
+    for (const Candidate& c : candidates) {
+        EXPECT_EQ(view.kind(c.a), view.kind(c.b));
+        EXPECT_TRUE(view.independent(c.a, c.b));
+        if (view.kind(c.a) == OpKind::Load) {
+            EXPECT_EQ(k.op(view.node(c.a).lanes[0]).array,
+                      k.op(view.node(c.b).lanes[0]).array);
+        }
+    }
+}
+
+TEST(Candidates, NoneWithoutSimd) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const auto candidates =
+        extract_candidates(view, targets::generic32());
+    EXPECT_TRUE(candidates.empty());
+}
+
+TEST(Candidates, AdjacentLoadsOrientedAscending) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const auto candidates = extract_candidates(view, targets::xentium());
+    for (const Candidate& c : candidates) {
+        if (view.kind(c.a) != OpKind::Load) continue;
+        const auto diff =
+            k.op(view.node(c.b).lanes[0])
+                .index.constant_difference(k.op(view.node(c.a).lanes[0]).index);
+        if (diff.has_value() && std::abs(*diff) == 1) {
+            // Oriented so the pair is ascending-adjacent.
+            EXPECT_EQ(*diff, 1);
+        }
+    }
+}
+
+// --- conflicts -------------------------------------------------------------------
+
+TEST(Conflicts, SharedNodeConflicts) {
+    const Candidate c1{1, 2}, c2{2, 3}, c3{4, 5};
+    EXPECT_TRUE(shares_node(c1, c2));
+    EXPECT_FALSE(shares_node(c1, c3));
+}
+
+TEST(Conflicts, DetectedSetIsSymmetric) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const auto candidates = extract_candidates(view, targets::xentium());
+    const ConflictSet conflicts =
+        detect_structural_conflicts(view, candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        EXPECT_FALSE(conflicts.conflict(i, i));
+        for (size_t j = 0; j < candidates.size(); ++j) {
+            EXPECT_EQ(conflicts.conflict(i, j), conflicts.conflict(j, i));
+        }
+    }
+}
+
+TEST(Conflicts, CyclicDependencyCase) {
+    // a -> b and c -> d with cross dependencies: groups {a,d} and {b,c}
+    // would deadlock.
+    KernelBuilder b("cycle");
+    const ArrayId x = b.input("x", 8, Interval(-1.0, 1.0));
+    const ArrayId y = b.output("y", 4);
+    const LoopId n = b.begin_loop("n", 0, 4);
+    const VarId a1 = b.load(x, Affine::var(n));        // 0
+    const VarId a2 = b.load(x, Affine::var(n) + 4);    // 1
+    const VarId m1 = b.mul(a1, a1);                    // 2
+    const VarId m2 = b.mul(a2, m1);                    // 3: depends on m1
+    const VarId m3 = b.mul(a1, m2);                    // 4: depends on m2
+    b.store(y, Affine::var(n), b.add(m3, m2));
+    b.end_loop();
+    const Kernel k = b.take();
+    PackedView view(k, k.blocks_in_order()[0]);
+    // Candidate {2,4} x candidate {3, anything 3 depends on / that depends
+    // on it} — verify the primitive directly: {m1,m3} and a singleton pair
+    // containing m2 on both sides is impossible, so check cross deps.
+    EXPECT_TRUE(view.depends(4, 3));
+    EXPECT_TRUE(view.depends(3, 2));
+    const Candidate g1{2, 4};
+    // g1 is NOT a legal candidate (m3 depends on m1 transitively).
+    EXPECT_FALSE(view.independent(2, 4));
+    (void)g1;
+}
+
+// --- economics --------------------------------------------------------------------
+
+TEST(Economics, AdjacentLoadPairIsCheap) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const TargetModel target = targets::xentium();
+    const auto candidates = extract_candidates(view, target);
+    bool found_cheap_load = false;
+    for (const Candidate& c : candidates) {
+        if (view.kind(c.a) != OpKind::Load) continue;
+        const Economics econ = evaluate_candidate(view, candidates, c, target);
+        if (lanes_memory_adjacent(view, fused_lanes(view, c))) {
+            EXPECT_EQ(econ.pack_cost, 0.0);
+            found_cheap_load = true;
+        } else {
+            EXPECT_GT(econ.pack_cost, 0.0);
+        }
+    }
+    EXPECT_TRUE(found_cheap_load);
+}
+
+TEST(Economics, SelfAccumulationCountsAsReuse) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const TargetModel target = targets::xentium();
+    const auto candidates = extract_candidates(view, target);
+    for (const Candidate& c : candidates) {
+        if (view.kind(c.a) != OpKind::Add) continue;
+        const Economics econ = evaluate_candidate(view, candidates, c, target);
+        EXPECT_GE(econ.reuse, 1.0);  // acc operand is a held vector register
+    }
+}
+
+TEST(Economics, BenefitModes) {
+    Economics econ;
+    econ.reuse = 2.0;
+    econ.pack_cost = 1.0;
+    econ.saved_ops = 1.0;
+    EXPECT_DOUBLE_EQ(benefit_score(econ, BenefitMode::ReuseOverCost), 1.5);
+    EXPECT_DOUBLE_EQ(benefit_score(econ, BenefitMode::SavingsOnly), 1.0);
+}
+
+// --- extraction ------------------------------------------------------------------
+
+TEST(Extraction, FirPairsEverythingOn2x16) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    SlpStats stats;
+    const auto groups =
+        extract_slp_plain(view, targets::xentium(), spec, {}, &stats);
+    // 2 load pairs x2, 2 mul pairs, 2 add pairs = 8 groups of width 2.
+    EXPECT_EQ(groups.size(), 8u);
+    for (const SimdGroup& g : groups) {
+        EXPECT_EQ(g.width(), 2);
+    }
+    EXPECT_GE(stats.rounds, 1);
+    EXPECT_EQ(stats.selected, 8);
+}
+
+TEST(Extraction, WidensTo4On8BitCapableTarget) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 8);
+    const auto groups = extract_slp_plain(view, targets::vex4(), spec, {});
+    bool found_quad = false;
+    for (const SimdGroup& g : groups) {
+        if (g.width() == 4) found_quad = true;
+    }
+    EXPECT_TRUE(found_quad);
+}
+
+TEST(Extraction, EqualWlRuleBlocksMixedGroups) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    // Make one mul temporary 32-bit: its pair partner stays 16.
+    for (const auto& op : k.ops()) {
+        if (op.kind == OpKind::Mul) {
+            spec.set_wl(NodeRef::of_var(op.dest), 32);
+            break;
+        }
+    }
+    const auto groups = extract_slp_plain(view, targets::xentium(), spec, {});
+    for (const SimdGroup& g : groups) {
+        const int wl = spec.result_format(g.lanes[0]).wl();
+        for (const OpId lane : g.lanes) {
+            EXPECT_EQ(spec.result_format(lane).wl(), wl);
+        }
+    }
+}
+
+TEST(Extraction, SelectionIsDeterministic) {
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    std::vector<std::vector<SimdGroup>> runs;
+    for (int r = 0; r < 3; ++r) {
+        PackedView view(k, hot_block(k));
+        runs.push_back(extract_slp_plain(view, targets::xentium(), spec, {}));
+    }
+    for (size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].size(), runs[0].size());
+        for (size_t g = 0; g < runs[0].size(); ++g) {
+            EXPECT_EQ(runs[r][g].lanes, runs[0][g].lanes);
+        }
+    }
+}
+
+TEST(Extraction, GroupsAreDisjointAndIndependent) {
+    // Property: no op appears in two groups.
+    for (const Kernel* k :
+         {&small_fir(), &::slpwlo::testing::small_conv()}) {
+        PackedView view(*k, hot_block(*k));
+        FixedPointSpec spec = initial_spec(*k);
+        set_uniform_wl(spec, 16);
+        const auto groups = extract_slp_plain(view, targets::vex4(), spec, {});
+        std::set<int32_t> seen;
+        for (const SimdGroup& g : groups) {
+            for (const OpId lane : g.lanes) {
+                EXPECT_TRUE(seen.insert(lane.index()).second)
+                    << "op in two groups";
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace slpwlo

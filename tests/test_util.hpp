@@ -1,0 +1,87 @@
+// Shared test helpers: small cached kernels and spec construction.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "accuracy/analytic_evaluator.hpp"
+#include "fixpoint/iwl.hpp"
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+
+namespace slpwlo::testing {
+
+/// Small FIR (16 taps, 128 samples) for fast unit tests.
+inline const Kernel& small_fir() {
+    static const Kernel kernel = [] {
+        kernels::FirConfig config;
+        config.taps = 16;
+        config.samples = 128;
+        config.lanes = 4;
+        return kernels::make_fir64(config);
+    }();
+    return kernel;
+}
+
+/// Small IIR (order 4, 128 samples).
+inline const Kernel& small_iir() {
+    static const Kernel kernel = [] {
+        kernels::IirConfig config;
+        config.order = 4;
+        config.samples = 128;
+        config.lanes = 4;
+        return kernels::make_iir10(config);
+    }();
+    return kernel;
+}
+
+/// Small CONV (8x8 output).
+inline const Kernel& small_conv() {
+    static const Kernel kernel = [] {
+        kernels::ConvConfig config;
+        config.height = 8;
+        config.width = 8;
+        return kernels::make_conv3x3(config);
+    }();
+    return kernel;
+}
+
+/// Initial spec (ranges + IWLs) for a kernel, cached per kernel address.
+inline FixedPointSpec initial_spec(const Kernel& kernel,
+                                   RangeMethod method = RangeMethod::Auto) {
+    RangeOptions options;
+    options.method = method;
+    return build_initial_spec(kernel, options);
+}
+
+/// Set every node's total word length to `wl`.
+inline void set_uniform_wl(FixedPointSpec& spec, int wl) {
+    for (const NodeRef node : spec.nodes()) {
+        spec.set_wl(node, wl);
+    }
+}
+
+/// Cached analytic evaluator for a kernel (gain calibration is the
+/// expensive part; share it across tests).
+inline const AnalyticEvaluator& cached_evaluator(const Kernel& kernel) {
+    static std::map<const Kernel*, std::unique_ptr<AnalyticEvaluator>> cache;
+    auto& slot = cache[&kernel];
+    if (!slot) slot = std::make_unique<AnalyticEvaluator>(kernel);
+    return *slot;
+}
+
+/// A tiny two-tap kernel whose noise behaviour is hand-computable:
+/// y[n] = c0*x[n] + c1*x[n+1].
+inline Kernel make_two_tap(double c0 = 0.5, double c1 = 0.25) {
+    KernelBuilder b("two_tap");
+    const ArrayId x = b.input("x", 65, Interval(-1.0, 1.0));
+    const ArrayId c = b.param("c", {c0, c1});
+    const ArrayId y = b.output("y", 64);
+    const LoopId n = b.begin_loop("n", 0, 64);
+    const VarId p0 = b.mul(b.load(x, Affine::var(n)), b.load(c, Affine(0)));
+    const VarId p1 = b.mul(b.load(x, Affine::var(n) + 1), b.load(c, Affine(1)));
+    b.store(y, Affine::var(n), b.add(p0, p1));
+    b.end_loop();
+    return b.take();
+}
+
+}  // namespace slpwlo::testing
