@@ -12,28 +12,38 @@
 using namespace slpwlo;
 using namespace slpwlo::bench;
 
-int main() {
+int main(int argc, char** argv) {
     print_header("Ablation A2 — accuracy-aware extraction on/off",
                  "DATE'17 Fig. 1c lines 6-25");
+
+    FlowOptions blind_options;
+    blind_options.wlo_slp.accuracy_conflicts = false;
+    blind_options.wlo_slp.strict_feasibility = false;
+
+    const std::vector<TargetModel> ablation_targets{targets::xentium(),
+                                                    targets::vex4()};
+    std::vector<SweepPoint> points;
+    for (const std::string& kernel_name : kernels::paper_kernel_names()) {
+        for (const TargetModel& target : ablation_targets) {
+            for (const double a : {-25.0, -45.0, -65.0}) {
+                points.push_back({kernel_name, target.name, "WLO-SLP", a, {}});
+                points.push_back(
+                    {kernel_name, target.name, "WLO-SLP", a, blind_options});
+            }
+        }
+    }
+    const std::vector<SweepResult> results = driver().run(points);
 
     std::printf("%-6s %-9s %8s | %10s %10s | %10s %10s %9s\n", "kernel",
                 "target", "A(dB)", "aware-n", "aware-ok", "blind-n",
                 "blind-ok", "blind-g");
     int blind_violations = 0, aware_violations = 0, total = 0;
-    for (const std::string& kernel_name : kernels::benchmark_kernel_names()) {
-        const KernelContext& ctx = context_for(kernel_name);
-        for (const TargetModel& target :
-             {targets::xentium(), targets::vex4()}) {
+    size_t i = 0;
+    for (const std::string& kernel_name : kernels::paper_kernel_names()) {
+        for (const TargetModel& target : ablation_targets) {
             for (const double a : {-25.0, -45.0, -65.0}) {
-                FlowOptions aware;
-                aware.accuracy_db = a;
-                FlowOptions blind = aware;
-                blind.wlo_slp.accuracy_conflicts = false;
-                blind.wlo_slp.strict_feasibility = false;
-
-                const FlowResult with = run_wlo_slp_flow(ctx, target, aware);
-                const FlowResult without =
-                    run_wlo_slp_flow(ctx, target, blind);
+                const FlowResult& with = results[i++].flow;
+                const FlowResult& without = results[i++].flow;
                 const bool aware_ok = with.analytic_noise_db <= a + 1e-9;
                 const bool blind_ok = without.analytic_noise_db <= a + 1e-9;
                 std::printf("%-6s %-9s %8.0f | %10.1f %10s | %10.1f %10s "
@@ -54,5 +64,6 @@ int main() {
                 aware_violations, total, blind_violations, total);
     std::printf("(the aware flow must never violate; the blind flow "
                 "over-commits WL reductions at strict constraints)\n");
+    maybe_emit_json(argc, argv, results);
     return 0;
 }

@@ -1,38 +1,43 @@
 // Shared helpers for the experiment harnesses.
+//
+// Every bench is a sweep through the SweepDriver (flow/sweep.hpp): one
+// process-wide driver shares the per-kernel contexts (range analysis,
+// IWLs, gain calibration) and the evaluation memo cache across all grids
+// a harness runs. Pass `--json` (stdout) or `--json=FILE` to any harness
+// to emit the machine-readable results after the tables.
 #pragma once
 
 #include <cstdio>
-#include <map>
-#include <memory>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
-#include "flow/flow.hpp"
 #include "flow/report.hpp"
+#include "flow/sweep.hpp"
 #include "kernels/kernels.hpp"
 
 namespace slpwlo::bench {
 
+/// Process-wide sweep driver: kernel contexts and the evaluation cache are
+/// shared across every sweep a harness runs.
+inline SweepDriver& driver() {
+    static SweepDriver instance;
+    return instance;
+}
+
 /// Per-kernel context cache: range analysis + IWLs + gain calibration are
-/// paid once per kernel across the whole sweep.
+/// paid once per kernel across the whole harness.
 inline const KernelContext& context_for(const std::string& kernel_name) {
-    static std::map<std::string, std::unique_ptr<KernelContext>> cache;
-    auto& slot = cache[kernel_name];
-    if (!slot) {
-        auto bench = kernels::make_benchmark_kernel(kernel_name);
-        slot = std::make_unique<KernelContext>(std::move(bench.kernel),
-                                               bench.range_options);
-    }
-    return *slot;
+    return driver().context(kernel_name);
 }
 
 /// The paper's x-axis: accuracy constraints in dB, loose to strict.
 inline std::vector<double> constraint_grid(double from = -5.0,
                                            double to = -70.0,
                                            double step = 5.0) {
-    std::vector<double> grid;
-    for (double a = from; a >= to; a -= step) grid.push_back(a);
-    return grid;
+    return accuracy_grid(from, to, step);
 }
 
 inline void print_header(const char* title, const char* paper_ref) {
@@ -40,6 +45,38 @@ inline void print_header(const char* title, const char* paper_ref) {
     std::printf("%s\n", title);
     std::printf("reproduces: %s\n", paper_ref);
     std::printf("==========================================================\n");
+}
+
+/// Emit `results` as JSON when `--json` / `--json=FILE` is on the command
+/// line ("-" writes to stdout).
+inline void maybe_emit_json(int argc, char** argv,
+                            const std::vector<SweepResult>& results) {
+    for (int i = 1; i < argc; ++i) {
+        std::string path;
+        if (std::strcmp(argv[i], "--json") == 0) {
+            path = "-";
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            path = argv[i] + 7;
+        } else {
+            continue;
+        }
+        const std::string json = sweep_to_json(results);
+        if (path == "-") {
+            std::fputs(json.c_str(), stdout);
+        } else {
+            std::ofstream out(path);
+            out << json;
+            out.flush();
+            if (out.good()) {
+                std::printf("wrote %zu results to %s\n", results.size(),
+                            path.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                std::exit(1);
+            }
+        }
+        return;
+    }
 }
 
 }  // namespace slpwlo::bench

@@ -15,6 +15,7 @@ namespace {
 
 void BM_EvalAcc(benchmark::State& state) {
     const KernelContext& ctx = context_for("FIR");
+    ctx.ensure_evaluator();  // pay the lazy gain calibration outside the loop
     FixedPointSpec spec = ctx.initial_spec();
     for (const NodeRef node : spec.nodes()) spec.set_wl(node, 16);
     for (auto _ : state) {

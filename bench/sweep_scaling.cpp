@@ -1,0 +1,110 @@
+// SweepDriver scaling harness: the full FIR x IIR x CONV x {-30..-70 dB}
+// grid for both fixed-point flows, run three ways:
+//
+//   1. cold, 1 worker thread;
+//   2. cold, 4 worker threads        — same results, less wall clock
+//      (bounded by the machine's core count);
+//   3. warm, on the run-2 driver     — every evaluation is a memo hit.
+//
+// Verifies bit-identical results across all three runs and prints the
+// wall-clock times and the evaluation-cache statistics.
+//
+//   $ ./sweep_scaling [--threads N] [--json[=FILE]]
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "target/target_model.hpp"
+
+using namespace slpwlo;
+using namespace slpwlo::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+bool identical(const std::vector<SweepResult>& a,
+               const std::vector<SweepResult>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const FlowResult& x = a[i].flow;
+        const FlowResult& y = b[i].flow;
+        if (x.scalar_cycles != y.scalar_cycles ||
+            x.simd_cycles != y.simd_cycles ||
+            x.group_count != y.group_count ||
+            x.analytic_noise_db != y.analytic_noise_db) {
+            return false;
+        }
+        for (const NodeRef node : x.spec.nodes()) {
+            if (!(x.spec.format(node) == y.spec.format(node))) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_header("SweepDriver scaling — threads and memoization",
+                 "FlowEngine infrastructure (no paper figure)");
+
+    int parallel_threads = 4;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            parallel_threads = std::atoi(argv[i + 1]);
+        }
+    }
+
+    const std::vector<SweepPoint> points = SweepDriver::grid(
+        kernels::paper_kernel_names(), {"XENTIUM"},
+        {"WLO-SLP", "WLO-First"}, accuracy_grid(-30.0, -70.0, 5.0));
+    std::printf("grid: %zu points (3 kernels x 2 flows x 9 constraints)\n\n",
+                points.size());
+
+    SweepOptions serial_options;
+    serial_options.threads = 1;
+    SweepDriver serial(serial_options);
+    auto start = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> serial_results = serial.run(points);
+    const double serial_seconds = seconds_since(start);
+
+    SweepOptions parallel_options;
+    parallel_options.threads = parallel_threads;
+    SweepDriver parallel(parallel_options);
+    start = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> parallel_results = parallel.run(points);
+    const double parallel_seconds = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> warm_results = parallel.run(points);
+    const double warm_seconds = seconds_since(start);
+
+    const SweepCacheStats stats = parallel.cache_stats();
+
+    std::printf("1 thread,  cold : %8.3f s\n", serial_seconds);
+    std::printf("%d threads, cold : %8.3f s  (%.2fx vs 1 thread; ceiling is "
+                "the core count: %u)\n",
+                parallel_threads, parallel_seconds,
+                serial_seconds / parallel_seconds,
+                std::thread::hardware_concurrency());
+    std::printf("%d threads, warm : %8.3f s  (%.0fx; every evaluation "
+                "memoized)\n",
+                parallel_threads, warm_seconds,
+                serial_seconds / warm_seconds);
+    std::printf("\neval cache: %zu entries, %zu hits / %zu misses\n",
+                stats.eval_entries, stats.eval_hits, stats.eval_misses);
+    std::printf("results identical (1 vs %d threads): %s\n", parallel_threads,
+                identical(serial_results, parallel_results) ? "yes" : "NO");
+    std::printf("results identical (cold vs warm)   : %s\n",
+                identical(parallel_results, warm_results) ? "yes" : "NO");
+
+    const bool ok = identical(serial_results, parallel_results) &&
+                    identical(parallel_results, warm_results);
+    maybe_emit_json(argc, argv, parallel_results);
+    return ok ? 0 : 1;
+}

@@ -3,9 +3,13 @@
 // looser constraints buy narrower word lengths, wider SIMD groups and
 // faster code.
 //
+// The sweep runs through the SweepDriver: all points share one prepared
+// KernelContext, execute on the thread pool, and come back in grid order.
+//
 //   $ ./fir_design_space [target]     (default VEX-4)
 #include <cstdio>
 
+#include "flow/sweep.hpp"
 #include "slpwlo.hpp"
 
 using namespace slpwlo;
@@ -14,26 +18,26 @@ int main(int argc, char** argv) {
     const TargetModel target =
         targets::by_name(argc > 1 ? argv[1] : "VEX-4");
 
-    auto bench = kernels::make_benchmark_kernel("FIR");
-    KernelContext context(std::move(bench.kernel), bench.range_options);
+    SweepDriver driver;
+    const std::vector<SweepPoint> points = SweepDriver::grid(
+        {"FIR"}, {target.name}, {"WLO-SLP"}, accuracy_grid(-5.0, -70.0, 5.0));
+    const std::vector<SweepResult> results = driver.run(points);
 
     std::printf("FIR-64 on %s — accuracy/performance trade-off\n\n",
                 target.name.c_str());
     std::printf("%8s %10s %10s %8s %12s %14s\n", "A(dB)", "simd-cyc",
                 "scalar-cyc", "groups", "noise(dB)", "widest group");
-    for (double a = -5.0; a >= -70.0; a -= 5.0) {
-        FlowOptions options;
-        options.accuracy_db = a;
-        const FlowResult r = run_wlo_slp_flow(context, target, options);
+    for (const SweepResult& result : results) {
+        const FlowResult& r = result.flow;
         int widest = 0;
         for (const BlockGroups& bg : r.groups) {
             for (const SimdGroup& g : bg.groups) {
                 widest = std::max(widest, g.width());
             }
         }
-        std::printf("%8.0f %10lld %10lld %8d %12.1f %14d\n", a,
-                    r.simd_cycles, r.scalar_cycles, r.group_count,
-                    r.analytic_noise_db, widest);
+        std::printf("%8.0f %10lld %10lld %8d %12.1f %14d\n",
+                    result.point.accuracy_db, r.simd_cycles, r.scalar_cycles,
+                    r.group_count, r.analytic_noise_db, widest);
     }
     std::printf(
         "\nreading guide: the noise column hugs the constraint while slack\n"

@@ -3,7 +3,7 @@
 namespace slpwlo {
 
 WlCostModel::WlCostModel(const Kernel& kernel, const TargetModel& target)
-    : target_(&target) {
+    : target_(target) {
     for (const BlockId block : kernel.blocks_in_order()) {
         const double weight =
             static_cast<double>(kernel.block_frequency(block));
@@ -21,7 +21,7 @@ double WlCostModel::cost(const FixedPointSpec& spec) const {
     double total = 0.0;
     for (const WeightedOp& wo : ops_) {
         const int wl = spec.result_format(wo.op).wl();
-        total += wo.weight * target_->relative_op_cost(wo.kind, wl);
+        total += wo.weight * target_.relative_op_cost(wo.kind, wl);
     }
     return total;
 }

@@ -32,7 +32,9 @@ private:
         double weight;
     };
 
-    const TargetModel* target_;
+    /// Held by value: callers routinely pass `targets::xentium()`-style
+    /// temporaries whose lifetime ends with the constructor call.
+    TargetModel target_;
     std::vector<WeightedOp> ops_;
     double max_cost_ = 0.0;
 };

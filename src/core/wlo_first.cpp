@@ -10,6 +10,24 @@ int WloFirstResult::group_count() const {
     return count;
 }
 
+std::vector<BlockGroups> extract_plain_slp_blocks(
+    const Kernel& kernel, const TargetModel& target,
+    const FixedPointSpec& spec, const SlpOptions& options, SlpStats* stats,
+    std::vector<std::pair<BlockId, PackedView>>* views) {
+    std::vector<BlockGroups> block_groups;
+    for (const BlockId block : blocks_by_priority(kernel)) {
+        if (kernel.block(block).ops.size() < 2) continue;
+        PackedView view(kernel, block);
+        std::vector<SimdGroup> groups =
+            extract_slp_plain(view, target, spec, options, stats);
+        if (views != nullptr) views->emplace_back(block, std::move(view));
+        if (!groups.empty()) {
+            block_groups.push_back(BlockGroups{block, std::move(groups)});
+        }
+    }
+    return block_groups;
+}
+
 WloFirstResult run_wlo_first(const Kernel& kernel, FixedPointSpec& spec,
                              const AccuracyEvaluator& evaluator,
                              const TargetModel& target,
@@ -21,16 +39,8 @@ WloFirstResult run_wlo_first(const Kernel& kernel, FixedPointSpec& spec,
                                      options.accuracy_db, options.tabu);
 
     // Stage 2: plain SLP extraction on the fixed word lengths.
-    for (const BlockId block : blocks_by_priority(kernel)) {
-        if (kernel.block(block).ops.size() < 2) continue;
-        PackedView view(kernel, block);
-        std::vector<SimdGroup> groups = extract_slp_plain(
-            view, target, spec, options.slp, &result.slp_stats);
-        if (!groups.empty()) {
-            result.block_groups.push_back(
-                BlockGroups{block, std::move(groups)});
-        }
-    }
+    result.block_groups = extract_plain_slp_blocks(
+        kernel, target, spec, options.slp, &result.slp_stats);
     return result;
 }
 

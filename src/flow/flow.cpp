@@ -1,91 +1,102 @@
 #include "flow/flow.hpp"
 
+#include <cstring>
+
+#include "flow/pass.hpp"
+#include "ir/printer.hpp"
 #include "support/diagnostics.hpp"
+#include "support/rng.hpp"
 
 namespace slpwlo {
 
 KernelContext::KernelContext(Kernel kernel, const RangeOptions& range,
                              const GainOptions& gains)
     : kernel_(std::move(kernel)),
-      ranges_(analyze_ranges(kernel_, range)),
-      spec_template_(determine_iwls(kernel_, ranges_)),
-      evaluator_(std::make_unique<AnalyticEvaluator>(kernel_, gains)) {}
+      range_options_(range),
+      gain_options_(gains) {
+    // Materialize the kernel's lazy structure caches (block order,
+    // enclosing loops) now, while construction is single-threaded: the
+    // context is shared across sweep worker threads afterwards, and
+    // Kernel's caches are not synchronized.
+    kernel_.blocks_in_order();
+}
+
+void KernelContext::ensure_ranges() const {
+    std::call_once(ranges_once_, [this] {
+        ranges_ = analyze_ranges(kernel_, range_options_);
+    });
+}
+
+void KernelContext::ensure_iwls() const {
+    ensure_ranges();
+    std::call_once(iwls_once_, [this] {
+        spec_template_ = std::make_unique<FixedPointSpec>(
+            determine_iwls(kernel_, ranges_));
+    });
+}
+
+void KernelContext::ensure_evaluator() const {
+    std::call_once(evaluator_once_, [this] {
+        evaluator_ = std::make_unique<AnalyticEvaluator>(kernel_,
+                                                         gain_options_);
+    });
+}
+
+uint64_t KernelContext::fingerprint() const {
+    std::call_once(fingerprint_once_, [this] {
+        uint64_t h = hash_name(print_kernel(kernel_));
+        // The analytic noise a memo entry stores depends on the gain
+        // calibration, so contexts with different GainOptions must not
+        // alias.
+        auto mix = [&h](uint64_t v) { h = h * 1099511628211ull ^ v; };
+        uint64_t delta_bits = 0;
+        static_assert(sizeof(delta_bits) == sizeof(gain_options_.delta));
+        std::memcpy(&delta_bits, &gain_options_.delta, sizeof(delta_bits));
+        mix(delta_bits);
+        mix(gain_options_.seed);
+        mix(static_cast<uint64_t>(gain_options_.array_samples));
+        fingerprint_ = h;
+    });
+    return fingerprint_;
+}
+
+const RangeMap& KernelContext::ranges() const {
+    ensure_ranges();
+    return ranges_;
+}
+
+const AnalyticEvaluator& KernelContext::evaluator() const {
+    ensure_evaluator();
+    return *evaluator_;
+}
 
 FixedPointSpec KernelContext::initial_spec(QuantMode mode) const {
-    FixedPointSpec spec = spec_template_;
+    ensure_iwls();
+    FixedPointSpec spec = *spec_template_;
     spec.set_quant_mode(mode);
     return spec;
 }
 
-namespace {
-
-void measure_cycles(FlowResult& result, const KernelContext& context,
-                    const TargetModel& target) {
-    const MachineKernel scalar =
-        lower_kernel(context.kernel(), &result.spec, nullptr, target,
-                     LowerMode::FixedScalar);
-    result.scalar_cycles = estimate_cycles(scalar, target).total_cycles;
-
-    const MachineKernel simd =
-        lower_kernel(context.kernel(), &result.spec, &result.groups, target,
-                     LowerMode::FixedSimd);
-    result.simd_cycles = estimate_cycles(simd, target).total_cycles;
-
-    result.analytic_noise_db =
-        context.evaluator().noise_power_db(result.spec);
-}
-
-}  // namespace
-
 FlowResult run_wlo_slp_flow(const KernelContext& context,
                             const TargetModel& target,
                             const FlowOptions& options) {
-    FlowResult result{.flow_name = "WLO-SLP",
-                      .kernel_name = context.kernel().name(),
-                      .target_name = target.name,
-                      .accuracy_db = options.accuracy_db,
-                      .spec = context.initial_spec(options.quant_mode)};
-
-    WloSlpOptions wlo = options.wlo_slp;
-    wlo.accuracy_db = options.accuracy_db;
-    const WloSlpResult out = run_slp_aware_wlo(
-        context.kernel(), result.spec, context.evaluator(), target, wlo);
-
-    result.groups = out.block_groups;
-    result.slp_stats = out.slp_stats;
-    result.scaling_stats = out.scaling_stats;
-    result.group_count = out.group_count();
-    measure_cycles(result, context, target);
-    return result;
+    return FlowRegistry::instance().flow("WLO-SLP").run(context, target,
+                                                        options);
 }
 
 FlowResult run_wlo_first_flow(const KernelContext& context,
                               const TargetModel& target,
                               const FlowOptions& options) {
-    FlowResult result{.flow_name = "WLO-First",
-                      .kernel_name = context.kernel().name(),
-                      .target_name = target.name,
-                      .accuracy_db = options.accuracy_db,
-                      .spec = context.initial_spec(options.quant_mode)};
-
-    WloFirstOptions wlo = options.wlo_first;
-    wlo.accuracy_db = options.accuracy_db;
-    const WloFirstResult out = run_wlo_first(
-        context.kernel(), result.spec, context.evaluator(), target, wlo);
-
-    result.groups = out.block_groups;
-    result.slp_stats = out.slp_stats;
-    result.tabu_stats = out.tabu_stats;
-    result.group_count = out.group_count();
-    measure_cycles(result, context, target);
-    return result;
+    return FlowRegistry::instance().flow("WLO-First").run(context, target,
+                                                          options);
 }
 
 long long float_cycles(const KernelContext& context,
                        const TargetModel& target) {
-    const MachineKernel machine = lower_kernel(
-        context.kernel(), nullptr, nullptr, target, LowerMode::Float);
-    return estimate_cycles(machine, target).total_cycles;
+    return FlowRegistry::instance()
+        .flow("Float")
+        .run(context, target, FlowOptions{})
+        .simd_cycles;
 }
 
 }  // namespace slpwlo

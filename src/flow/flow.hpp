@@ -1,8 +1,12 @@
-// End-to-end compilation flows (Fig. 3 and Fig. 5).
+// End-to-end compilation flows (Fig. 3 and Fig. 5), built on the
+// FlowEngine (flow/pass.hpp): each flow is a declarative sequence of
+// passes registered in the FlowRegistry.
 //
 // KernelContext bundles the per-kernel preparation that is independent of
 // target and constraint — range analysis, IWL determination, noise-gain
-// calibration — so constraint sweeps (the benches) pay for it once.
+// calibration. Artifacts are computed lazily, exactly once, and shared:
+// constraint sweeps (flow/sweep.hpp) pay for them once per kernel even
+// when sweep points run concurrently (preparation is thread-safe).
 //
 // Three flows:
 //  * run_wlo_slp_flow    — the paper's joint flow (Fig. 3): SLP-aware WLO +
@@ -18,6 +22,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "accuracy/analytic_evaluator.hpp"
 #include "core/wlo_first.hpp"
@@ -41,17 +46,42 @@ public:
                            const GainOptions& gains = {});
 
     const Kernel& kernel() const { return kernel_; }
-    const RangeMap& ranges() const { return ranges_; }
-    const AnalyticEvaluator& evaluator() const { return *evaluator_; }
+
+    /// Value ranges (computed on first use, then shared).
+    const RangeMap& ranges() const;
+
+    /// Analytic evaluator; construction calibrates the noise gains once.
+    const AnalyticEvaluator& evaluator() const;
 
     /// Fresh spec with IWLs determined (FWLs zero; flows set WLs).
     FixedPointSpec initial_spec(QuantMode mode = QuantMode::Truncate) const;
 
+    // --- FlowEngine preparation hooks ------------------------------------------
+    // Idempotent and thread-safe: each artifact is computed exactly once
+    // (std::call_once) no matter how many sweep threads ask for it.
+    void ensure_ranges() const;
+    void ensure_iwls() const;      ///< implies ensure_ranges()
+    void ensure_evaluator() const;
+
+    /// Content hash of the kernel's full printed structure and the gain
+    /// calibration options (not just the kernel name) — memo keys use it
+    /// so same-name kernels with different configurations or calibrations
+    /// cannot alias. Computed once, lazily.
+    uint64_t fingerprint() const;
+
 private:
     Kernel kernel_;
-    RangeMap ranges_;
-    FixedPointSpec spec_template_;
-    std::unique_ptr<AnalyticEvaluator> evaluator_;
+    RangeOptions range_options_;
+    GainOptions gain_options_;
+
+    mutable std::once_flag ranges_once_;
+    mutable std::once_flag iwls_once_;
+    mutable std::once_flag evaluator_once_;
+    mutable std::once_flag fingerprint_once_;
+    mutable RangeMap ranges_;
+    mutable std::unique_ptr<FixedPointSpec> spec_template_;
+    mutable std::unique_ptr<AnalyticEvaluator> evaluator_;
+    mutable uint64_t fingerprint_ = 0;
 };
 
 struct FlowResult {

@@ -1,0 +1,409 @@
+#include "flow/pass.hpp"
+
+#include <algorithm>
+
+#include "core/slp_aware_wlo.hpp"
+#include "core/tabu_wlo.hpp"
+#include "core/wlo_first.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+// --- EvalCache -----------------------------------------------------------------
+
+std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        misses_++;
+        return std::nullopt;
+    }
+    hits_++;
+    return it->second;
+}
+
+void EvalCache::store(uint64_t key, const Entry& entry) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, entry);
+}
+
+size_t EvalCache::hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+size_t EvalCache::misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t EvalCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+// --- content hashing -----------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(uint64_t& h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+void mix_str(uint64_t& h, const std::string& s) {
+    for (const char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    mix(h, s.size());
+}
+
+}  // namespace
+
+uint64_t target_fingerprint(const TargetModel& target) {
+    uint64_t h = kFnvOffset;
+    mix_str(h, target.name);
+    for (const int v :
+         {target.issue_width, target.alu_slots, target.mul_slots,
+          target.mem_slots, target.shift_slots, target.float_slots,
+          target.alu_latency, target.mul_latency, target.mem_latency,
+          target.shift_latency, target.float_latency,
+          target.barrel_shifter ? 1 : 0, target.native_wl,
+          target.simd_width_bits, target.pack2_ops, target.extract_ops,
+          target.fp.hardware ? 1 : 0, target.fp.add_cycles,
+          target.fp.mul_cycles, target.fp.div_cycles}) {
+        mix(h, static_cast<uint64_t>(static_cast<int64_t>(v)));
+    }
+    mix(h, static_cast<uint64_t>(target.loop_overhead_cycles));
+    mix(h, target.scalar_wls.size());
+    for (const int wl : target.scalar_wls) {
+        mix(h, static_cast<uint64_t>(static_cast<int64_t>(wl)));
+    }
+    mix(h, target.simd_element_wls.size());
+    for (const int wl : target.simd_element_wls) {
+        mix(h, static_cast<uint64_t>(static_cast<int64_t>(wl)));
+    }
+    return h;
+}
+
+uint64_t evaluation_key(const KernelContext& context,
+                        const TargetModel& target, const FlowResult& result,
+                        bool float_variant) {
+    uint64_t h = kFnvOffset;
+    mix(h, context.fingerprint());
+    mix(h, target_fingerprint(target));
+    mix(h, float_variant ? 1u : 0u);
+    if (float_variant) return h;  // float lowering ignores spec and groups
+
+    const FixedPointSpec& spec = result.spec;
+    mix(h, static_cast<uint64_t>(spec.quant_mode()));
+    for (const NodeRef node : spec.nodes()) {
+        const FixedFormat& f = spec.format(node);
+        mix(h, static_cast<uint64_t>(node.kind == NodeRef::Kind::Var ? 0 : 1));
+        mix(h, static_cast<uint64_t>(node.id));
+        mix(h, static_cast<uint64_t>(static_cast<int64_t>(f.iwl)));
+        mix(h, static_cast<uint64_t>(static_cast<int64_t>(f.fwl)));
+    }
+    mix(h, result.groups.size());
+    for (const BlockGroups& bg : result.groups) {
+        mix(h, static_cast<uint64_t>(bg.block.value));
+        mix(h, bg.groups.size());
+        for (const SimdGroup& g : bg.groups) {
+            mix(h, g.lanes.size());
+            for (const OpId lane : g.lanes) {
+                mix(h, static_cast<uint64_t>(lane.value));
+            }
+        }
+    }
+    return h;
+}
+
+// --- concrete passes -----------------------------------------------------------
+
+namespace {
+
+int count_groups(const std::vector<BlockGroups>& groups) {
+    int count = 0;
+    for (const BlockGroups& bg : groups) {
+        count += static_cast<int>(bg.groups.size());
+    }
+    return count;
+}
+
+class RangeAnalysisPass final : public Pass {
+public:
+    const char* name() const override { return "range-analysis"; }
+    void run(PassContext& ctx) const override { ctx.context.ensure_ranges(); }
+};
+
+class IwlDeterminationPass final : public Pass {
+public:
+    const char* name() const override { return "iwl-determination"; }
+    void run(PassContext& ctx) const override {
+        ctx.result.spec = ctx.context.initial_spec(ctx.options.quant_mode);
+    }
+};
+
+class SlpAwareWloPass final : public Pass {
+public:
+    const char* name() const override { return "slp-aware-wlo"; }
+    void run(PassContext& ctx) const override {
+        WloSlpOptions wlo = ctx.options.wlo_slp;
+        wlo.accuracy_db = ctx.options.accuracy_db;
+        ctx.context.ensure_evaluator();
+        const WloSlpResult out =
+            run_slp_aware_wlo(ctx.context.kernel(), ctx.result.spec,
+                              ctx.context.evaluator(), ctx.target, wlo);
+        ctx.result.groups = out.block_groups;
+        ctx.result.slp_stats = out.slp_stats;
+        ctx.result.scaling_stats = out.scaling_stats;
+        ctx.result.group_count = count_groups(ctx.result.groups);
+    }
+};
+
+class TabuWloPass final : public Pass {
+public:
+    const char* name() const override { return "tabu-wlo"; }
+    void run(PassContext& ctx) const override {
+        ctx.context.ensure_evaluator();
+        ctx.result.tabu_stats = run_tabu_wlo(
+            ctx.result.spec, ctx.context.evaluator(), ctx.target,
+            ctx.options.accuracy_db, ctx.options.wlo_first.tabu);
+    }
+};
+
+class PlainSlpPass final : public Pass {
+public:
+    explicit PlainSlpPass(bool retain_views) : retain_views_(retain_views) {}
+    const char* name() const override { return "plain-slp"; }
+    void run(PassContext& ctx) const override {
+        ctx.result.groups = extract_plain_slp_blocks(
+            ctx.context.kernel(), ctx.target, ctx.result.spec,
+            ctx.options.wlo_first.slp, &ctx.result.slp_stats,
+            retain_views_ ? &ctx.packed_views : nullptr);
+        ctx.result.group_count = count_groups(ctx.result.groups);
+    }
+
+private:
+    bool retain_views_;
+};
+
+class ScalingOptimPass final : public Pass {
+public:
+    const char* name() const override { return "scaling-optim"; }
+    void run(PassContext& ctx) const override {
+        ctx.context.ensure_evaluator();
+        for (auto& [block, view] : ctx.packed_views) {
+            const auto it = std::find_if(
+                ctx.result.groups.begin(), ctx.result.groups.end(),
+                [block = block](const BlockGroups& bg) {
+                    return bg.block == block;
+                });
+            if (it == ctx.result.groups.end() || it->groups.empty()) continue;
+            ctx.result.scaling_stats += optimize_scalings(
+                view, it->groups, ctx.result.spec, ctx.context.evaluator(),
+                ctx.options.accuracy_db);
+        }
+    }
+};
+
+class LoweringPass final : public Pass {
+public:
+    const char* name() const override { return "lowering"; }
+    void run(PassContext& ctx) const override {
+        ctx.eval_key = evaluation_key(ctx.context, ctx.target, ctx.result,
+                                      /*float_variant=*/false);
+        if (ctx.cache != nullptr) {
+            ctx.cached_eval = ctx.cache->lookup(*ctx.eval_key);
+            if (ctx.cached_eval.has_value()) return;  // skip the real work
+        }
+        ctx.scalar_machine =
+            lower_kernel(ctx.context.kernel(), &ctx.result.spec, nullptr,
+                         ctx.target, LowerMode::FixedScalar);
+        ctx.simd_machine =
+            lower_kernel(ctx.context.kernel(), &ctx.result.spec,
+                         &ctx.result.groups, ctx.target, LowerMode::FixedSimd);
+    }
+};
+
+class FloatLoweringPass final : public Pass {
+public:
+    const char* name() const override { return "float-lowering"; }
+    void run(PassContext& ctx) const override {
+        ctx.float_variant = true;
+        ctx.eval_key = evaluation_key(ctx.context, ctx.target, ctx.result,
+                                      /*float_variant=*/true);
+        if (ctx.cache != nullptr) {
+            ctx.cached_eval = ctx.cache->lookup(*ctx.eval_key);
+            if (ctx.cached_eval.has_value()) return;
+        }
+        ctx.float_machine = lower_kernel(ctx.context.kernel(), nullptr,
+                                         nullptr, ctx.target, LowerMode::Float);
+    }
+};
+
+class CycleEvalPass final : public Pass {
+public:
+    const char* name() const override { return "cycle-eval"; }
+    void run(PassContext& ctx) const override {
+        if (ctx.cached_eval.has_value()) {
+            ctx.result.scalar_cycles = ctx.cached_eval->scalar_cycles;
+            ctx.result.simd_cycles = ctx.cached_eval->simd_cycles;
+            ctx.result.analytic_noise_db = ctx.cached_eval->analytic_noise_db;
+            return;
+        }
+        if (ctx.float_variant) {
+            SLPWLO_ASSERT(ctx.float_machine.has_value(),
+                          "cycle-eval without a lowered float kernel");
+            const long long cycles =
+                estimate_cycles(*ctx.float_machine, ctx.target).total_cycles;
+            ctx.result.scalar_cycles = cycles;
+            ctx.result.simd_cycles = cycles;
+        } else {
+            SLPWLO_ASSERT(ctx.scalar_machine.has_value() &&
+                              ctx.simd_machine.has_value(),
+                          "cycle-eval without lowered machine kernels");
+            ctx.result.scalar_cycles =
+                estimate_cycles(*ctx.scalar_machine, ctx.target).total_cycles;
+            ctx.result.simd_cycles =
+                estimate_cycles(*ctx.simd_machine, ctx.target).total_cycles;
+            ctx.context.ensure_evaluator();
+            ctx.result.analytic_noise_db =
+                ctx.context.evaluator().noise_power_db(ctx.result.spec);
+        }
+        if (ctx.cache != nullptr && ctx.eval_key.has_value()) {
+            ctx.cache->store(*ctx.eval_key,
+                             EvalCache::Entry{ctx.result.scalar_cycles,
+                                              ctx.result.simd_cycles,
+                                              ctx.result.analytic_noise_db});
+        }
+    }
+};
+
+}  // namespace
+
+PassRef make_range_analysis_pass() {
+    return std::make_shared<RangeAnalysisPass>();
+}
+PassRef make_iwl_determination_pass() {
+    return std::make_shared<IwlDeterminationPass>();
+}
+PassRef make_slp_aware_wlo_pass() {
+    return std::make_shared<SlpAwareWloPass>();
+}
+PassRef make_tabu_wlo_pass() { return std::make_shared<TabuWloPass>(); }
+PassRef make_plain_slp_pass(bool retain_views) {
+    return std::make_shared<PlainSlpPass>(retain_views);
+}
+PassRef make_scaling_optim_pass() {
+    return std::make_shared<ScalingOptimPass>();
+}
+PassRef make_lowering_pass() { return std::make_shared<LoweringPass>(); }
+PassRef make_float_lowering_pass() {
+    return std::make_shared<FloatLoweringPass>();
+}
+PassRef make_cycle_eval_pass() { return std::make_shared<CycleEvalPass>(); }
+
+// --- FlowPipeline --------------------------------------------------------------
+
+FlowPipeline::FlowPipeline(std::string name, std::vector<PassRef> passes)
+    : name_(std::move(name)), passes_(std::move(passes)) {
+    for (const PassRef& pass : passes_) {
+        SLPWLO_CHECK(pass != nullptr,
+                     "flow `" + name_ + "` contains a null pass");
+    }
+}
+
+FlowResult FlowPipeline::run(const KernelContext& context,
+                             const TargetModel& target,
+                             const FlowOptions& options,
+                             EvalCache* cache) const {
+    SLPWLO_CHECK(!passes_.empty(), "flow `" + name_ + "` has no passes");
+    PassContext ctx(context, target, options,
+                    FlowResult{.flow_name = name_,
+                               .kernel_name = context.kernel().name(),
+                               .target_name = target.name,
+                               .accuracy_db = options.accuracy_db,
+                               .spec = FixedPointSpec(context.kernel())});
+    ctx.cache = cache;
+    for (const PassRef& pass : passes_) {
+        pass->run(ctx);
+    }
+    return std::move(ctx.result);
+}
+
+// --- FlowRegistry --------------------------------------------------------------
+
+FlowRegistry::FlowRegistry() {
+    const PassRef range = make_range_analysis_pass();
+    const PassRef iwl = make_iwl_determination_pass();
+    const PassRef lower = make_lowering_pass();
+    const PassRef cycles = make_cycle_eval_pass();
+
+    flows_.emplace(
+        "WLO-SLP",
+        FlowPipeline("WLO-SLP", {range, iwl, make_slp_aware_wlo_pass(), lower,
+                                 cycles}));
+    flows_.emplace(
+        "WLO-First",
+        FlowPipeline("WLO-First", {range, iwl, make_tabu_wlo_pass(),
+                                   make_plain_slp_pass(), lower, cycles}));
+    flows_.emplace(
+        "WLO-First+Scaling",
+        FlowPipeline("WLO-First+Scaling",
+                     {range, iwl, make_tabu_wlo_pass(),
+                      make_plain_slp_pass(/*retain_views=*/true),
+                      make_scaling_optim_pass(), lower, cycles}));
+    flows_.emplace("Float", FlowPipeline("Float", {make_float_lowering_pass(),
+                                                   cycles}));
+}
+
+FlowRegistry& FlowRegistry::instance() {
+    static FlowRegistry registry;
+    return registry;
+}
+
+void FlowRegistry::add(FlowPipeline pipeline) {
+    SLPWLO_CHECK(!pipeline.name().empty(), "flow pipelines need a name");
+    std::lock_guard<std::mutex> lock(mutex_);
+    flows_[pipeline.name()] = std::move(pipeline);
+}
+
+bool FlowRegistry::contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flows_.count(name) != 0;
+}
+
+const FlowPipeline& FlowRegistry::flow(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = flows_.find(name);
+    if (it == flows_.end()) {
+        std::string known;
+        for (const auto& [flow_name, pipeline] : flows_) {
+            (void)pipeline;
+            if (!known.empty()) known += ", ";
+            known += flow_name;
+        }
+        throw Error("unknown flow `" + name + "`; registered: " + known);
+    }
+    return it->second;
+}
+
+std::vector<std::string> FlowRegistry::names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(flows_.size());
+    for (const auto& [flow_name, pipeline] : flows_) {
+        (void)pipeline;
+        out.push_back(flow_name);
+    }
+    return out;
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,184 @@
+// FlowEngine: the composable pass pipeline behind the paper's flows.
+//
+// A Pass is one stage of a float-to-fixed-point compilation flow operating
+// on a shared PassContext. The concrete passes mirror the boxes of the
+// paper's figures:
+//
+//   RangeAnalysis     -> dynamic ranges            (Section II.B, stage i)
+//   IwlDetermination  -> binary-point placement    (Section II.B, stage i)
+//   SlpAwareWlo       -> Fig. 1a/1c joint WLO+SLP (+ Fig. 1b per block)
+//   TabuWlo           -> Nguyen'11 baseline WLO    (Fig. 5, stage 1)
+//   PlainSlp          -> Liu'12 extraction         (Fig. 5, stage 2)
+//   ScalingOptim      -> Fig. 1b as a standalone pass over extracted groups
+//   Lowering          -> machine IR (scalar + SIMD, or float reference)
+//   CycleEval         -> VLIW schedule + cycle counts + analytic noise
+//
+// A FlowPipeline is a named sequence of passes; the FlowRegistry maps flow
+// names to pipelines so that a new flow variant is a registry entry, not a
+// hand-written driver. The built-ins reproduce the paper:
+//
+//   "WLO-SLP"            Fig. 3   range, iwl, slp-aware-wlo, lower, cycles
+//   "WLO-First"          Fig. 5   range, iwl, tabu, plain-slp, lower, cycles
+//   "WLO-First+Scaling"  variant  ... plain-slp, scaling-optim, lower, cycles
+//   "Float"              Fig. 6   float-lower, cycles
+//
+// Cycle evaluation is memoized: an EvalCache shared across sweep points
+// keys {scalar cycles, SIMD cycles, analytic noise} by a content hash of
+// (kernel, target, final spec, selected groups), so two sweep points that
+// converge to the same specification pay for lowering, scheduling and
+// noise evaluation once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "slp/packed_view.hpp"
+
+namespace slpwlo {
+
+/// Memoized result of the evaluation stage of a flow (lowering +
+/// scheduling + analytic noise). Thread-safe; shared across sweep points.
+class EvalCache {
+public:
+    struct Entry {
+        long long scalar_cycles = 0;
+        long long simd_cycles = 0;
+        double analytic_noise_db = 0.0;
+    };
+
+    std::optional<Entry> lookup(uint64_t key) const;
+    void store(uint64_t key, const Entry& entry);
+
+    size_t hits() const;
+    size_t misses() const;
+    size_t size() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    mutable size_t hits_ = 0;
+    mutable size_t misses_ = 0;
+};
+
+/// Content hash of everything the evaluation stage depends on: the full
+/// kernel structure (via its printed form), every field of the target
+/// model, the quantization mode, every node's fixed-point format, and the
+/// selected groups' lane lists — names alone would alias same-name
+/// kernels/targets with different configurations. `float_variant` keys
+/// the float reference lowering (which ignores spec and groups).
+uint64_t evaluation_key(const KernelContext& context,
+                        const TargetModel& target, const FlowResult& result,
+                        bool float_variant = false);
+
+/// FNV-1a hash over every field of a target model.
+uint64_t target_fingerprint(const TargetModel& target);
+
+/// Shared state threaded through a pipeline run. Passes communicate
+/// exclusively through this context.
+struct PassContext {
+    PassContext(const KernelContext& context_, const TargetModel& target_,
+                const FlowOptions& options_, FlowResult result_)
+        : context(context_),
+          target(target_),
+          options(options_),
+          result(std::move(result_)) {}
+
+    const KernelContext& context;
+    const TargetModel& target;
+    FlowOptions options;  ///< accuracy_db is authoritative (already merged)
+    EvalCache* cache = nullptr;
+
+    FlowResult result;
+
+    // --- cross-pass intermediates ---------------------------------------------
+    /// Packed views left behind by an extraction pass, for downstream
+    /// passes that need the final packed state (scaling optimization).
+    std::vector<std::pair<BlockId, PackedView>> packed_views;
+    /// Machine kernels produced by the lowering pass (absent on cache hit).
+    std::optional<MachineKernel> scalar_machine;
+    std::optional<MachineKernel> simd_machine;
+    std::optional<MachineKernel> float_machine;
+    /// Evaluation memo key (computed by the lowering pass).
+    std::optional<uint64_t> eval_key;
+    /// Cache hit found by the lowering pass, consumed by cycle eval.
+    std::optional<EvalCache::Entry> cached_eval;
+    /// True when the pipeline evaluates the float reference.
+    bool float_variant = false;
+};
+
+class Pass {
+public:
+    virtual ~Pass() = default;
+    virtual const char* name() const = 0;
+    virtual void run(PassContext& ctx) const = 0;
+};
+
+using PassRef = std::shared_ptr<const Pass>;
+
+// --- concrete pass factories ---------------------------------------------------
+PassRef make_range_analysis_pass();
+PassRef make_iwl_determination_pass();
+PassRef make_slp_aware_wlo_pass();
+PassRef make_tabu_wlo_pass();
+/// `retain_views` keeps each block's final PackedView in the PassContext
+/// for a downstream scaling-optimization pass; leave it off in pipelines
+/// that never read them (the views are not small).
+PassRef make_plain_slp_pass(bool retain_views = false);
+PassRef make_scaling_optim_pass();
+PassRef make_lowering_pass();        ///< fixed-point scalar + SIMD lowering
+PassRef make_float_lowering_pass();  ///< float-reference lowering
+PassRef make_cycle_eval_pass();
+
+/// A named, immutable sequence of passes.
+class FlowPipeline {
+public:
+    FlowPipeline() = default;
+    FlowPipeline(std::string name, std::vector<PassRef> passes);
+
+    const std::string& name() const { return name_; }
+    const std::vector<PassRef>& passes() const { return passes_; }
+
+    /// Run the pipeline. `options.accuracy_db` is the constraint; `cache`
+    /// (optional) memoizes the evaluation stage across runs.
+    FlowResult run(const KernelContext& context, const TargetModel& target,
+                   const FlowOptions& options,
+                   EvalCache* cache = nullptr) const;
+
+private:
+    std::string name_;
+    std::vector<PassRef> passes_;
+};
+
+/// Process-wide registry of flow pipelines. The built-in flows are
+/// registered on first access; user code may add its own variants.
+/// Lookup is thread-safe; add() must not race with a running sweep.
+class FlowRegistry {
+public:
+    static FlowRegistry& instance();
+
+    /// Register (or replace) a pipeline under its name.
+    void add(FlowPipeline pipeline);
+
+    bool contains(const std::string& name) const;
+
+    /// Throws Error for unknown names, listing the registered flows.
+    const FlowPipeline& flow(const std::string& name) const;
+
+    /// Registered flow names, sorted.
+    std::vector<std::string> names() const;
+
+private:
+    FlowRegistry();
+
+    mutable std::mutex mutex_;
+    std::map<std::string, FlowPipeline> flows_;
+};
+
+}  // namespace slpwlo

@@ -1,5 +1,7 @@
 #include "flow/report.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <map>
 #include <sstream>
 
@@ -26,13 +28,21 @@ std::string summarize(const FlowResult& result) {
     return os.str();
 }
 
-std::string wl_histogram(const FixedPointSpec& spec) {
+namespace {
+
+std::map<int, int> wl_counts(const FixedPointSpec& spec) {
     std::map<int, int> counts;
     for (const NodeRef node : spec.nodes()) {
         counts[spec.format(node).wl()]++;
     }
+    return counts;
+}
+
+}  // namespace
+
+std::string wl_histogram(const FixedPointSpec& spec) {
     std::ostringstream os;
-    for (const auto& [wl, count] : counts) {
+    for (const auto& [wl, count] : wl_counts(spec)) {
         os << "  wl" << wl << ": " << count << " nodes\n";
     }
     return os.str();
@@ -42,6 +52,69 @@ double measured_noise_db(const KernelContext& context,
                          const FlowResult& result, int runs) {
     const SimulationEvaluator sim(context.kernel(), runs);
     return sim.noise_power_db(result.spec);
+}
+
+std::string json_escape(const std::string& text) {
+    std::ostringstream os;
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+    return os.str();
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    return format_double(value, 10);
+}
+
+std::string to_json(const FlowResult& result) {
+    std::ostringstream os;
+    os << "{\"flow\":" << json_escape(result.flow_name)
+       << ",\"kernel\":" << json_escape(result.kernel_name)
+       << ",\"target\":" << json_escape(result.target_name)
+       << ",\"accuracy_db\":" << json_number(result.accuracy_db)
+       << ",\"scalar_cycles\":" << result.scalar_cycles
+       << ",\"simd_cycles\":" << result.simd_cycles
+       << ",\"analytic_noise_db\":" << json_number(result.analytic_noise_db)
+       << ",\"groups\":" << result.group_count;
+
+    os << ",\"wl_histogram\":{";
+    bool first = true;
+    for (const auto& [wl, count] : wl_counts(result.spec)) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << wl << "\":" << count;
+    }
+    os << "}";
+
+    os << ",\"slp\":{\"rounds\":" << result.slp_stats.rounds
+       << ",\"candidates\":" << result.slp_stats.candidates_seen
+       << ",\"selected\":" << result.slp_stats.selected << "}";
+    os << ",\"scaling\":{\"examined\":"
+       << result.scaling_stats.reuses_examined
+       << ",\"equalized\":" << result.scaling_stats.equalized
+       << ",\"reverted\":" << result.scaling_stats.reverted << "}";
+    os << ",\"tabu\":{\"iterations\":" << result.tabu_stats.iterations
+       << ",\"feasible\":" << (result.tabu_stats.feasible ? "true" : "false")
+       << "}";
+    os << "}";
+    return os.str();
 }
 
 }  // namespace slpwlo

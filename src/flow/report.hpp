@@ -1,4 +1,5 @@
-// Reporting helpers shared by the experiment harnesses in bench/.
+// Reporting helpers shared by the experiment harnesses in bench/:
+// human-readable one-liners and machine-readable JSON.
 #pragma once
 
 #include <string>
@@ -21,5 +22,19 @@ std::string wl_histogram(const FixedPointSpec& spec);
 /// Measured (bit-accurate simulation) noise power of a flow result in dB.
 double measured_noise_db(const KernelContext& context,
                          const FlowResult& result, int runs = 2);
+
+// --- structured emission -------------------------------------------------------
+
+/// JSON string literal with the required escapes.
+std::string json_escape(const std::string& text);
+
+/// JSON number; non-finite values (e.g. the -inf noise of an exact spec)
+/// become null, as JSON has no Infinity.
+std::string json_number(double value);
+
+/// One FlowResult as a single JSON object: flow/kernel/target identity,
+/// the constraint, cycle counts, analytic noise, group count, the WL
+/// histogram, and the per-flow optimizer statistics.
+std::string to_json(const FlowResult& result);
 
 }  // namespace slpwlo

@@ -1,0 +1,186 @@
+#include "flow/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <sstream>
+
+#include "flow/report.hpp"
+#include "support/diagnostics.hpp"
+#include "support/thread_pool.hpp"
+#include "target/target_model.hpp"
+
+namespace slpwlo {
+
+SweepDriver::SweepDriver(SweepOptions options)
+    : options_(std::move(options)) {}
+
+SweepDriver::~SweepDriver() = default;
+
+std::vector<SweepPoint> SweepDriver::grid(
+    const std::vector<std::string>& kernels,
+    const std::vector<std::string>& targets,
+    const std::vector<std::string>& flows,
+    const std::vector<double>& constraints) {
+    std::vector<SweepPoint> points;
+    points.reserve(kernels.size() * targets.size() * flows.size() *
+                   constraints.size());
+    for (const std::string& kernel : kernels) {
+        for (const std::string& target : targets) {
+            for (const std::string& flow : flows) {
+                for (const double a : constraints) {
+                    points.push_back(SweepPoint{kernel, target, flow, a, {}});
+                }
+            }
+        }
+    }
+    return points;
+}
+
+const KernelContext& SweepDriver::context(const std::string& kernel_name) {
+    std::lock_guard<std::mutex> lock(contexts_mutex_);
+    auto& slot = contexts_[kernel_name];
+    if (!slot) {
+        kernels::BenchmarkKernel bench =
+            kernels::make_benchmark_kernel(kernel_name);
+        slot = std::make_unique<KernelContext>(std::move(bench.kernel),
+                                               bench.range_options);
+    }
+    return *slot;
+}
+
+std::vector<SweepResult> SweepDriver::run(
+    const std::vector<SweepPoint>& points) {
+    // Resolve the per-point ingredients up front so configuration errors
+    // (unknown kernel / target / flow) surface before any thread spawns.
+    struct Job {
+        const KernelContext* context;
+        TargetModel target;
+        const FlowPipeline* pipeline;
+        FlowOptions options;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(points.size());
+    for (const SweepPoint& point : points) {
+        Job job;
+        job.context = &context(point.kernel);
+        job.target = targets::by_name(point.target);
+        job.pipeline = &FlowRegistry::instance().flow(point.flow);
+        job.options = point.options.value_or(options_.flow_options);
+        job.options.accuracy_db = point.accuracy_db;
+        jobs.push_back(std::move(job));
+    }
+
+    EvalCache* cache = options_.memoize ? &eval_cache_ : nullptr;
+    std::vector<std::optional<FlowResult>> slots(points.size());
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.threads);
+    ThreadPool& pool = *pool_;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([&, i] {
+            try {
+                const Job& job = jobs[i];
+                slots[i] = job.pipeline->run(*job.context, job.target,
+                                             job.options, cache);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        });
+    }
+    pool.wait_idle();
+
+    if (first_error) std::rethrow_exception(first_error);
+
+    std::vector<SweepResult> results;
+    results.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        SLPWLO_ASSERT(slots[i].has_value(), "sweep point produced no result");
+        results.push_back(SweepResult{points[i], std::move(*slots[i])});
+    }
+    return results;
+}
+
+SweepCacheStats SweepDriver::cache_stats() const {
+    SweepCacheStats stats;
+    stats.eval_hits = eval_cache_.hits();
+    stats.eval_misses = eval_cache_.misses();
+    stats.eval_entries = eval_cache_.size();
+    {
+        std::lock_guard<std::mutex> lock(contexts_mutex_);
+        stats.contexts = contexts_.size();
+    }
+    return stats;
+}
+
+std::vector<double> accuracy_grid(double from, double to, double step) {
+    SLPWLO_CHECK(step > 0.0, "accuracy_grid step must be positive");
+    std::vector<double> grid;
+    for (double a = from; a >= to; a -= step) grid.push_back(a);
+    return grid;
+}
+
+namespace {
+
+std::string slp_options_to_json(const SlpOptions& slp) {
+    std::ostringstream os;
+    os << "{\"benefit_mode\":"
+       << (slp.benefit_mode == BenefitMode::ReuseOverCost
+               ? "\"reuse-over-cost\""
+               : "\"savings-only\"")
+       << ",\"min_benefit\":" << json_number(slp.min_benefit) << "}";
+    return os.str();
+}
+
+/// The option fields a per-point override can vary (both flows' ablation
+/// axes); emitted alongside the result so variant rows stay
+/// distinguishable.
+std::string options_to_json(const FlowOptions& options) {
+    std::ostringstream os;
+    os << "{\"quant_mode\":"
+       << (options.quant_mode == QuantMode::Truncate ? "\"truncate\""
+                                                     : "\"round\"")
+       << ",\"wlo_slp\":{\"scaling_optim\":"
+       << (options.wlo_slp.scaling_optim ? "true" : "false")
+       << ",\"accuracy_conflicts\":"
+       << (options.wlo_slp.accuracy_conflicts ? "true" : "false")
+       << ",\"strict_feasibility\":"
+       << (options.wlo_slp.strict_feasibility ? "true" : "false")
+       << ",\"slp\":" << slp_options_to_json(options.wlo_slp.slp) << "}"
+       << ",\"wlo_first\":{\"slp\":"
+       << slp_options_to_json(options.wlo_first.slp)
+       << ",\"tabu\":{\"max_iterations\":"
+       << options.wlo_first.tabu.max_iterations
+       << ",\"tenure\":" << options.wlo_first.tabu.tenure
+       << ",\"stagnation_limit\":" << options.wlo_first.tabu.stagnation_limit
+       << ",\"infeasibility_penalty\":"
+       << json_number(options.wlo_first.tabu.infeasibility_penalty)
+       << "}}}";
+    return os.str();
+}
+
+}  // namespace
+
+std::string sweep_to_json(const std::vector<SweepResult>& results) {
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (i != 0) os << ",";
+        const SweepResult& result = results[i];
+        // Splice the point's option overrides into the result object so
+        // ablation variants with identical flow/kernel/target/constraint
+        // stay distinguishable.
+        std::string object = to_json(result.flow);
+        if (result.point.options.has_value()) {
+            object.back() = ',';
+            object += "\"options\":" +
+                      options_to_json(*result.point.options) + "}";
+        }
+        os << "\n  " << object;
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+}  // namespace slpwlo

@@ -1,0 +1,50 @@
+#include "ir/builder.hpp"
+#include "kernels/kernels.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::kernels {
+
+Kernel make_dot(const DotConfig& config) {
+    SLPWLO_CHECK(config.lanes >= 1 && config.length % config.lanes == 0,
+                 "DOT length must be a multiple of the lane count");
+    const int length = config.length;
+    const int lanes = config.lanes;
+
+    KernelBuilder b("dot" + std::to_string(length));
+    const ArrayId x = b.input("x", length, Interval(-1.0, 1.0));
+    const ArrayId w = b.input("w", length, Interval(-1.0, 1.0));
+    const ArrayId y = b.output("y", 1);
+
+    // One partial accumulator per lane, exactly the FIR unrolling shape:
+    // the inner loop body carries `lanes` isomorphic mul/accumulate chains
+    // for the extractor to group.
+    std::vector<VarId> acc(static_cast<size_t>(lanes));
+    for (int j = 0; j < lanes; ++j) {
+        acc[static_cast<size_t>(j)] = b.user_var("acc" + std::to_string(j));
+        b.set_const(acc[static_cast<size_t>(j)], 0.0);
+    }
+
+    const LoopId k = b.begin_loop("k", 0, length / lanes);
+    for (int j = 0; j < lanes; ++j) {
+        const Affine element = Affine::var(k) * lanes + j;
+        const VarId prod = b.mul(b.load(x, element), b.load(w, element));
+        b.add(acc[static_cast<size_t>(j)], prod, acc[static_cast<size_t>(j)]);
+    }
+    b.end_loop();
+
+    // Pairwise reduction of the partial accumulators.
+    std::vector<VarId> level = acc;
+    while (level.size() > 1) {
+        std::vector<VarId> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(b.add(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) next.push_back(level.back());
+        level = std::move(next);
+    }
+    b.store(y, Affine(0), level.front());
+
+    return b.take();
+}
+
+}  // namespace slpwlo::kernels

@@ -35,6 +35,11 @@ struct ConvConfig {
     int width = 16;   ///< output width
 };
 
+struct DotConfig {
+    int length = 256;  ///< vector length; must be a multiple of `lanes`
+    int lanes = 4;     ///< unroll factor / number of partial accumulators
+};
+
 /// Windowed-sinc low-pass FIR coefficients (Hamming window, fc = 0.2).
 /// Magnitudes vary by orders of magnitude across taps, which is what makes
 /// per-node IWLs heterogeneous.
@@ -56,6 +61,9 @@ std::vector<double> design_conv3x3();
 Kernel make_fir64(const FirConfig& config = {});
 Kernel make_iir10(const IirConfig& config = {});
 Kernel make_conv3x3(const ConvConfig& config = {});
+/// Dot product of two [-1,1) input vectors, unrolled by `lanes` with one
+/// partial accumulator per lane (the goSLP-style dotprod scenario).
+Kernel make_dot(const DotConfig& config = {});
 
 /// A benchmark entry: the kernel plus the range-analysis options the flow
 /// should use for it (the recursive IIR needs simulation-based ranges).
@@ -65,8 +73,12 @@ struct BenchmarkKernel {
     RangeOptions range_options;
 };
 
-/// Names of the paper's benchmarks: "FIR", "IIR", "CONV".
+/// Names of the registered benchmarks: the paper's "FIR", "IIR", "CONV"
+/// plus the "DOT" scenario.
 const std::vector<std::string>& benchmark_kernel_names();
+
+/// The paper's original three benchmarks only (Figures 4/6, Table I).
+const std::vector<std::string>& paper_kernel_names();
 
 /// Construct a benchmark by name (throws Error for unknown names).
 BenchmarkKernel make_benchmark_kernel(const std::string& name);

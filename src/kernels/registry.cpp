@@ -4,6 +4,11 @@
 namespace slpwlo::kernels {
 
 const std::vector<std::string>& benchmark_kernel_names() {
+    static const std::vector<std::string> names{"FIR", "IIR", "CONV", "DOT"};
+    return names;
+}
+
+const std::vector<std::string>& paper_kernel_names() {
     static const std::vector<std::string> names{"FIR", "IIR", "CONV"};
     return names;
 }
@@ -24,8 +29,13 @@ BenchmarkKernel make_benchmark_kernel(const std::string& name) {
         range_options.method = RangeMethod::Interval;
         return BenchmarkKernel{name, make_conv3x3(), range_options};
     }
+    if (name == "DOT") {
+        // Feed-forward reduction: interval propagation converges exactly.
+        range_options.method = RangeMethod::Interval;
+        return BenchmarkKernel{name, make_dot(), range_options};
+    }
     throw Error("unknown benchmark kernel `" + name +
-                "`; known: FIR, IIR, CONV");
+                "`; known: FIR, IIR, CONV, DOT");
 }
 
 }  // namespace slpwlo::kernels

@@ -24,7 +24,9 @@
 #include "core/slp_aware_wlo.hpp"
 #include "core/wlo_first.hpp"
 #include "flow/flow.hpp"
+#include "flow/pass.hpp"
 #include "flow/report.hpp"
+#include "flow/sweep.hpp"
 #include "frontend/lower_ast.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"

@@ -1,0 +1,242 @@
+#include "target/target_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+int TargetModel::max_wl() const {
+    SLPWLO_CHECK(!scalar_wls.empty(), "target `" + name +
+                                          "` declares no scalar word lengths");
+    return *std::max_element(scalar_wls.begin(), scalar_wls.end());
+}
+
+int TargetModel::storage_wl_for(int wl) const {
+    // Smallest supported width that holds `wl` bits; saturate at the widest.
+    int best = max_wl();
+    for (const int s : scalar_wls) {
+        if (s >= wl && s < best) best = s;
+    }
+    return best;
+}
+
+std::optional<int> TargetModel::simd_element_wl(int group_width) const {
+    if (group_width <= 1) return native_wl;
+    if (simd_width_bits <= 0) return std::nullopt;
+    // Equation (1): a k-lane group needs a configuration with exactly
+    // k elements of some supported width m, i.e. k * m == datapath width.
+    for (const int m : simd_element_wls) {
+        if (m > 0 && group_width * m == simd_width_bits) return m;
+    }
+    return std::nullopt;
+}
+
+bool TargetModel::supports_group_size(int group_width) const {
+    return simd_element_wl(group_width).has_value();
+}
+
+int TargetModel::max_group_size() const {
+    if (simd_width_bits <= 0 || simd_element_wls.empty()) return 1;
+    const int narrowest =
+        *std::min_element(simd_element_wls.begin(), simd_element_wls.end());
+    return narrowest > 0 ? simd_width_bits / narrowest : 1;
+}
+
+double TargetModel::relative_op_cost(OpKind kind, int wl) const {
+    (void)kind;  // uniform pricing across op kinds for the built-in models
+    return static_cast<double>(storage_wl_for(wl)) /
+           static_cast<double>(max_wl());
+}
+
+void TargetModel::validate() const {
+    SLPWLO_CHECK(!name.empty(), "target has an empty name");
+    SLPWLO_CHECK(issue_width > 0,
+                 "target `" + name + "`: issue width must be positive");
+    SLPWLO_CHECK(alu_slots > 0,
+                 "target `" + name + "`: at least one ALU slot is required");
+    SLPWLO_CHECK(mul_slots > 0 && mem_slots > 0,
+                 "target `" + name +
+                     "`: multiplier and memory slots must be positive");
+    SLPWLO_CHECK(shift_slots >= 0 && float_slots >= 0,
+                 "target `" + name + "`: negative slot count");
+    SLPWLO_CHECK(alu_latency > 0 && mul_latency > 0 && mem_latency > 0 &&
+                     shift_latency > 0 && float_latency > 0,
+                 "target `" + name + "`: latencies must be positive");
+    SLPWLO_CHECK(loop_overhead_cycles >= 0,
+                 "target `" + name + "`: negative loop overhead");
+    SLPWLO_CHECK(!scalar_wls.empty(),
+                 "target `" + name + "`: empty scalar word-length set");
+    for (const int s : scalar_wls) {
+        SLPWLO_CHECK(s > 0 && s <= native_wl,
+                     "target `" + name +
+                         "`: scalar word lengths must be in (0, native_wl]");
+    }
+    SLPWLO_CHECK(native_wl == max_wl(),
+                 "target `" + name +
+                     "`: native_wl must equal the widest scalar word length");
+    SLPWLO_CHECK(simd_width_bits >= 0,
+                 "target `" + name + "`: negative SIMD width");
+    if (simd_width_bits > 0) {
+        SLPWLO_CHECK(!simd_element_wls.empty(),
+                     "target `" + name +
+                         "`: SIMD datapath without element word lengths");
+        for (const int m : simd_element_wls) {
+            SLPWLO_CHECK(m > 0 && simd_width_bits % m == 0,
+                         "target `" + name +
+                             "`: SIMD element width must divide the datapath "
+                             "width");
+        }
+    } else {
+        SLPWLO_CHECK(simd_element_wls.empty(),
+                     "target `" + name +
+                         "`: element word lengths declared without a SIMD "
+                         "datapath");
+    }
+    SLPWLO_CHECK(pack2_ops > 0 && extract_ops > 0,
+                 "target `" + name + "`: pack/extract op counts must be "
+                                     "positive");
+    if (fp.hardware) {
+        SLPWLO_CHECK(float_slots > 0,
+                     "target `" + name +
+                         "`: hardware FP requires at least one float slot");
+    } else {
+        SLPWLO_CHECK(fp.add_cycles > 0 && fp.mul_cycles > 0 &&
+                         fp.div_cycles > 0,
+                     "target `" + name +
+                         "`: soft-float call costs must be positive");
+    }
+}
+
+namespace targets {
+
+TargetModel xentium() {
+    TargetModel t;
+    t.name = "XENTIUM";
+    t.issue_width = 4;
+    t.alu_slots = 2;
+    t.mul_slots = 1;
+    t.mem_slots = 1;
+    t.shift_slots = 1;  // dedicated shift/scale unit
+    t.float_slots = 0;  // no hardware FP
+    t.alu_latency = 1;
+    t.mul_latency = 3;
+    t.mem_latency = 3;
+    t.shift_latency = 1;
+    t.float_latency = 1;  // unused (soft float)
+    t.barrel_shifter = true;
+    t.loop_overhead_cycles = 1;
+    t.native_wl = 32;
+    t.scalar_wls = {32, 16, 8};
+    t.simd_width_bits = 32;
+    t.simd_element_wls = {16};  // 2x16 only (no 4x8)
+    t.pack2_ops = 1;
+    t.extract_ops = 1;
+    t.fp.hardware = false;
+    t.fp.add_cycles = 38;
+    t.fp.mul_cycles = 45;
+    t.fp.div_cycles = 120;
+    return t;
+}
+
+TargetModel st240() {
+    TargetModel t;
+    t.name = "ST240";
+    t.issue_width = 4;
+    t.alu_slots = 4;
+    t.mul_slots = 2;
+    t.mem_slots = 1;
+    t.shift_slots = 0;  // shifts issue on the ALUs
+    t.float_slots = 1;
+    t.alu_latency = 1;
+    t.mul_latency = 3;
+    t.mem_latency = 3;
+    t.shift_latency = 1;
+    t.float_latency = 3;
+    t.barrel_shifter = true;
+    t.loop_overhead_cycles = 1;
+    t.native_wl = 32;
+    t.scalar_wls = {32, 16, 8};
+    t.simd_width_bits = 32;
+    t.simd_element_wls = {16, 8};  // 2x16 and 4x8
+    t.pack2_ops = 1;
+    t.extract_ops = 1;
+    t.fp.hardware = true;
+    return t;
+}
+
+namespace {
+
+TargetModel vex(int issue) {
+    TargetModel t;
+    t.name = "VEX-" + std::to_string(issue);
+    t.issue_width = issue;
+    t.alu_slots = issue;
+    t.mul_slots = std::max(1, issue / 2);
+    t.mem_slots = 1;
+    t.shift_slots = 0;
+    t.float_slots = 1;
+    t.alu_latency = 1;
+    t.mul_latency = 3;
+    t.mem_latency = 3;
+    t.shift_latency = 1;
+    t.float_latency = 3;
+    t.barrel_shifter = true;
+    t.loop_overhead_cycles = 1;
+    t.native_wl = 32;
+    t.scalar_wls = {32, 16, 8};
+    t.simd_width_bits = 32;
+    t.simd_element_wls = {16, 8};  // 2x16 and 4x8
+    t.pack2_ops = 1;
+    t.extract_ops = 1;
+    t.fp.hardware = true;
+    return t;
+}
+
+}  // namespace
+
+TargetModel vex1() { return vex(1); }
+
+TargetModel vex4() { return vex(4); }
+
+TargetModel generic32() {
+    TargetModel t;
+    t.name = "GENERIC32";
+    t.issue_width = 1;
+    t.alu_slots = 1;
+    t.mul_slots = 1;
+    t.mem_slots = 1;
+    t.shift_slots = 0;
+    t.float_slots = 1;
+    t.barrel_shifter = true;
+    t.loop_overhead_cycles = 1;
+    t.native_wl = 32;
+    t.scalar_wls = {32};
+    t.simd_width_bits = 0;
+    t.simd_element_wls = {};
+    t.fp.hardware = true;
+    return t;
+}
+
+const std::vector<TargetModel>& paper_targets() {
+    static const std::vector<TargetModel> all{xentium(), st240(), vex1(),
+                                              vex4()};
+    return all;
+}
+
+TargetModel by_name(const std::string& name) {
+    std::string upper = name;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    for (const TargetModel& t : paper_targets()) {
+        if (t.name == upper) return t;
+    }
+    if (upper == "GENERIC32") return generic32();
+    throw Error("unknown target `" + name +
+                "`; known: XENTIUM, ST240, VEX-1, VEX-4, GENERIC32");
+}
+
+}  // namespace targets
+
+}  // namespace slpwlo

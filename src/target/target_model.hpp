@@ -1,0 +1,149 @@
+// Target processor models (Section V.B: XENTIUM, ST240 and the VEX
+// configurations), described by the handful of parameters the optimization
+// and timing layers consume:
+//
+//  * VLIW shape — issue width and per-class slot counts (ALU, multiplier,
+//    memory, dedicated shifter, floating point) plus result latencies;
+//  * word lengths — the supported scalar storage widths (the Tabu WLO move
+//    set), the native register width, and the SIMD configuration: datapath
+//    width and the supported element widths (equation 1: a group of k lanes
+//    is implementable iff some supported element width m has k * m equal to
+//    the SIMD datapath width);
+//  * lane traffic — cost in ALU ops of a 2-element pack and of a lane
+//    extract (the Fig. 2 overheads);
+//  * floating point — hardware FP latency, or the soft-float library call
+//    costs that dominate the Fig. 6 speedups on XENTIUM.
+//
+// TargetModel is a plain aggregate so user code can describe its own
+// processor (see examples/custom_target.cpp) and validate() it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/op.hpp"
+
+namespace slpwlo {
+
+/// Functional-unit class an operation occupies for slot accounting.
+enum class OpClass { Alu, MulUnit, Mem, Shift, Float, Branch };
+
+/// Floating-point support: hardware FUs or soft-float library calls whose
+/// cycle costs serialize the machine (Section V.B's XENTIUM emulation).
+struct FloatSupport {
+    bool hardware = false;
+    int add_cycles = 38;  ///< soft-float add/sub call cost
+    int mul_cycles = 45;  ///< soft-float multiply call cost
+    int div_cycles = 120; ///< soft-float divide call cost
+};
+
+struct TargetModel {
+    std::string name = "GENERIC32";
+
+    // --- VLIW shape -----------------------------------------------------------
+    int issue_width = 1;
+    int alu_slots = 1;
+    int mul_slots = 1;
+    int mem_slots = 1;
+    /// Dedicated shift slots; 0 means shifts issue on the ALU slots.
+    int shift_slots = 0;
+    int float_slots = 0;
+
+    int alu_latency = 1;
+    int mul_latency = 3;
+    int mem_latency = 3;
+    int shift_latency = 1;
+    int float_latency = 3;
+
+    /// Barrel shifter: any shift amount in shift_latency cycles. Without
+    /// one, an n-bit shift costs shift_latency + (n - 1) cycles.
+    bool barrel_shifter = true;
+
+    /// Per-iteration loop-control overhead (induction update + branch).
+    long long loop_overhead_cycles = 1;
+
+    // --- word lengths ---------------------------------------------------------
+    /// Native scalar register width.
+    int native_wl = 32;
+    /// Scalar storage widths the ISA supports, descending (the WLO move
+    /// set; also the storage rounding grid).
+    std::vector<int> scalar_wls{32, 16, 8};
+
+    /// SIMD datapath width in bits; 0 disables SIMD entirely.
+    int simd_width_bits = 0;
+    /// Supported SIMD element widths, descending (e.g. {16, 8} for a
+    /// 32-bit datapath that implements 2x16 and 4x8).
+    std::vector<int> simd_element_wls;
+
+    /// ALU ops needed to pack two scalars into (or one step deeper into) a
+    /// vector register: assembling w lanes costs (w-1) * pack2_ops.
+    int pack2_ops = 1;
+    /// ALU ops needed to move one lane to a scalar register.
+    int extract_ops = 1;
+
+    FloatSupport fp;
+
+    // --- derived queries ------------------------------------------------------
+    /// Widest supported scalar word length.
+    int max_wl() const;
+
+    /// Smallest supported storage width >= wl (clamped to max_wl()).
+    int storage_wl_for(int wl) const;
+
+    /// Equation (1): the element word length a group of `group_width` lanes
+    /// executes at, or nullopt when the target has no such configuration.
+    /// A width-1 "group" is scalar and runs at the native width.
+    std::optional<int> simd_element_wl(int group_width) const;
+
+    /// True when a group of `group_width` lanes is implementable.
+    bool supports_group_size(int group_width) const;
+
+    /// Largest implementable group width (1 when SIMD is absent).
+    int max_group_size() const;
+
+    /// Relative cost of one op at word length `wl`, normalized so that an
+    /// op at max_wl() costs 1.0 (the Menard-style WLO cost model): the
+    /// storage-rounded width divided by the maximum width. `kind` is kept
+    /// in the signature so ports can price multiplies differently.
+    double relative_op_cost(OpKind kind, int wl) const;
+
+    /// Throws Error when the description is inconsistent (empty WL sets,
+    /// non-positive widths or latencies, SIMD element widths that do not
+    /// divide the datapath, hardware FP without float slots...). Note
+    /// that per-class slot counts may legitimately sum past the issue
+    /// width — they are caps per class, not a partition of the slots.
+    void validate() const;
+};
+
+namespace targets {
+
+/// Recore XENTIUM DSP: 4-issue VLIW, 32-bit datapath with 2x16 SIMD,
+/// no hardware floating point (soft-float library).
+TargetModel xentium();
+
+/// STMicroelectronics ST240: 4-issue VLIW, hardware FP, 32-bit datapath
+/// with 2x16 and 4x8 SIMD.
+TargetModel st240();
+
+/// 1-issue VEX configuration (the ILP-free reference of Fig. 4).
+TargetModel vex1();
+
+/// 4-issue VEX configuration.
+TargetModel vex4();
+
+/// Plain 32-bit scalar machine: no SIMD, one storage width. The neutral
+/// baseline for frontend and codegen tests.
+TargetModel generic32();
+
+/// The four targets of the paper's evaluation: XENTIUM, ST240, VEX-1,
+/// VEX-4 (stable order).
+const std::vector<TargetModel>& paper_targets();
+
+/// Case-insensitive lookup among the built-in models ("XENTIUM", "ST240",
+/// "VEX-1", "VEX-4", "GENERIC32"); throws Error for unknown names.
+TargetModel by_name(const std::string& name);
+
+}  // namespace targets
+
+}  // namespace slpwlo
