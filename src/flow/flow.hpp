@@ -88,6 +88,10 @@ struct FlowResult {
     std::string flow_name;
     std::string kernel_name;
     std::string target_name;
+    /// Content fingerprint of the resolved target model (name-free; see
+    /// target_fingerprint in flow/pass.hpp) — identifies the exact model
+    /// the point ran against even when names collide or derive variants.
+    uint64_t target_fp = 0;
     double accuracy_db = 0.0;
 
     FixedPointSpec spec;  ///< the final fixed-point specification

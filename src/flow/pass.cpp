@@ -1,6 +1,7 @@
 #include "flow/pass.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "core/slp_aware_wlo.hpp"
 #include "core/tabu_wlo.hpp"
@@ -56,19 +57,14 @@ void mix(uint64_t& h, uint64_t v) {
     }
 }
 
-void mix_str(uint64_t& h, const std::string& s) {
-    for (const char c : s) {
-        h ^= static_cast<uint8_t>(c);
-        h *= kFnvPrime;
-    }
-    mix(h, s.size());
-}
-
 }  // namespace
 
 uint64_t target_fingerprint(const TargetModel& target) {
+    // Deliberately name-free: the fingerprint identifies the model's
+    // content, so identical models registered under different names share
+    // evaluation cache entries and same-name models with different
+    // parameters never collide.
     uint64_t h = kFnvOffset;
-    mix_str(h, target.name);
     for (const int v :
          {target.issue_width, target.alu_slots, target.mul_slots,
           target.mem_slots, target.shift_slots, target.float_slots,
@@ -88,6 +84,12 @@ uint64_t target_fingerprint(const TargetModel& target) {
     mix(h, target.simd_element_wls.size());
     for (const int wl : target.simd_element_wls) {
         mix(h, static_cast<uint64_t>(static_cast<int64_t>(wl)));
+    }
+    for (const double w : target.op_class_cost) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(w));
+        std::memcpy(&bits, &w, sizeof(bits));
+        mix(h, bits);
     }
     return h;
 }
@@ -329,6 +331,7 @@ FlowResult FlowPipeline::run(const KernelContext& context,
                     FlowResult{.flow_name = name_,
                                .kernel_name = context.kernel().name(),
                                .target_name = target.name,
+                               .target_fp = target_fingerprint(target),
                                .accuracy_db = options.accuracy_db,
                                .spec = FixedPointSpec(context.kernel())});
     ctx.cache = cache;

@@ -68,16 +68,20 @@ private:
 };
 
 /// Content hash of everything the evaluation stage depends on: the full
-/// kernel structure (via its printed form), every field of the target
-/// model, the quantization mode, every node's fixed-point format, and the
-/// selected groups' lane lists — names alone would alias same-name
-/// kernels/targets with different configurations. `float_variant` keys
-/// the float reference lowering (which ignores spec and groups).
+/// kernel structure (via its printed form), every semantic field of the
+/// target model, the quantization mode, every node's fixed-point format,
+/// and the selected groups' lane lists — names alone would alias
+/// same-name kernels/targets with different configurations.
+/// `float_variant` keys the float reference lowering (which ignores spec
+/// and groups).
 uint64_t evaluation_key(const KernelContext& context,
                         const TargetModel& target, const FlowResult& result,
                         bool float_variant = false);
 
-/// FNV-1a hash over every field of a target model.
+/// FNV-1a hash over every semantic field of a target model — the name is
+/// deliberately excluded, so two models that evaluate identically share
+/// one fingerprint (and cache entries) regardless of what they are
+/// called, and same-name models with different parameters never collide.
 uint64_t target_fingerprint(const TargetModel& target);
 
 /// Shared state threaded through a pipeline run. Passes communicate

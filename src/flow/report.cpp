@@ -17,10 +17,18 @@ double speedup(long long reference_cycles, long long measured_cycles) {
            static_cast<double>(measured_cycles);
 }
 
+std::string fingerprint_hex(uint64_t fingerprint) {
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    return std::string(buffer);
+}
+
 std::string summarize(const FlowResult& result) {
     std::ostringstream os;
     os << result.flow_name << " " << result.kernel_name << " @ "
-       << result.target_name << " A=" << format_double(result.accuracy_db, 4)
+       << result.target_name << "[" << fingerprint_hex(result.target_fp)
+       << "] A=" << format_double(result.accuracy_db, 4)
        << "dB: groups=" << result.group_count
        << " scalar=" << result.scalar_cycles
        << " simd=" << result.simd_cycles
@@ -88,7 +96,8 @@ std::string to_json(const FlowResult& result) {
     os << "{\"flow\":" << json_escape(result.flow_name)
        << ",\"kernel\":" << json_escape(result.kernel_name)
        << ",\"target\":" << json_escape(result.target_name)
-       << ",\"accuracy_db\":" << json_number(result.accuracy_db)
+       << ",\"target_fingerprint\":\"" << fingerprint_hex(result.target_fp)
+       << "\",\"accuracy_db\":" << json_number(result.accuracy_db)
        << ",\"scalar_cycles\":" << result.scalar_cycles
        << ",\"simd_cycles\":" << result.simd_cycles
        << ",\"analytic_noise_db\":" << json_number(result.analytic_noise_db)

@@ -12,6 +12,10 @@ namespace slpwlo {
 /// version divided by cycles of the measured version.
 double speedup(long long reference_cycles, long long measured_cycles);
 
+/// A content fingerprint as 16 lowercase hex digits (the form reports
+/// and JSON emission use for target fingerprints).
+std::string fingerprint_hex(uint64_t fingerprint);
+
 /// One-line summary of a flow result.
 std::string summarize(const FlowResult& result);
 

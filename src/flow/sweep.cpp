@@ -28,7 +28,36 @@ std::vector<SweepPoint> SweepDriver::grid(
         for (const std::string& target : targets) {
             for (const std::string& flow : flows) {
                 for (const double a : constraints) {
-                    points.push_back(SweepPoint{kernel, target, flow, a, {}});
+                    points.push_back(SweepPoint{kernel, target, flow, a, {}, {}});
+                }
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<SweepPoint> SweepDriver::grid(
+    const std::vector<std::string>& kernels,
+    const std::vector<std::string>& targets,
+    const std::vector<int>& simd_widths,
+    const std::vector<std::string>& flows,
+    const std::vector<double>& constraints) {
+    std::vector<SweepPoint> points;
+    points.reserve(kernels.size() * targets.size() * simd_widths.size() *
+                   flows.size() * constraints.size());
+    for (const std::string& target : targets) {
+        const TargetModel base = targets::by_name(target);
+        for (const int width : simd_widths) {
+            // Width 0 keeps the base model; a positive width spawns the
+            // derived variant once and shares it across the inner axes.
+            const TargetModel model =
+                width == 0 ? base : base.with_simd_width(width);
+            for (const std::string& kernel : kernels) {
+                for (const std::string& flow : flows) {
+                    for (const double a : constraints) {
+                        points.push_back(SweepPoint{kernel, model.name, flow,
+                                                    a, {}, model});
+                    }
                 }
             }
         }
@@ -63,7 +92,12 @@ std::vector<SweepResult> SweepDriver::run(
     for (const SweepPoint& point : points) {
         Job job;
         job.context = &context(point.kernel);
-        job.target = targets::by_name(point.target);
+        if (point.target_model.has_value()) {
+            point.target_model->validate();
+            job.target = *point.target_model;
+        } else {
+            job.target = targets::by_name(point.target);
+        }
         job.pipeline = &FlowRegistry::instance().flow(point.flow);
         job.options = point.options.value_or(options_.flow_options);
         job.options.accuracy_db = point.accuracy_db;

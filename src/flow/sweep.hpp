@@ -18,7 +18,9 @@
 //    `points[i]` and the output is bit-identical at any thread count.
 //
 // Points may carry per-point FlowOptions overrides (the ablation benches
-// flip flags like scaling_optim per variant).
+// flip flags like scaling_optim per variant) and per-point TargetModel
+// overrides (cross-ISA and SIMD-width design-space sweeps; evaluation
+// memoization keys the model by content fingerprint, not name).
 #pragma once
 
 #include <map>
@@ -30,14 +32,15 @@
 
 #include "flow/pass.hpp"
 #include "kernels/kernels.hpp"
+#include "target/target_model.hpp"
 
 namespace slpwlo {
 
 class ThreadPool;
 
 /// One point of a sweep grid. `kernel` names a benchmark-registry kernel,
-/// `target` a built-in target (targets::by_name), `flow` a FlowRegistry
-/// pipeline.
+/// `target` a TargetRegistry model (targets::by_name), `flow` a
+/// FlowRegistry pipeline.
 struct SweepPoint {
     std::string kernel;
     std::string target;
@@ -46,6 +49,12 @@ struct SweepPoint {
     /// Per-point option overrides (accuracy_db is still taken from the
     /// point); absent points use the sweep-wide defaults.
     std::optional<FlowOptions> options;
+    /// Per-point target override: when present the point runs against
+    /// this exact model and `target` is only a label (it is not looked
+    /// up). Evaluation memo keys use the model's content fingerprint,
+    /// never its name, so same-name points with different models cannot
+    /// share cache entries — and a renamed copy of a model still hits.
+    std::optional<TargetModel> target_model;
 };
 
 struct SweepOptions {
@@ -78,6 +87,20 @@ public:
     static std::vector<SweepPoint> grid(
         const std::vector<std::string>& kernels,
         const std::vector<std::string>& targets,
+        const std::vector<std::string>& flows,
+        const std::vector<double>& constraints);
+
+    /// Grid with a SIMD-width axis: every kernel x target x width x flow
+    /// x constraint, where width 0 keeps the registered base model and a
+    /// positive width derives `base.with_simd_width(width)` as the
+    /// point's target override. Targets resolve (and derivation errors
+    /// surface) while the grid is built; use
+    /// TargetModel::can_derive_simd_width to pre-filter incompatible
+    /// {target, width} pairs.
+    static std::vector<SweepPoint> grid(
+        const std::vector<std::string>& kernels,
+        const std::vector<std::string>& targets,
+        const std::vector<int>& simd_widths,
         const std::vector<std::string>& flows,
         const std::vector<double>& constraints);
 

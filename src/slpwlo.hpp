@@ -33,4 +33,6 @@
 #include "ir/unroll.hpp"
 #include "ir/verifier.hpp"
 #include "kernels/kernels.hpp"
+#include "target/target_desc.hpp"
 #include "target/target_model.hpp"
+#include "target/target_registry.hpp"

@@ -1,0 +1,270 @@
+#include "target/target_desc.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo {
+
+namespace {
+
+const char* const kOpClassKeys[kNumOpClasses] = {"alu",   "mul",   "mem",
+                                                 "shift", "float", "branch"};
+
+[[noreturn]] void fail(const std::string& source, int line,
+                       const std::string& message) {
+    throw Error(source + ":" + std::to_string(line) + ": " + message);
+}
+
+std::string trim(const std::string& s) {
+    size_t begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    size_t end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+long long to_ll(const std::string& source, int line, const std::string& key,
+                const std::string& value) {
+    try {
+        size_t pos = 0;
+        const long long parsed = std::stoll(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        fail(source, line, "key `" + key + "`: not an integer: `" + value + "`");
+    }
+}
+
+int to_int(const std::string& source, int line, const std::string& key,
+           const std::string& value) {
+    const long long parsed = to_ll(source, line, key, value);
+    if (parsed < INT32_MIN || parsed > INT32_MAX) {
+        fail(source, line, "key `" + key + "`: out of range: `" + value + "`");
+    }
+    return static_cast<int>(parsed);
+}
+
+double to_double(const std::string& source, int line, const std::string& key,
+                 const std::string& value) {
+    try {
+        size_t pos = 0;
+        const double parsed = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        fail(source, line, "key `" + key + "`: not a number: `" + value + "`");
+    }
+}
+
+bool to_bool(const std::string& source, int line, const std::string& key,
+             const std::string& value) {
+    if (value == "true" || value == "1") return true;
+    if (value == "false" || value == "0") return false;
+    fail(source, line,
+         "key `" + key + "`: expected true/false/1/0, got `" + value + "`");
+}
+
+std::vector<int> to_int_list(const std::string& source, int line,
+                             const std::string& key,
+                             const std::string& value) {
+    std::vector<int> out;
+    std::string item;
+    // Commas are separators like whitespace: "32, 16, 8" == "32 16 8".
+    std::string normalized = value;
+    for (char& c : normalized) {
+        if (c == ',') c = ' ';
+    }
+    std::istringstream items(normalized);
+    while (items >> item) {
+        out.push_back(to_int(source, line, key, item));
+    }
+    return out;
+}
+
+}  // namespace
+
+TargetModel parse_target_description(const std::string& text,
+                                     const std::string& source) {
+    TargetModel model;
+    bool has_name = false;
+    std::set<std::string> seen;
+
+    std::istringstream lines(text);
+    std::string raw;
+    int line = 0;
+    while (std::getline(lines, raw)) {
+        line++;
+        const size_t comment = raw.find('#');
+        if (comment != std::string::npos) raw.resize(comment);
+        const std::string content = trim(raw);
+        if (content.empty()) continue;
+
+        const size_t eq = content.find('=');
+        if (eq == std::string::npos) {
+            fail(source, line, "expected `key = value`, got `" + content + "`");
+        }
+        const std::string key = trim(content.substr(0, eq));
+        const std::string value = trim(content.substr(eq + 1));
+        if (key.empty()) fail(source, line, "empty key");
+        if (!seen.insert(key).second) {
+            fail(source, line, "duplicate key `" + key + "`");
+        }
+
+        if (key == "name") {
+            if (value.empty()) fail(source, line, "empty target name");
+            model.name = value;
+            has_name = true;
+        } else if (key == "issue_width") {
+            model.issue_width = to_int(source, line, key, value);
+        } else if (key == "alu_slots") {
+            model.alu_slots = to_int(source, line, key, value);
+        } else if (key == "mul_slots") {
+            model.mul_slots = to_int(source, line, key, value);
+        } else if (key == "mem_slots") {
+            model.mem_slots = to_int(source, line, key, value);
+        } else if (key == "shift_slots") {
+            model.shift_slots = to_int(source, line, key, value);
+        } else if (key == "float_slots") {
+            model.float_slots = to_int(source, line, key, value);
+        } else if (key == "alu_latency") {
+            model.alu_latency = to_int(source, line, key, value);
+        } else if (key == "mul_latency") {
+            model.mul_latency = to_int(source, line, key, value);
+        } else if (key == "mem_latency") {
+            model.mem_latency = to_int(source, line, key, value);
+        } else if (key == "shift_latency") {
+            model.shift_latency = to_int(source, line, key, value);
+        } else if (key == "float_latency") {
+            model.float_latency = to_int(source, line, key, value);
+        } else if (key == "barrel_shifter") {
+            model.barrel_shifter = to_bool(source, line, key, value);
+        } else if (key == "loop_overhead_cycles") {
+            model.loop_overhead_cycles = to_ll(source, line, key, value);
+        } else if (key == "native_wl") {
+            model.native_wl = to_int(source, line, key, value);
+        } else if (key == "scalar_wls") {
+            model.scalar_wls = to_int_list(source, line, key, value);
+        } else if (key == "simd_width_bits") {
+            model.simd_width_bits = to_int(source, line, key, value);
+        } else if (key == "simd_element_wls") {
+            model.simd_element_wls = to_int_list(source, line, key, value);
+        } else if (key == "pack2_ops") {
+            model.pack2_ops = to_int(source, line, key, value);
+        } else if (key == "extract_ops") {
+            model.extract_ops = to_int(source, line, key, value);
+        } else if (key == "fp.hardware") {
+            model.fp.hardware = to_bool(source, line, key, value);
+        } else if (key == "fp.add_cycles") {
+            model.fp.add_cycles = to_int(source, line, key, value);
+        } else if (key == "fp.mul_cycles") {
+            model.fp.mul_cycles = to_int(source, line, key, value);
+        } else if (key == "fp.div_cycles") {
+            model.fp.div_cycles = to_int(source, line, key, value);
+        } else if (key.rfind("op_cost.", 0) == 0) {
+            const std::string cls = key.substr(8);
+            size_t index = kNumOpClasses;
+            for (size_t i = 0; i < kNumOpClasses; ++i) {
+                if (cls == kOpClassKeys[i]) index = i;
+            }
+            if (index == kNumOpClasses) {
+                fail(source, line,
+                     "unknown op class `" + cls +
+                         "`; known: alu, mul, mem, shift, float, branch");
+            }
+            model.op_class_cost[index] = to_double(source, line, key, value);
+        } else {
+            fail(source, line, "unknown key `" + key + "`");
+        }
+    }
+
+    if (!has_name) {
+        throw Error(source + ": target description has no `name` key");
+    }
+    try {
+        model.validate();
+    } catch (const Error& e) {
+        throw Error(source + ": " + e.what());
+    }
+    return model;
+}
+
+TargetModel load_target_description(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot read target description `" + path + "`");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse_target_description(text.str(), path);
+}
+
+std::string target_description(const TargetModel& model) {
+    SLPWLO_CHECK(model.name.find('#') == std::string::npos &&
+                     model.name.find('\n') == std::string::npos,
+                 "target name `" + model.name +
+                     "` cannot be serialized (contains '#' or a newline)");
+    std::ostringstream os;
+    const auto int_list = [](const std::vector<int>& values) {
+        std::string out;
+        for (const int v : values) {
+            if (!out.empty()) out += ", ";
+            out += std::to_string(v);
+        }
+        return out;
+    };
+    // %.17g round-trips any double exactly, so a serialize-parse cycle
+    // preserves the content fingerprint bit-for-bit.
+    const auto number = [](double value) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+        return std::string(buffer);
+    };
+    os << "# slpwlo target description\n"
+       << "name = " << model.name << "\n"
+       << "issue_width = " << model.issue_width << "\n"
+       << "alu_slots = " << model.alu_slots << "\n"
+       << "mul_slots = " << model.mul_slots << "\n"
+       << "mem_slots = " << model.mem_slots << "\n"
+       << "shift_slots = " << model.shift_slots << "\n"
+       << "float_slots = " << model.float_slots << "\n"
+       << "alu_latency = " << model.alu_latency << "\n"
+       << "mul_latency = " << model.mul_latency << "\n"
+       << "mem_latency = " << model.mem_latency << "\n"
+       << "shift_latency = " << model.shift_latency << "\n"
+       << "float_latency = " << model.float_latency << "\n"
+       << "barrel_shifter = " << (model.barrel_shifter ? "true" : "false")
+       << "\n"
+       << "loop_overhead_cycles = " << model.loop_overhead_cycles << "\n"
+       << "native_wl = " << model.native_wl << "\n"
+       << "scalar_wls = " << int_list(model.scalar_wls) << "\n"
+       << "simd_width_bits = " << model.simd_width_bits << "\n";
+    if (!model.simd_element_wls.empty()) {
+        os << "simd_element_wls = " << int_list(model.simd_element_wls)
+           << "\n";
+    }
+    os << "pack2_ops = " << model.pack2_ops << "\n"
+       << "extract_ops = " << model.extract_ops << "\n";
+    for (size_t i = 0; i < kNumOpClasses; ++i) {
+        os << "op_cost." << kOpClassKeys[i] << " = "
+           << number(model.op_class_cost[i]) << "\n";
+    }
+    os << "fp.hardware = " << (model.fp.hardware ? "true" : "false") << "\n"
+       << "fp.add_cycles = " << model.fp.add_cycles << "\n"
+       << "fp.mul_cycles = " << model.fp.mul_cycles << "\n"
+       << "fp.div_cycles = " << model.fp.div_cycles << "\n";
+    return os.str();
+}
+
+namespace targets {
+
+std::vector<TargetModel> preset_targets() {
+    return {parse_target_description(neon128_description(), "<neon128>"),
+            parse_target_description(sse128_description(), "<sse128>"),
+            parse_target_description(dsp64_description(), "<dsp64>")};
+}
+
+}  // namespace targets
+
+}  // namespace slpwlo

@@ -1,0 +1,64 @@
+// Textual target descriptions: a line-oriented `key = value` format that
+// covers every TargetModel field, so processor models are data — shipped
+// as preset files (targets/*.target), loaded by user tooling, or
+// serialized to ship across processes (a sweep shard can receive the
+// exact model it must evaluate instead of a name it may not know).
+//
+// Format, by example:
+//
+//   # comment (blank lines ignored)
+//   name = DSP64
+//   issue_width = 2
+//   alu_slots = 2
+//   barrel_shifter = false        # booleans: true/false/1/0
+//   scalar_wls = 32, 16, 8        # int lists: comma- or space-separated
+//   simd_width_bits = 64
+//   simd_element_wls = 32, 16, 8
+//   fp.hardware = false           # FloatSupport fields
+//   fp.add_cycles = 38
+//   op_cost.mul = 1.5             # per-OpClass relative_op_cost weights
+//                                 # (alu/mul/mem steer the WLO cost model
+//                                 # today; shift/float/branch are parsed
+//                                 # and fingerprinted but reserved)
+//
+// `name` is mandatory; every other key defaults to the TargetModel
+// aggregate default. Unknown keys, malformed values and duplicate keys
+// are errors (with file:line positions), and the parsed model is
+// validate()d before it is returned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "target/target_model.hpp"
+
+namespace slpwlo {
+
+/// Parse a textual target description. `source` names the text in error
+/// messages (a file path, "<string>", ...). Throws Error on malformed
+/// input or an inconsistent model.
+TargetModel parse_target_description(const std::string& text,
+                                     const std::string& source = "<string>");
+
+/// Read `path` and parse it; throws Error when the file cannot be read.
+TargetModel load_target_description(const std::string& path);
+
+/// Serialize a model as description text. Round-trips: parsing the output
+/// yields a model with an identical content fingerprint.
+std::string target_description(const TargetModel& model);
+
+namespace targets {
+
+/// The shipped ISA preset descriptions (embedded from targets/*.target at
+/// build time).
+const std::string& neon128_description();  ///< NEON-class 128-bit SIMD
+const std::string& sse128_description();   ///< SSE-class 128-bit SIMD
+const std::string& dsp64_description();    ///< 64-bit DSP, soft float
+
+/// The three shipped presets, parsed and validated (stable order:
+/// NEON128, SSE128, DSP64).
+std::vector<TargetModel> preset_targets();
+
+}  // namespace targets
+
+}  // namespace slpwlo

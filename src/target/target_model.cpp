@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 
 #include "support/diagnostics.hpp"
+#include "support/text.hpp"
+#include "target/target_registry.hpp"
 
 namespace slpwlo {
+
+OpClass op_class_for(OpKind kind) {
+    switch (kind) {
+        case OpKind::Load:
+        case OpKind::Store:
+            return OpClass::Mem;
+        case OpKind::Mul:
+        case OpKind::Div:
+            return OpClass::MulUnit;
+        default:
+            return OpClass::Alu;
+    }
+}
 
 int TargetModel::max_wl() const {
     SLPWLO_CHECK(!scalar_wls.empty(), "target `" + name +
@@ -44,10 +60,66 @@ int TargetModel::max_group_size() const {
     return narrowest > 0 ? simd_width_bits / narrowest : 1;
 }
 
+double TargetModel::op_class_weight(OpClass cls) const {
+    return op_class_cost[static_cast<size_t>(cls)];
+}
+
 double TargetModel::relative_op_cost(OpKind kind, int wl) const {
-    (void)kind;  // uniform pricing across op kinds for the built-in models
-    return static_cast<double>(storage_wl_for(wl)) /
+    return op_class_weight(op_class_for(kind)) *
+           static_cast<double>(storage_wl_for(wl)) /
            static_cast<double>(max_wl());
+}
+
+namespace {
+
+/// An element width usable on a `bits`-wide datapath: it must tile the
+/// datapath into at least two lanes (equation 1 with k >= 2).
+bool element_fits_width(int m, int bits) {
+    return m > 0 && bits % m == 0 && bits / m >= 2;
+}
+
+}  // namespace
+
+bool TargetModel::can_derive_simd_width(int bits) const {
+    if (bits == 0) return true;
+    if (bits < 0) return false;
+    for (const int m : simd_element_wls) {
+        if (element_fits_width(m, bits)) return true;
+    }
+    return false;
+}
+
+TargetModel TargetModel::with_simd_width(int bits) const {
+    SLPWLO_CHECK(bits >= 0, "target `" + name +
+                                "`: derived SIMD width must be >= 0");
+    TargetModel variant = *this;
+    variant.name = name + "@simd" + std::to_string(bits);
+    variant.simd_width_bits = bits;
+    variant.simd_element_wls.clear();
+    if (bits > 0) {
+        for (const int m : simd_element_wls) {
+            if (element_fits_width(m, bits)) {
+                variant.simd_element_wls.push_back(m);
+            }
+        }
+        SLPWLO_CHECK(!variant.simd_element_wls.empty(),
+                     "target `" + name + "`: no supported element width "
+                     "divides a " + std::to_string(bits) +
+                     "-bit SIMD datapath into >= 2 lanes");
+    }
+    variant.validate();
+    return variant;
+}
+
+TargetModel TargetModel::with_element_wls(std::vector<int> element_wls) const {
+    TargetModel variant = *this;
+    std::vector<std::string> parts;
+    parts.reserve(element_wls.size());
+    for (const int m : element_wls) parts.push_back(std::to_string(m));
+    variant.name = name + "@e" + join(parts, "-");
+    variant.simd_element_wls = std::move(element_wls);
+    variant.validate();
+    return variant;
 }
 
 void TargetModel::validate() const {
@@ -73,6 +145,11 @@ void TargetModel::validate() const {
                      "target `" + name +
                          "`: scalar word lengths must be in (0, native_wl]");
     }
+    for (size_t i = 1; i < scalar_wls.size(); ++i) {
+        SLPWLO_CHECK(scalar_wls[i] < scalar_wls[i - 1],
+                     "target `" + name +
+                         "`: scalar word lengths must be strictly descending");
+    }
     SLPWLO_CHECK(native_wl == max_wl(),
                  "target `" + name +
                      "`: native_wl must equal the widest scalar word length");
@@ -87,7 +164,27 @@ void TargetModel::validate() const {
                          "target `" + name +
                              "`: SIMD element width must divide the datapath "
                              "width");
+            // Elements wider than native_wl are legal: they are lane
+            // containers (NEON/SSE 2x64 configurations hold 32-bit
+            // scalars with headroom), not scalar storage widths.
         }
+        for (size_t i = 1; i < simd_element_wls.size(); ++i) {
+            SLPWLO_CHECK(
+                simd_element_wls[i] < simd_element_wls[i - 1],
+                "target `" + name +
+                    "`: SIMD element widths must be strictly descending");
+        }
+        // Equation (1) must have at least one solution with k >= 2 lanes;
+        // a datapath whose every element configuration is a single lane
+        // is no SIMD at all.
+        bool has_group = false;
+        for (const int m : simd_element_wls) {
+            if (simd_width_bits / m >= 2) has_group = true;
+        }
+        SLPWLO_CHECK(has_group,
+                     "target `" + name +
+                         "`: no SIMD element width divides the datapath into "
+                         ">= 2 lanes");
     } else {
         SLPWLO_CHECK(simd_element_wls.empty(),
                      "target `" + name +
@@ -97,6 +194,12 @@ void TargetModel::validate() const {
     SLPWLO_CHECK(pack2_ops > 0 && extract_ops > 0,
                  "target `" + name + "`: pack/extract op counts must be "
                                      "positive");
+    for (const double w : op_class_cost) {
+        SLPWLO_CHECK(std::isfinite(w) && w > 0.0,
+                     "target `" + name +
+                         "`: op-class cost weights must be positive and "
+                         "finite");
+    }
     if (fp.hardware) {
         SLPWLO_CHECK(float_slots > 0,
                      "target `" + name +
@@ -226,15 +329,7 @@ const std::vector<TargetModel>& paper_targets() {
 }
 
 TargetModel by_name(const std::string& name) {
-    std::string upper = name;
-    std::transform(upper.begin(), upper.end(), upper.begin(),
-                   [](unsigned char c) { return std::toupper(c); });
-    for (const TargetModel& t : paper_targets()) {
-        if (t.name == upper) return t;
-    }
-    if (upper == "GENERIC32") return generic32();
-    throw Error("unknown target `" + name +
-                "`; known: XENTIUM, ST240, VEX-1, VEX-4, GENERIC32");
+    return TargetRegistry::instance().get(name);
 }
 
 }  // namespace targets

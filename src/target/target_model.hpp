@@ -15,9 +15,14 @@
 //    costs that dominate the Fig. 6 speedups on XENTIUM.
 //
 // TargetModel is a plain aggregate so user code can describe its own
-// processor (see examples/custom_target.cpp) and validate() it.
+// processor (see examples/custom_target.cpp) and validate() it. Models
+// are first-class data: the TargetRegistry (target_registry.hpp) maps
+// names to models, textual description files (target_desc.hpp) load and
+// serialize them, and the derived-target transforms below spawn SIMD
+// width/element variants of a base ISA for design-space sweeps.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +33,15 @@ namespace slpwlo {
 
 /// Functional-unit class an operation occupies for slot accounting.
 enum class OpClass { Alu, MulUnit, Mem, Shift, Float, Branch };
+
+/// Number of OpClass enumerators (the op_class_cost table size).
+inline constexpr size_t kNumOpClasses = 6;
+
+/// The functional-unit class the WLO cost model charges an IR op to:
+/// Load/Store -> Mem, Mul/Div -> MulUnit, everything else -> Alu (shifts
+/// and float traffic only appear after lowering; see lower/machine_ir.hpp
+/// for the machine-op classification).
+OpClass op_class_for(OpKind kind);
 
 /// Floating-point support: hardware FUs or soft-float library calls whose
 /// cycle costs serialize the machine (Section V.B's XENTIUM emulation).
@@ -82,6 +96,18 @@ struct TargetModel {
     /// ALU ops needed to move one lane to a scalar register.
     int extract_ops = 1;
 
+    /// Per-OpClass multipliers for relative_op_cost, indexed by
+    /// static_cast<size_t>(OpClass) — the ISA's cost-table row weights
+    /// (e.g. a DSP whose multiplies are twice as expensive as ALU ops
+    /// sets op_class_cost[MulUnit] = 2). All 1.0 reproduces the uniform
+    /// Menard-style pricing of the paper's hand-coded models. Only the
+    /// Alu/MulUnit/Mem rows are consumed today (op_class_for maps IR ops
+    /// to those three); the Shift/Float/Branch rows are reserved for a
+    /// lowering-aware cost model and currently only distinguish
+    /// fingerprints.
+    std::array<double, kNumOpClasses> op_class_cost{1.0, 1.0, 1.0,
+                                                    1.0, 1.0, 1.0};
+
     FloatSupport fp;
 
     // --- derived queries ------------------------------------------------------
@@ -102,17 +128,38 @@ struct TargetModel {
     /// Largest implementable group width (1 when SIMD is absent).
     int max_group_size() const;
 
-    /// Relative cost of one op at word length `wl`, normalized so that an
-    /// op at max_wl() costs 1.0 (the Menard-style WLO cost model): the
-    /// storage-rounded width divided by the maximum width. `kind` is kept
-    /// in the signature so ports can price multiplies differently.
+    /// Cost-table weight of a functional-unit class (op_class_cost).
+    double op_class_weight(OpClass cls) const;
+
+    /// Relative cost of one op at word length `wl`: the storage-rounded
+    /// width divided by the maximum width (the Menard-style WLO cost
+    /// model, 1.0 for a uniformly-priced op at max_wl()), scaled by the
+    /// op_class_cost weight of the class `kind` maps to.
     double relative_op_cost(OpKind kind, int wl) const;
 
-    /// Throws Error when the description is inconsistent (empty WL sets,
-    /// non-positive widths or latencies, SIMD element widths that do not
-    /// divide the datapath, hardware FP without float slots...). Note
-    /// that per-class slot counts may legitimately sum past the issue
-    /// width — they are caps per class, not a partition of the slots.
+    // --- derived-target transforms --------------------------------------------
+    /// True when with_simd_width(bits) would succeed: bits == 0, or some
+    /// supported element width divides `bits` into >= 2 lanes.
+    bool can_derive_simd_width(int bits) const;
+
+    /// Width variant of this ISA: the same pipeline with a `bits`-wide
+    /// SIMD datapath, keeping the element widths that divide `bits` into
+    /// >= 2 lanes (bits == 0 disables SIMD entirely). The variant is
+    /// renamed `<name>@simd<bits>` and validated; throws Error when
+    /// bits > 0 and no supported element width fits.
+    TargetModel with_simd_width(int bits) const;
+
+    /// Element-set variant: the same datapath restricted (or extended) to
+    /// `element_wls`, renamed `<name>@e<w0>-<w1>...` and validated.
+    TargetModel with_element_wls(std::vector<int> element_wls) const;
+
+    /// Throws Error when the description is inconsistent: empty WL sets,
+    /// WL sets that are not strictly descending, non-positive widths,
+    /// zero/negative latencies or cost weights, SIMD element widths that
+    /// do not divide the datapath or never yield a group of >= 2 lanes,
+    /// hardware FP without float slots... Note that per-class slot
+    /// counts may legitimately sum past the issue width — they are caps
+    /// per class, not a partition of the slots.
     void validate() const;
 };
 
@@ -140,8 +187,10 @@ TargetModel generic32();
 /// VEX-4 (stable order).
 const std::vector<TargetModel>& paper_targets();
 
-/// Case-insensitive lookup among the built-in models ("XENTIUM", "ST240",
-/// "VEX-1", "VEX-4", "GENERIC32"); throws Error for unknown names.
+/// Case-insensitive lookup in the TargetRegistry (the paper's models, the
+/// shipped ISA presets — NEON128, SSE128, DSP64 — and anything user code
+/// registered); an unknown name throws Error listing every registered
+/// target name.
 TargetModel by_name(const std::string& name);
 
 }  // namespace targets

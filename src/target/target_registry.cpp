@@ -1,0 +1,85 @@
+#include "target/target_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+#include "target/target_desc.hpp"
+
+namespace slpwlo {
+
+namespace {
+
+std::string canonical(const std::string& name) {
+    std::string upper = name;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return upper;
+}
+
+}  // namespace
+
+TargetRegistry::TargetRegistry() {
+    // The paper's hand-coded models plus the scalar baseline...
+    for (const TargetModel& t : targets::paper_targets()) {
+        models_.emplace(canonical(t.name), t);
+    }
+    const TargetModel generic = targets::generic32();
+    models_.emplace(canonical(generic.name), generic);
+    // ...and the shipped ISA presets, parsed from their description
+    // files (embedded at build time), so the registry and the parser can
+    // never drift apart.
+    for (const TargetModel& t : targets::preset_targets()) {
+        models_.emplace(canonical(t.name), t);
+    }
+}
+
+TargetRegistry& TargetRegistry::instance() {
+    static TargetRegistry registry;
+    return registry;
+}
+
+void TargetRegistry::add(TargetModel model) {
+    model.validate();
+    std::lock_guard<std::mutex> lock(mutex_);
+    models_[canonical(model.name)] = std::move(model);
+}
+
+bool TargetRegistry::contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.count(canonical(name)) != 0;
+}
+
+TargetModel TargetRegistry::get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = models_.find(canonical(name));
+    if (it == models_.end()) {
+        std::vector<std::string> known;
+        known.reserve(models_.size());
+        for (const auto& [key, model] : models_) {
+            (void)key;
+            known.push_back(model.name);
+        }
+        std::sort(known.begin(), known.end());
+        throw Error("unknown target `" + name +
+                    "`; registered: " + join(known, ", "));
+    }
+    return it->second;
+}
+
+std::vector<std::string> TargetRegistry::names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(models_.size());
+    for (const auto& [key, model] : models_) {
+        (void)key;
+        out.push_back(model.name);
+    }
+    // The map iterates in canonical (upper-cased) key order, which is not
+    // byte order for the registered casings — sort what we return.
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace slpwlo

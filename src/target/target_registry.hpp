@@ -1,0 +1,52 @@
+// TargetRegistry: the process-wide map from names to TargetModels,
+// mirroring FlowRegistry (flow/pass.hpp). Targets are first-class data
+// rather than a hard-coded switch: the paper's hand-coded models, the
+// shipped ISA description presets (NEON128, SSE128, DSP64 — see
+// target_desc.hpp) and anything user code add()s all resolve through the
+// same case-insensitive lookup, and sweeps can spawn derived width
+// variants of any registered base ISA (TargetModel::with_simd_width).
+//
+// Lookup returns a copy: a registered model is immutable-by-value, so a
+// sweep point that mutates its target (a width override, a doctored cost
+// table) never affects other points or later lookups.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "target/target_model.hpp"
+
+namespace slpwlo {
+
+/// Process-wide registry of target models. The built-in models and the
+/// shipped ISA presets are registered on first access; user code may add
+/// its own. Lookup is thread-safe; add() must not race with a running
+/// sweep that resolves names.
+class TargetRegistry {
+public:
+    static TargetRegistry& instance();
+
+    /// Validate and register (or replace) a model under its name.
+    /// Names are matched case-insensitively.
+    void add(TargetModel model);
+
+    bool contains(const std::string& name) const;
+
+    /// Copy of the model registered under `name` (case-insensitive);
+    /// throws Error for unknown names, listing every registered target.
+    TargetModel get(const std::string& name) const;
+
+    /// Registered target names, sorted.
+    std::vector<std::string> names() const;
+
+private:
+    TargetRegistry();
+
+    mutable std::mutex mutex_;
+    /// Keyed by the upper-cased name; values keep the registered casing.
+    std::map<std::string, TargetModel> models_;
+};
+
+}  // namespace slpwlo

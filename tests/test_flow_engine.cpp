@@ -288,10 +288,10 @@ TEST(FlowEngine, SweepDeterministicAcrossThreadCounts) {
 
 TEST(FlowEngine, SweepReportsConfigErrorsBeforeRunning) {
     SweepDriver driver;
-    EXPECT_THROW(driver.run({{"FFT", "XENTIUM", "WLO-SLP", -20.0, {}}}),
+    EXPECT_THROW(driver.run({{"FFT", "XENTIUM", "WLO-SLP", -20.0, {}, {}}}),
                  Error);
-    EXPECT_THROW(driver.run({{"FIR", "TPU", "WLO-SLP", -20.0, {}}}), Error);
-    EXPECT_THROW(driver.run({{"FIR", "XENTIUM", "NO-SUCH", -20.0, {}}}),
+    EXPECT_THROW(driver.run({{"FIR", "TPU", "WLO-SLP", -20.0, {}, {}}}), Error);
+    EXPECT_THROW(driver.run({{"FIR", "XENTIUM", "NO-SUCH", -20.0, {}, {}}}),
                  Error);
 }
 
