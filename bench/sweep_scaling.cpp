@@ -11,7 +11,6 @@
 //
 //   $ ./sweep_scaling [--threads N] [--json[=FILE]]
 #include <chrono>
-#include <cstring>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -53,12 +52,8 @@ int main(int argc, char** argv) {
     print_header("SweepDriver scaling — threads and memoization",
                  "FlowEngine infrastructure (no paper figure)");
 
-    int parallel_threads = 4;
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") == 0) {
-            parallel_threads = std::atoi(argv[i + 1]);
-        }
-    }
+    const BenchOptions args = parse_bench_args(argc, argv);
+    const int parallel_threads = args.threads;
 
     const std::vector<SweepPoint> points = SweepDriver::grid(
         kernels::paper_kernel_names(), {"XENTIUM"},
@@ -105,6 +100,6 @@ int main(int argc, char** argv) {
 
     const bool ok = identical(serial_results, parallel_results) &&
                     identical(parallel_results, warm_results);
-    maybe_emit_json(argc, argv, parallel_results);
+    maybe_emit_json(args, parallel_results, &stats);
     return ok ? 0 : 1;
 }

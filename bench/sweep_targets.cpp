@@ -16,7 +16,6 @@
 // shrinks the grid to one kernel and one constraint for CI.
 #include <algorithm>
 #include <cctype>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -55,18 +54,13 @@ int main(int argc, char** argv) {
     print_header("Cross-ISA target sweep — registry x SIMD widths",
                  "TargetRegistry infrastructure (no paper figure)");
 
-    int parallel_threads = 4;
-    bool smoke = false;
-    std::vector<std::string> target_files;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-            parallel_threads = std::atoi(argv[++i]);
-        } else if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strcmp(argv[i], "--target-file") == 0 && i + 1 < argc) {
-            target_files.push_back(argv[++i]);
-        }
-    }
+    BenchArgSpec spec;
+    spec.smoke = true;
+    spec.target_files = true;
+    const BenchOptions args = parse_bench_args(argc, argv, spec);
+    const int parallel_threads = args.threads;
+    const bool smoke = args.smoke;
+    const std::vector<std::string>& target_files = args.target_files;
 
     // The ISA axis: two paper VLIWs, the three shipped presets, and any
     // description files from the command line (registered so they resolve
@@ -167,6 +161,6 @@ int main(int argc, char** argv) {
     std::printf("results identical (1 vs %d threads): %s\n", parallel_threads,
                 ok ? "yes" : "NO");
 
-    maybe_emit_json(argc, argv, parallel_results);
+    maybe_emit_json(args, parallel_results, &stats);
     return ok ? 0 : 1;
 }

@@ -1,0 +1,175 @@
+#include "dist/cache_snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "flow/report.hpp"
+#include "support/diagnostics.hpp"
+#include "support/kv_format.hpp"
+
+namespace slpwlo::dist {
+
+CacheSnapshot snapshot_cache(const EvalCache& cache) {
+    CacheSnapshot snapshot;
+    snapshot.entries = cache.export_entries();
+    return snapshot;
+}
+
+void preload_cache(EvalCache& cache, const CacheSnapshot& snapshot) {
+    for (const auto& [key, entry] : snapshot.entries) {
+        cache.store(key, entry);
+    }
+}
+
+std::string cache_snapshot_text(const CacheSnapshot& snapshot) {
+    std::ostringstream os;
+    os << "# slpwlo evalcache snapshot\n"
+       << "snapshot_version = 1\n"
+       << "entries = " << snapshot.entries.size() << "\n";
+    for (const auto& [key, entry] : snapshot.entries) {
+        uint64_t noise_bits;
+        static_assert(sizeof(noise_bits) == sizeof(entry.analytic_noise_db));
+        std::memcpy(&noise_bits, &entry.analytic_noise_db,
+                    sizeof(noise_bits));
+        os << "entry = " << fingerprint_hex(key) << " " << entry.scalar_cycles
+           << " " << entry.simd_cycles << " " << fingerprint_hex(noise_bits)
+           << "\n";
+    }
+    return os.str();
+}
+
+CacheSnapshot parse_cache_snapshot(const std::string& text,
+                                   const std::string& source) {
+    CacheSnapshot snapshot;
+    kv::KvReader reader(text, source);
+    kv::KvLine line;
+    bool saw_version = false;
+    long long declared = -1;
+    std::set<std::string> header_seen;
+
+    while (reader.next(line)) {
+        // Header keys appear exactly once (silent last-wins would defeat
+        // the declared-count check).
+        if (!line.key.empty() && line.key != "entry" &&
+            !header_seen.insert(line.key).second) {
+            reader.fail_here("duplicate key `" + line.key + "`");
+        }
+        if (line.key == "snapshot_version") {
+            snapshot.version =
+                kv::to_int(source, line.line, line.key, line.value);
+            if (snapshot.version != 1) {
+                reader.fail_here("unsupported snapshot_version " + line.value +
+                                 " (this reader knows 1)");
+            }
+            saw_version = true;
+        } else if (line.key == "entries") {
+            declared = kv::to_ll(source, line.line, line.key, line.value);
+        } else if (line.key == "entry") {
+            std::istringstream fields(line.value);
+            std::string key_hex, scalar, simd, noise_hex;
+            std::string extra;
+            if (!(fields >> key_hex >> scalar >> simd >> noise_hex) ||
+                (fields >> extra)) {
+                reader.fail_here(
+                    "entry expects `<key> <scalar> <simd> <noise bits>`");
+            }
+            const uint64_t key =
+                kv::to_fingerprint(source, line.line, "entry key", key_hex);
+            EvalCache::Entry entry;
+            entry.scalar_cycles =
+                kv::to_ll(source, line.line, "entry scalar cycles", scalar);
+            entry.simd_cycles =
+                kv::to_ll(source, line.line, "entry simd cycles", simd);
+            const uint64_t noise_bits = kv::to_fingerprint(
+                source, line.line, "entry noise bits", noise_hex);
+            std::memcpy(&entry.analytic_noise_db, &noise_bits,
+                        sizeof(entry.analytic_noise_db));
+            if (!snapshot.entries.empty() &&
+                key <= snapshot.entries.back().first) {
+                reader.fail_here(
+                    "entry keys must be strictly ascending (key " + key_hex +
+                    ")");
+            }
+            snapshot.entries.emplace_back(key, entry);
+        } else if (line.key.empty()) {
+            reader.fail_here("expected `key = value`, got `" + line.value +
+                             "`");
+        } else {
+            reader.fail_here("unknown key `" + line.key + "`");
+        }
+    }
+
+    if (!saw_version) throw Error(source + ": missing snapshot_version");
+    if (declared >= 0 &&
+        static_cast<size_t>(declared) != snapshot.entries.size()) {
+        throw Error(source + ": header declares " + std::to_string(declared) +
+                    " entries, file has " +
+                    std::to_string(snapshot.entries.size()));
+    }
+    return snapshot;
+}
+
+CacheSnapshot load_cache_snapshot(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot read cache snapshot `" + path + "`");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse_cache_snapshot(text.str(), path);
+}
+
+CacheSnapshot merge_cache_snapshots(const std::vector<CacheSnapshot>& parts) {
+    CacheSnapshot merged;
+    for (const CacheSnapshot& part : parts) {
+        for (const auto& [key, entry] : part.entries) {
+            merged.entries.emplace_back(key, entry);
+        }
+    }
+    std::sort(merged.entries.begin(), merged.entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    size_t keep = 0;
+    for (size_t i = 0; i < merged.entries.size(); ++i) {
+        if (keep > 0 && merged.entries[i].first ==
+                            merged.entries[keep - 1].first) {
+            if (merged.entries[i].second != merged.entries[keep - 1].second) {
+                throw Error(
+                    "evalcache snapshot merge conflict: key " +
+                    fingerprint_hex(merged.entries[i].first) +
+                    " has two different entries — hash collision or "
+                    "nondeterministic evaluation");
+            }
+            continue;  // benign duplicate
+        }
+        merged.entries[keep++] = merged.entries[i];
+    }
+    merged.entries.resize(keep);
+    return merged;
+}
+
+uint64_t snapshot_fingerprint(const CacheSnapshot& snapshot) {
+    constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+    constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+    uint64_t h = kFnvOffset;
+    const auto mix = [&](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= kFnvPrime;
+        }
+    };
+    mix(static_cast<uint64_t>(snapshot.version));
+    mix(snapshot.entries.size());
+    for (const auto& [key, entry] : snapshot.entries) {
+        mix(key);
+        mix(static_cast<uint64_t>(entry.scalar_cycles));
+        mix(static_cast<uint64_t>(entry.simd_cycles));
+        uint64_t noise_bits;
+        std::memcpy(&noise_bits, &entry.analytic_noise_db,
+                    sizeof(noise_bits));
+        mix(noise_bits);
+    }
+    return h;
+}
+
+}  // namespace slpwlo::dist

@@ -1,0 +1,66 @@
+// ShardEngine, stage 3: serializable, mergeable EvalCache snapshots.
+//
+// The EvalCache (flow/pass.hpp) memoizes the evaluation stage of a flow
+// under content-hash keys — kernel, target, final spec and groups — so
+// entries are valid on any machine: a snapshot taken on one worker can
+// warm-start any other. The sharded workflow is:
+//
+//   coordinator:  merge yesterday's snapshots -> shared warm snapshot
+//   shard run:    preload_cache(warm) -> run -> snapshot_cache -> ship home
+//   coordinator:  merge_cache_snapshots(all shards) -> next warm snapshot
+//
+// Format (versioned, fingerprint-keyed, line-oriented):
+//
+//   # slpwlo evalcache snapshot
+//   snapshot_version = 1
+//   entries = 2
+//   entry = <key:16 hex> <scalar cycles> <simd cycles> <noise bits:16 hex>
+//   entry = ...
+//
+// The noise double is stored as its raw IEEE-754 bits, so save -> load is
+// bit-exact (including the -inf noise of an exact spec) and a round-trip
+// preserves snapshot_fingerprint identically. Entries are sorted by key:
+// a snapshot's bytes are a pure function of the cache contents.
+//
+// Versioning policy mirrors the manifest: readers reject versions they do
+// not know; any incompatible change bumps `snapshot_version`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/pass.hpp"
+
+namespace slpwlo::dist {
+
+struct CacheSnapshot {
+    int version = 1;
+    /// Entries sorted by key, each key unique.
+    std::vector<std::pair<uint64_t, EvalCache::Entry>> entries;
+};
+
+/// Capture a cache's current contents (sorted by key).
+CacheSnapshot snapshot_cache(const EvalCache& cache);
+
+/// Preload every snapshot entry into `cache` (the warm-start path).
+/// Existing keys keep their entries; capacity bounds apply as usual.
+void preload_cache(EvalCache& cache, const CacheSnapshot& snapshot);
+
+/// Serialize / parse the snapshot text format. parse validates the
+/// version, the declared entry count, key ordering and uniqueness.
+std::string cache_snapshot_text(const CacheSnapshot& snapshot);
+CacheSnapshot parse_cache_snapshot(const std::string& text,
+                                   const std::string& source = "<string>");
+CacheSnapshot load_cache_snapshot(const std::string& path);
+
+/// Union of several snapshots. The same key appearing with bit-identical
+/// entries deduplicates; the same key with different entries is a hard
+/// error — content-hash keys make that either a hash collision or
+/// nondeterminism, and both must surface, not be papered over.
+CacheSnapshot merge_cache_snapshots(const std::vector<CacheSnapshot>& parts);
+
+/// Content hash of a snapshot (order- and bit-sensitive); save -> load
+/// round-trips preserve it exactly.
+uint64_t snapshot_fingerprint(const CacheSnapshot& snapshot);
+
+}  // namespace slpwlo::dist

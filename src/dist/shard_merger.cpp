@@ -1,0 +1,209 @@
+#include "dist/shard_merger.hpp"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "flow/report.hpp"
+#include "support/diagnostics.hpp"
+#include "support/kv_format.hpp"
+
+namespace slpwlo::dist {
+
+std::string shard_results_text(const ShardResultsFile& results) {
+    std::ostringstream os;
+    os << "# slpwlo shard results\n"
+       << "results_version = 1\n"
+       << "shard_index = " << results.shard_index << "\n"
+       << "shard_count = " << results.shard_count << "\n"
+       << "total_slots = " << results.total_slots << "\n"
+       << "grid_fingerprint = " << fingerprint_hex(results.grid_fp) << "\n"
+       << "eval_hits = " << results.eval_hits << "\n"
+       << "eval_misses = " << results.eval_misses << "\n"
+       << "eval_entries = " << results.eval_entries << "\n"
+       << "rows = " << results.rows.size() << "\n";
+    for (const ShardRow& row : results.rows) {
+        SLPWLO_CHECK(row.json.find('\n') == std::string::npos,
+                     "shard result rows must be single-line JSON");
+        os << "row = " << row.slot << " " << fingerprint_hex(row.point_fp)
+           << " " << row.json << "\n";
+    }
+    return os.str();
+}
+
+ShardResultsFile parse_shard_results(const std::string& text,
+                                     const std::string& source) {
+    ShardResultsFile results;
+    kv::KvReader reader(text, source);
+    kv::KvLine line;
+    bool saw_version = false;
+    long long declared = -1;
+    std::set<std::string> header_seen;
+
+    while (reader.next(line)) {
+        // Header keys appear exactly once — a concatenated or corrupted
+        // file must not sneak a second grid_fingerprint past the merge
+        // checks via silent last-wins.
+        if (!line.key.empty() && line.key != "row" &&
+            !header_seen.insert(line.key).second) {
+            reader.fail_here("duplicate key `" + line.key + "`");
+        }
+        if (line.key == "row") {
+            // Rows carry raw JSON which may legitimately contain '#', so
+            // re-split from the raw line instead of the comment-stripped
+            // value.
+            const size_t eq = line.raw.find('=');
+            SLPWLO_ASSERT(eq != std::string::npos, "row line lost its `=`");
+            const std::string payload = kv::trim(line.raw.substr(eq + 1));
+            const size_t first_space = payload.find(' ');
+            const size_t second_space =
+                first_space == std::string::npos
+                    ? std::string::npos
+                    : payload.find(' ', first_space + 1);
+            if (second_space == std::string::npos) {
+                reader.fail_here("row expects `<slot> <fingerprint> <json>`");
+            }
+            ShardRow row;
+            row.slot = static_cast<size_t>(
+                kv::to_ll(source, line.line, "row slot",
+                          payload.substr(0, first_space)));
+            row.point_fp = kv::to_fingerprint(
+                source, line.line, "row fingerprint",
+                payload.substr(first_space + 1,
+                               second_space - first_space - 1));
+            row.json = payload.substr(second_space + 1);
+            if (row.json.empty() || row.json.front() != '{' ||
+                row.json.back() != '}') {
+                reader.fail_here("row JSON must be a single-line object");
+            }
+            results.rows.push_back(std::move(row));
+        } else if (line.key == "results_version") {
+            results.version =
+                kv::to_int(source, line.line, line.key, line.value);
+            if (results.version != 1) {
+                reader.fail_here("unsupported results_version " + line.value +
+                                 " (this reader knows 1)");
+            }
+            saw_version = true;
+        } else if (line.key == "shard_index") {
+            results.shard_index =
+                kv::to_int(source, line.line, line.key, line.value);
+        } else if (line.key == "shard_count") {
+            results.shard_count =
+                kv::to_int(source, line.line, line.key, line.value);
+        } else if (line.key == "total_slots") {
+            results.total_slots = static_cast<size_t>(
+                kv::to_ll(source, line.line, line.key, line.value));
+        } else if (line.key == "grid_fingerprint") {
+            results.grid_fp =
+                kv::to_fingerprint(source, line.line, line.key, line.value);
+        } else if (line.key == "eval_hits") {
+            results.eval_hits = static_cast<size_t>(
+                kv::to_ll(source, line.line, line.key, line.value));
+        } else if (line.key == "eval_misses") {
+            results.eval_misses = static_cast<size_t>(
+                kv::to_ll(source, line.line, line.key, line.value));
+        } else if (line.key == "eval_entries") {
+            results.eval_entries = static_cast<size_t>(
+                kv::to_ll(source, line.line, line.key, line.value));
+        } else if (line.key == "rows") {
+            declared = kv::to_ll(source, line.line, line.key, line.value);
+        } else if (line.key.empty()) {
+            reader.fail_here("expected `key = value`, got `" + line.value +
+                             "`");
+        } else {
+            reader.fail_here("unknown key `" + line.key + "`");
+        }
+    }
+
+    if (!saw_version) throw Error(source + ": missing results_version");
+    if (declared >= 0 && static_cast<size_t>(declared) != results.rows.size()) {
+        throw Error(source + ": header declares " + std::to_string(declared) +
+                    " rows, file has " + std::to_string(results.rows.size()));
+    }
+    for (const ShardRow& row : results.rows) {
+        if (row.slot >= results.total_slots) {
+            throw Error(source + ": row slot " + std::to_string(row.slot) +
+                        " out of range (total_slots = " +
+                        std::to_string(results.total_slots) + ")");
+        }
+    }
+    return results;
+}
+
+ShardResultsFile load_shard_results(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot read shard results `" + path + "`");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse_shard_results(text.str(), path);
+}
+
+std::string merge_shard_results(const std::vector<ShardResultsFile>& shards) {
+    SLPWLO_CHECK(!shards.empty(), "nothing to merge: no shard result files");
+    const size_t total_slots = shards.front().total_slots;
+    const uint64_t grid_fp = shards.front().grid_fp;
+    for (const ShardResultsFile& shard : shards) {
+        if (shard.total_slots != total_slots || shard.grid_fp != grid_fp) {
+            throw Error(
+                "shard merge: grid mismatch — shard " +
+                std::to_string(shard.shard_index) + " ran grid " +
+                fingerprint_hex(shard.grid_fp) + " with " +
+                std::to_string(shard.total_slots) +
+                " slots, expected grid " + fingerprint_hex(grid_fp) +
+                " with " + std::to_string(total_slots) + " slots");
+        }
+    }
+
+    std::map<size_t, const ShardRow*> by_slot;
+    for (const ShardResultsFile& shard : shards) {
+        for (const ShardRow& row : shard.rows) {
+            const auto [it, inserted] = by_slot.emplace(row.slot, &row);
+            if (inserted) continue;
+            const ShardRow& existing = *it->second;
+            if (existing.point_fp != row.point_fp ||
+                existing.json != row.json) {
+                throw Error("shard merge conflict: slot " +
+                            std::to_string(row.slot) +
+                            " reported twice with different contents (" +
+                            fingerprint_hex(existing.point_fp) + " vs " +
+                            fingerprint_hex(row.point_fp) + ")");
+            }
+            throw Error("shard merge: slot " + std::to_string(row.slot) +
+                        " reported by more than one shard (overlapping "
+                        "plans)");
+        }
+    }
+
+    if (by_slot.size() != total_slots) {
+        std::string missing;
+        int listed = 0;
+        for (size_t slot = 0; slot < total_slots && listed < 8; ++slot) {
+            if (by_slot.count(slot) != 0) continue;
+            if (!missing.empty()) missing += ", ";
+            missing += std::to_string(slot);
+            listed++;
+        }
+        throw Error("shard merge: " +
+                    std::to_string(total_slots - by_slot.size()) +
+                    " of " + std::to_string(total_slots) +
+                    " slots missing (first: " + missing + ")");
+    }
+
+    // Reassemble exactly as sweep_to_json does, so a sharded sweep and a
+    // single-process sweep emit the same bytes.
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    for (const auto& [slot, row] : by_slot) {
+        (void)slot;
+        if (!first) os << ",";
+        first = false;
+        os << "\n  " << row->json;
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+}  // namespace slpwlo::dist

@@ -1,0 +1,68 @@
+// ShardEngine, stage 4: folding per-shard result files back into the
+// single-process sweep report.
+//
+// A shard result file carries one JSON row per completed slot plus the
+// shard's EvalCache counters (so warm-start effectiveness is visible at
+// merge time). Rows are the exact sweep_result_to_json objects the
+// single-process sweep_to_json emits, tagged with their grid slot and the
+// point's content fingerprint:
+//
+//   # slpwlo shard results
+//   results_version = 1
+//   shard_index = 0
+//   shard_count = 4
+//   total_slots = 24
+//   grid_fingerprint = <16 hex>
+//   eval_hits = 12
+//   eval_misses = 6
+//   eval_entries = 6
+//   rows = 6
+//   row = <slot> <point fingerprint:16 hex> <JSON object>
+//
+// merge_shard_results() reassembles the rows in slot order and produces
+// output byte-identical to sweep_to_json over the unsharded grid. The
+// merge is defensive by design:
+//
+//   * shards whose grid fingerprints disagree do not merge (someone ran
+//     against a different grid);
+//   * the same slot appearing twice with different point fingerprints or
+//     row bytes is a hard conflict (two shards claim to be the same work);
+//   * missing slots fail with the exact holes listed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/sweep.hpp"
+
+namespace slpwlo::dist {
+
+struct ShardRow {
+    size_t slot = 0;
+    uint64_t point_fp = 0;   ///< point_fingerprint of the manifest point
+    std::string json;        ///< sweep_result_to_json object (one line)
+};
+
+struct ShardResultsFile {
+    int version = 1;
+    int shard_index = 0;
+    int shard_count = 1;
+    size_t total_slots = 0;
+    uint64_t grid_fp = 0;
+    size_t eval_hits = 0;
+    size_t eval_misses = 0;
+    size_t eval_entries = 0;
+    std::vector<ShardRow> rows;
+};
+
+std::string shard_results_text(const ShardResultsFile& results);
+ShardResultsFile parse_shard_results(const std::string& text,
+                                     const std::string& source = "<string>");
+ShardResultsFile load_shard_results(const std::string& path);
+
+/// Fold per-shard files into one JSON results array, byte-identical to
+/// sweep_to_json(results) of the unsharded run. Throws Error on grid
+/// mismatch, slot conflicts/duplicates, or missing slots.
+std::string merge_shard_results(const std::vector<ShardResultsFile>& shards);
+
+}  // namespace slpwlo::dist

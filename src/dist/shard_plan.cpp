@@ -1,0 +1,169 @@
+#include "dist/shard_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "dist/shard_manifest.hpp"
+#include "flow/pass.hpp"
+#include "support/diagnostics.hpp"
+#include "target/target_model.hpp"
+
+namespace slpwlo::dist {
+
+std::string to_string(ShardStrategy strategy) {
+    switch (strategy) {
+        case ShardStrategy::RoundRobin: return "round-robin";
+        case ShardStrategy::CostBalanced: return "cost-balanced";
+    }
+    SLPWLO_ASSERT(false, "unhandled ShardStrategy");
+}
+
+ShardStrategy shard_strategy_from_string(const std::string& text) {
+    if (text == "round-robin") return ShardStrategy::RoundRobin;
+    if (text == "cost-balanced") return ShardStrategy::CostBalanced;
+    throw Error("unknown shard strategy `" + text +
+                "`; known: round-robin, cost-balanced");
+}
+
+double estimate_point_cost(const SweepPoint& point) {
+    // Flow weight: the Float reference only lowers and schedules; the
+    // decoupled flows run a Tabu search on top of extraction.
+    double flow_weight = 1.0;
+    if (point.flow == "Float") {
+        flow_weight = 0.1;
+    } else if (point.flow.rfind("WLO-First", 0) == 0) {
+        flow_weight = 1.5;
+    }
+    // Stricter constraints make the optimizers work harder before the
+    // noise budget closes.
+    const double constraint_weight = 1.0 + std::abs(point.accuracy_db) / 20.0;
+    return flow_weight * constraint_weight;
+}
+
+void embed_target_models(std::vector<SweepPoint>& points) {
+    for (SweepPoint& point : points) {
+        if (point.target_model.has_value()) {
+            point.target_model->validate();
+        } else {
+            point.target_model = targets::by_name(point.target);
+        }
+    }
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(uint64_t& h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+void mix_string(uint64_t& h, const std::string& s) {
+    mix(h, s.size());
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+}
+
+}  // namespace
+
+uint64_t point_fingerprint(const SweepPoint& point) {
+    SLPWLO_CHECK(point.target_model.has_value(),
+                 "point_fingerprint needs an embedded target model "
+                 "(embed_target_models)");
+    uint64_t h = kFnvOffset;
+    mix_string(h, point.kernel);
+    mix_string(h, point.target);
+    mix_string(h, point.flow);
+    uint64_t accuracy_bits;
+    static_assert(sizeof(accuracy_bits) == sizeof(point.accuracy_db));
+    std::memcpy(&accuracy_bits, &point.accuracy_db, sizeof(accuracy_bits));
+    mix(h, accuracy_bits);
+    mix(h, point.options.has_value() ? 1u : 0u);
+    if (point.options.has_value()) {
+        // The serialized form covers every field the manifest round-trips,
+        // so two points whose options differ anywhere get distinct
+        // fingerprints.
+        mix_string(h, flow_options_kv(*point.options, ""));
+    }
+    // Both the name-free content fingerprint and the name: the name
+    // lands in FlowResult.target_name (and so in the report bytes), so
+    // renamed-identical models must not alias.
+    mix(h, target_fingerprint(*point.target_model));
+    mix_string(h, point.target_model->name);
+    return h;
+}
+
+uint64_t grid_fingerprint(const std::vector<SweepPoint>& points) {
+    uint64_t h = kFnvOffset;
+    mix(h, points.size());
+    for (const SweepPoint& point : points) {
+        mix(h, point_fingerprint(point));
+    }
+    return h;
+}
+
+std::vector<ShardPlan> make_shard_plans(std::vector<SweepPoint> grid,
+                                        int shard_count,
+                                        ShardStrategy strategy) {
+    SLPWLO_CHECK(shard_count >= 1, "shard count must be >= 1");
+    embed_target_models(grid);
+    const uint64_t grid_fp = grid_fingerprint(grid);
+
+    // Slot -> shard assignment.
+    std::vector<int> shard_of(grid.size(), 0);
+    if (strategy == ShardStrategy::RoundRobin) {
+        for (size_t i = 0; i < grid.size(); ++i) {
+            shard_of[i] = static_cast<int>(i % shard_count);
+        }
+    } else {
+        // Longest-processing-time greedy: place expensive points first,
+        // each on the currently least-loaded shard. Ties break on the
+        // lower slot / lower shard index, so the assignment is a pure
+        // function of the grid.
+        std::vector<size_t> order(grid.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::vector<double> cost(grid.size());
+        for (size_t i = 0; i < grid.size(); ++i) {
+            cost[i] = estimate_point_cost(grid[i]);
+        }
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            if (cost[a] != cost[b]) return cost[a] > cost[b];
+            return a < b;
+        });
+        std::vector<double> load(shard_count, 0.0);
+        for (const size_t slot : order) {
+            int lightest = 0;
+            for (int s = 1; s < shard_count; ++s) {
+                if (load[s] < load[lightest]) lightest = s;
+            }
+            shard_of[slot] = lightest;
+            load[lightest] += cost[slot];
+        }
+    }
+
+    std::vector<ShardPlan> plans(shard_count);
+    for (int s = 0; s < shard_count; ++s) {
+        plans[s].shard_index = s;
+        plans[s].shard_count = shard_count;
+        plans[s].strategy = strategy;
+        plans[s].total_slots = grid.size();
+        plans[s].grid_fp = grid_fp;
+    }
+    // Walking slots in ascending order keeps each plan's slot list sorted.
+    for (size_t slot = 0; slot < grid.size(); ++slot) {
+        ShardPlan& plan = plans[shard_of[slot]];
+        plan.slots.push_back(slot);
+        plan.points.push_back(std::move(grid[slot]));
+    }
+    return plans;
+}
+
+}  // namespace slpwlo::dist

@@ -1,0 +1,52 @@
+#include "dist/shard_runner.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::dist {
+
+ShardRunOutput run_shard(const ShardManifest& manifest,
+                         const ShardRunOptions& options) {
+    SLPWLO_CHECK(manifest.slots.size() == manifest.points.size(),
+                 "manifest slots/points size mismatch");
+    for (const SweepPoint& point : manifest.points) {
+        SLPWLO_CHECK(point.target_model.has_value(),
+                     "shard manifests must embed target models — workers "
+                     "do not resolve names");
+    }
+
+    SweepOptions sweep_options;
+    sweep_options.threads = options.threads;
+    sweep_options.flow_options = manifest.defaults;
+    SweepDriver driver(sweep_options);
+    if (options.cache_capacity.has_value()) {
+        driver.eval_cache().set_capacity(*options.cache_capacity);
+    }
+    if (options.warm != nullptr) {
+        preload_cache(driver.eval_cache(), *options.warm);
+    }
+
+    ShardRunOutput out;
+    out.sweep = driver.run(manifest.points);
+
+    out.results.shard_index = manifest.shard_index;
+    out.results.shard_count = manifest.shard_count;
+    out.results.total_slots = manifest.total_slots;
+    out.results.grid_fp = manifest.grid_fp;
+    out.results.rows.reserve(out.sweep.size());
+    for (size_t i = 0; i < out.sweep.size(); ++i) {
+        ShardRow row;
+        row.slot = manifest.slots[i];
+        row.point_fp = point_fingerprint(manifest.points[i]);
+        row.json = sweep_result_to_json(out.sweep[i]);
+        out.results.rows.push_back(std::move(row));
+    }
+
+    out.stats = driver.cache_stats();
+    out.results.eval_hits = out.stats.eval_hits;
+    out.results.eval_misses = out.stats.eval_misses;
+    out.results.eval_entries = out.stats.eval_entries;
+    out.snapshot = snapshot_cache(driver.eval_cache());
+    return out;
+}
+
+}  // namespace slpwlo::dist

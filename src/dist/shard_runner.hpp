@@ -1,0 +1,42 @@
+// ShardEngine, stage 5: executing one shard's manifest.
+//
+// run_shard is the worker-side entry point shared by the slpwlo-shard CLI
+// and the in-process tests: it feeds a manifest's points through a
+// SweepDriver (optionally warm-started from a cache snapshot), tags each
+// result row with its grid slot and point fingerprint, and captures the
+// cache contents so new entries can ship back to the coordinator.
+#pragma once
+
+#include <optional>
+
+#include "dist/cache_snapshot.hpp"
+#include "dist/shard_manifest.hpp"
+#include "dist/shard_merger.hpp"
+
+namespace slpwlo::dist {
+
+struct ShardRunOptions {
+    /// Worker threads for the shard's internal sweep; <= 0 picks the
+    /// hardware concurrency.
+    int threads = 0;
+    /// Warm-start snapshot, preloaded into the EvalCache before the run.
+    const CacheSnapshot* warm = nullptr;
+    /// Optional EvalCache entry bound (insertion-order eviction); nullopt
+    /// leaves the cache unlimited.
+    std::optional<size_t> cache_capacity;
+};
+
+struct ShardRunOutput {
+    ShardResultsFile results;           ///< slot-tagged rows + counters
+    CacheSnapshot snapshot;             ///< cache contents after the run
+    SweepCacheStats stats;              ///< hit/miss/size counters
+    std::vector<SweepResult> sweep;     ///< raw results, manifest order
+};
+
+/// Run every point of `manifest` and package the outputs. Results are
+/// bit-identical to the same points' slice of a single-process sweep at
+/// any thread count (the SweepDriver guarantee).
+ShardRunOutput run_shard(const ShardManifest& manifest,
+                         const ShardRunOptions& options = {});
+
+}  // namespace slpwlo::dist

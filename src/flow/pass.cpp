@@ -12,6 +12,16 @@ namespace slpwlo {
 
 // --- EvalCache -----------------------------------------------------------------
 
+bool EvalCache::Entry::operator==(const Entry& other) const {
+    // Bit-wise on the noise double: snapshot round-trips are bit-exact,
+    // and -inf (an exact spec) must compare equal to itself.
+    uint64_t a, b;
+    std::memcpy(&a, &analytic_noise_db, sizeof(a));
+    std::memcpy(&b, &other.analytic_noise_db, sizeof(b));
+    return scalar_cycles == other.scalar_cycles &&
+           simd_cycles == other.simd_cycles && a == b;
+}
+
 std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t key) const {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
@@ -25,7 +35,9 @@ std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t key) const {
 
 void EvalCache::store(uint64_t key, const Entry& entry) {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.emplace(key, entry);
+    if (!entries_.emplace(key, entry).second) return;  // first store wins
+    insertion_order_.push_back(key);
+    evict_to_capacity_locked();
 }
 
 size_t EvalCache::hits() const {
@@ -41,6 +53,41 @@ size_t EvalCache::misses() const {
 size_t EvalCache::size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+void EvalCache::set_capacity(size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    evict_to_capacity_locked();
+}
+
+size_t EvalCache::capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+size_t EvalCache::evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+std::vector<std::pair<uint64_t, EvalCache::Entry>> EvalCache::export_entries()
+    const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<uint64_t, Entry>> out(entries_.begin(),
+                                                entries_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+}
+
+void EvalCache::evict_to_capacity_locked() {
+    if (capacity_ == 0) return;
+    while (entries_.size() > capacity_ && !insertion_order_.empty()) {
+        entries_.erase(insertion_order_.front());
+        insertion_order_.pop_front();
+        evictions_++;
+    }
 }
 
 // --- content hashing -----------------------------------------------------------

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,24 +46,56 @@ namespace slpwlo {
 
 /// Memoized result of the evaluation stage of a flow (lowering +
 /// scheduling + analytic noise). Thread-safe; shared across sweep points.
+///
+/// The cache is serializable (dist/cache_snapshot.hpp): export_entries()
+/// walks the contents in key order so snapshots — and anything derived
+/// from them — are deterministic, and store() doubles as the import path.
+/// An optional capacity bound (set_capacity) evicts in insertion order so
+/// long sweeps cannot grow memory without bound; eviction only ever costs
+/// recomputation, never correctness.
 class EvalCache {
 public:
     struct Entry {
         long long scalar_cycles = 0;
         long long simd_cycles = 0;
         double analytic_noise_db = 0.0;
+
+        /// Bit-exact comparison (snapshot merging must distinguish a
+        /// genuine conflict from a benign duplicate).
+        bool operator==(const Entry& other) const;
+        bool operator!=(const Entry& other) const { return !(*this == other); }
     };
 
     std::optional<Entry> lookup(uint64_t key) const;
+    /// Insert `entry` under `key`. A key that is already present keeps its
+    /// existing entry (first store wins); at capacity the oldest insertion
+    /// is evicted first.
     void store(uint64_t key, const Entry& entry);
 
     size_t hits() const;
     size_t misses() const;
     size_t size() const;
 
+    /// Bound the entry count; storing past it evicts the oldest insertion
+    /// (deterministic FIFO). 0 — the default — means unlimited. Shrinking
+    /// below the current size evicts immediately.
+    void set_capacity(size_t capacity);
+    size_t capacity() const;
+    size_t evictions() const;
+
+    /// The current contents sorted by key (a deterministic order
+    /// independent of hashing and insertion history), for snapshots.
+    std::vector<std::pair<uint64_t, Entry>> export_entries() const;
+
 private:
+    void evict_to_capacity_locked();
+
     mutable std::mutex mutex_;
     std::unordered_map<uint64_t, Entry> entries_;
+    /// Resident keys in insertion order (the FIFO eviction queue).
+    std::deque<uint64_t> insertion_order_;
+    size_t capacity_ = 0;
+    size_t evictions_ = 0;
     mutable size_t hits_ = 0;
     mutable size_t misses_ = 0;
 };

@@ -196,25 +196,46 @@ std::string options_to_json(const FlowOptions& options) {
 
 }  // namespace
 
+std::string sweep_result_to_json(const SweepResult& result) {
+    // Splice the point's option overrides into the result object so
+    // ablation variants with identical flow/kernel/target/constraint
+    // stay distinguishable.
+    std::string object = to_json(result.flow);
+    if (result.point.options.has_value()) {
+        object.back() = ',';
+        object += "\"options\":" + options_to_json(*result.point.options) + "}";
+    }
+    return object;
+}
+
 std::string sweep_to_json(const std::vector<SweepResult>& results) {
     std::ostringstream os;
     os << "[";
     for (size_t i = 0; i < results.size(); ++i) {
         if (i != 0) os << ",";
-        const SweepResult& result = results[i];
-        // Splice the point's option overrides into the result object so
-        // ablation variants with identical flow/kernel/target/constraint
-        // stay distinguishable.
-        std::string object = to_json(result.flow);
-        if (result.point.options.has_value()) {
-            object.back() = ',';
-            object += "\"options\":" +
-                      options_to_json(*result.point.options) + "}";
-        }
-        os << "\n  " << object;
+        os << "\n  " << sweep_result_to_json(results[i]);
     }
     os << "\n]\n";
     return os.str();
+}
+
+std::string cache_stats_to_json(const SweepCacheStats& stats) {
+    std::ostringstream os;
+    os << "{\"hits\":" << stats.eval_hits << ",\"misses\":" << stats.eval_misses
+       << ",\"entries\":" << stats.eval_entries
+       << ",\"contexts\":" << stats.contexts << "}";
+    return os.str();
+}
+
+std::string sweep_to_json(const std::vector<SweepResult>& results,
+                          const SweepCacheStats& stats) {
+    std::string array = sweep_to_json(results);
+    // The plain array ends with "\n]\n"; keep its layout inside the
+    // wrapper so the "results" payload stays byte-identical to the
+    // standalone form (minus the trailing newline).
+    array.pop_back();
+    return "{\"results\":" + array +
+           ",\"eval_cache\":" + cache_stats_to_json(stats) + "}\n";
 }
 
 }  // namespace slpwlo

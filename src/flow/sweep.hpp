@@ -112,6 +112,12 @@ public:
     /// including across run() calls).
     const KernelContext& context(const std::string& kernel_name);
 
+    /// The shared evaluation cache — the export/import surface for warm
+    /// starts and snapshots (dist/cache_snapshot.hpp): preload it before
+    /// run() to start warm, export_entries() after to ship results home.
+    EvalCache& eval_cache() { return eval_cache_; }
+    const EvalCache& eval_cache() const { return eval_cache_; }
+
     SweepCacheStats cache_stats() const;
 
     const SweepOptions& options() const { return options_; }
@@ -131,8 +137,25 @@ private:
 std::vector<double> accuracy_grid(double from = -5.0, double to = -70.0,
                                   double step = 5.0);
 
+/// One sweep result as a single-line JSON object: the FlowResult object
+/// (report.hpp's to_json) with the point's option overrides spliced in
+/// when present. This is the row format shard result files carry — the
+/// distributed merge path reassembles sweep_to_json output byte-for-byte
+/// from these rows.
+std::string sweep_result_to_json(const SweepResult& result);
+
 /// Serialize sweep results as a JSON array (see report.hpp for the
 /// per-result object schema).
 std::string sweep_to_json(const std::vector<SweepResult>& results);
+
+/// EvalCache counters as a JSON object:
+/// {"hits":..,"misses":..,"entries":..,"contexts":..}.
+std::string cache_stats_to_json(const SweepCacheStats& stats);
+
+/// Full sweep report: {"results":[...],"eval_cache":{...}} — the results
+/// array plus the evaluation-cache counters, so warm-start effectiveness
+/// is visible in machine-readable output.
+std::string sweep_to_json(const std::vector<SweepResult>& results,
+                          const SweepCacheStats& stats);
 
 }  // namespace slpwlo

@@ -1,0 +1,145 @@
+#include "support/kv_format.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::kv {
+
+std::string trim(const std::string& s) {
+    size_t begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    size_t end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+void fail(const std::string& source, int line, const std::string& message) {
+    throw Error(source + ":" + std::to_string(line) + ": " + message);
+}
+
+long long to_ll(const std::string& source, int line, const std::string& key,
+                const std::string& value) {
+    try {
+        size_t pos = 0;
+        const long long parsed = std::stoll(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        fail(source, line, "key `" + key + "`: not an integer: `" + value + "`");
+    }
+}
+
+int to_int(const std::string& source, int line, const std::string& key,
+           const std::string& value) {
+    const long long parsed = to_ll(source, line, key, value);
+    if (parsed < INT32_MIN || parsed > INT32_MAX) {
+        fail(source, line, "key `" + key + "`: out of range: `" + value + "`");
+    }
+    return static_cast<int>(parsed);
+}
+
+double to_double(const std::string& source, int line, const std::string& key,
+                 const std::string& value) {
+    try {
+        size_t pos = 0;
+        const double parsed = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        fail(source, line, "key `" + key + "`: not a number: `" + value + "`");
+    }
+}
+
+bool to_bool(const std::string& source, int line, const std::string& key,
+             const std::string& value) {
+    if (value == "true" || value == "1") return true;
+    if (value == "false" || value == "0") return false;
+    fail(source, line,
+         "key `" + key + "`: expected true/false/1/0, got `" + value + "`");
+}
+
+std::vector<int> to_int_list(const std::string& source, int line,
+                             const std::string& key,
+                             const std::string& value) {
+    std::vector<int> out;
+    std::string item;
+    // Commas are separators like whitespace: "32, 16, 8" == "32 16 8".
+    std::string normalized = value;
+    for (char& c : normalized) {
+        if (c == ',') c = ' ';
+    }
+    std::istringstream items(normalized);
+    while (items >> item) {
+        out.push_back(to_int(source, line, key, item));
+    }
+    return out;
+}
+
+uint64_t to_fingerprint(const std::string& source, int line,
+                        const std::string& key, const std::string& value) {
+    if (value.size() != 16) {
+        fail(source, line,
+             "key `" + key + "`: expected 16 hex digits, got `" + value + "`");
+    }
+    uint64_t out = 0;
+    for (const char c : value) {
+        out <<= 4;
+        if (c >= '0' && c <= '9') {
+            out |= static_cast<uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            out |= static_cast<uint64_t>(c - 'a' + 10);
+        } else {
+            fail(source, line,
+                 "key `" + key + "`: expected 16 hex digits, got `" + value +
+                     "`");
+        }
+    }
+    return out;
+}
+
+std::string exact_double(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return std::string(buffer);
+}
+
+KvReader::KvReader(const std::string& text, std::string source)
+    : text_(text), source_(std::move(source)) {}
+
+bool KvReader::next(KvLine& out) {
+    while (offset_ < text_.size()) {
+        size_t end = text_.find('\n', offset_);
+        if (end == std::string::npos) end = text_.size();
+        const std::string raw = text_.substr(offset_, end - offset_);
+        offset_ = end + 1;
+        line_++;
+
+        std::string content = raw;
+        const size_t comment = content.find('#');
+        if (comment != std::string::npos) content.resize(comment);
+        content = trim(content);
+        if (content.empty()) continue;
+
+        out.line = line_;
+        out.raw = raw;
+        const size_t eq = content.find('=');
+        if (eq == std::string::npos) {
+            out.key.clear();
+            out.value = content;
+        } else {
+            out.key = trim(content.substr(0, eq));
+            out.value = trim(content.substr(eq + 1));
+        }
+        return true;
+    }
+    return false;
+}
+
+void KvReader::fail_here(const std::string& message) const {
+    fail(source_, line_, message);
+}
+
+}  // namespace slpwlo::kv

@@ -7,83 +7,22 @@
 #include <sstream>
 
 #include "support/diagnostics.hpp"
+#include "support/kv_format.hpp"
 
 namespace slpwlo {
+
+using kv::fail;
+using kv::to_bool;
+using kv::to_double;
+using kv::to_int;
+using kv::to_int_list;
+using kv::to_ll;
+using kv::trim;
 
 namespace {
 
 const char* const kOpClassKeys[kNumOpClasses] = {"alu",   "mul",   "mem",
                                                  "shift", "float", "branch"};
-
-[[noreturn]] void fail(const std::string& source, int line,
-                       const std::string& message) {
-    throw Error(source + ":" + std::to_string(line) + ": " + message);
-}
-
-std::string trim(const std::string& s) {
-    size_t begin = s.find_first_not_of(" \t\r");
-    if (begin == std::string::npos) return "";
-    size_t end = s.find_last_not_of(" \t\r");
-    return s.substr(begin, end - begin + 1);
-}
-
-long long to_ll(const std::string& source, int line, const std::string& key,
-                const std::string& value) {
-    try {
-        size_t pos = 0;
-        const long long parsed = std::stoll(value, &pos);
-        if (pos != value.size()) throw std::invalid_argument(value);
-        return parsed;
-    } catch (const std::exception&) {
-        fail(source, line, "key `" + key + "`: not an integer: `" + value + "`");
-    }
-}
-
-int to_int(const std::string& source, int line, const std::string& key,
-           const std::string& value) {
-    const long long parsed = to_ll(source, line, key, value);
-    if (parsed < INT32_MIN || parsed > INT32_MAX) {
-        fail(source, line, "key `" + key + "`: out of range: `" + value + "`");
-    }
-    return static_cast<int>(parsed);
-}
-
-double to_double(const std::string& source, int line, const std::string& key,
-                 const std::string& value) {
-    try {
-        size_t pos = 0;
-        const double parsed = std::stod(value, &pos);
-        if (pos != value.size()) throw std::invalid_argument(value);
-        return parsed;
-    } catch (const std::exception&) {
-        fail(source, line, "key `" + key + "`: not a number: `" + value + "`");
-    }
-}
-
-bool to_bool(const std::string& source, int line, const std::string& key,
-             const std::string& value) {
-    if (value == "true" || value == "1") return true;
-    if (value == "false" || value == "0") return false;
-    fail(source, line,
-         "key `" + key + "`: expected true/false/1/0, got `" + value + "`");
-}
-
-std::vector<int> to_int_list(const std::string& source, int line,
-                             const std::string& key,
-                             const std::string& value) {
-    std::vector<int> out;
-    std::string item;
-    // Commas are separators like whitespace: "32, 16, 8" == "32 16 8".
-    std::string normalized = value;
-    for (char& c : normalized) {
-        if (c == ',') c = ' ';
-    }
-    std::istringstream items(normalized);
-    while (items >> item) {
-        out.push_back(to_int(source, line, key, item));
-    }
-    return out;
-}
 
 }  // namespace
 
@@ -214,13 +153,9 @@ std::string target_description(const TargetModel& model) {
         }
         return out;
     };
-    // %.17g round-trips any double exactly, so a serialize-parse cycle
-    // preserves the content fingerprint bit-for-bit.
-    const auto number = [](double value) {
-        char buffer[32];
-        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-        return std::string(buffer);
-    };
+    // kv::exact_double round-trips any double exactly, so a
+    // serialize-parse cycle preserves the content fingerprint bit-for-bit.
+    const auto number = [](double value) { return kv::exact_double(value); };
     os << "# slpwlo target description\n"
        << "name = " << model.name << "\n"
        << "issue_width = " << model.issue_width << "\n"

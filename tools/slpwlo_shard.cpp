@@ -1,0 +1,357 @@
+// slpwlo-shard — distributed design-space sweeps from the command line.
+//
+// Turns any SweepDriver grid into N self-contained shard manifests, runs
+// a manifest as an independent worker process, and folds per-shard result
+// files back into the exact JSON the single-process sweep would have
+// produced (byte-identical; the merge refuses grids that do not match).
+//
+//   slpwlo-shard plan  --shards N --out-prefix P --kernels A,B
+//                      --targets X,Y [--widths 0,64] [--flows F,G]
+//                      [--constraints -20,-30] [--strategy round-robin|
+//                      cost-balanced] [--target-file FILE]...
+//   slpwlo-shard run   --manifest FILE --out FILE [--threads N]
+//                      [--snapshot-in FILE] [--snapshot-out FILE]
+//                      [--cache-capacity N] [--json[=FILE]]
+//   slpwlo-shard merge --out FILE RESULTS... [--cache FILE]...
+//                      [--cache-out FILE]
+//
+// A typical 4-machine sweep (one command per line; see DESIGN.md §7 for
+// the shell version with line continuations):
+//
+//   $ slpwlo-shard plan --shards 4 --strategy cost-balanced
+//       --kernels FIR,IIR,CONV --targets XENTIUM --flows WLO-SLP,WLO-First
+//       --constraints -30,-40,-50 --out-prefix sweep
+//   ... ship sweep.<i>.manifest to worker i ...
+//   $ slpwlo-shard run --manifest sweep.2.manifest --out sweep.2.results
+//       --snapshot-in warm.snap --snapshot-out sweep.2.snap
+//   ... ship the results and snapshots home ...
+//   $ slpwlo-shard merge --out sweep.json sweep.*.results
+//       --cache sweep.0.snap --cache sweep.1.snap --cache sweep.2.snap
+//       --cache sweep.3.snap --cache-out warm.snap
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dist/cache_snapshot.hpp"
+#include "dist/shard_manifest.hpp"
+#include "dist/shard_merger.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/shard_runner.hpp"
+#include "support/diagnostics.hpp"
+#include "target/target_desc.hpp"
+#include "target/target_registry.hpp"
+
+using namespace slpwlo;
+using namespace slpwlo::dist;
+
+namespace {
+
+void usage(FILE* out) {
+    std::fprintf(
+        out,
+        "usage:\n"
+        "  slpwlo-shard plan  --shards N --out-prefix P --kernels A,B\n"
+        "                     --targets X,Y [--widths 0,64] [--flows F,G]\n"
+        "                     [--constraints -20,-30]\n"
+        "                     [--strategy round-robin|cost-balanced]\n"
+        "                     [--target-file FILE]...\n"
+        "  slpwlo-shard run   --manifest FILE --out FILE [--threads N]\n"
+        "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
+        "                     [--cache-capacity N] [--json[=FILE]]\n"
+        "  slpwlo-shard merge --out FILE RESULTS... [--cache FILE]...\n"
+        "                     [--cache-out FILE]\n");
+}
+
+[[noreturn]] void bad_usage(const std::string& message) {
+    std::fprintf(stderr, "slpwlo-shard: %s\n", message.c_str());
+    usage(stderr);
+    std::exit(2);
+}
+
+/// Strict numeric flag parsing: a typo must abort with a usage message,
+/// never plan the wrong grid (atoi's silent 0) or std::terminate.
+int int_flag(const std::string& flag, const std::string& value) {
+    try {
+        size_t pos = 0;
+        const int parsed = std::stoi(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        bad_usage(flag + ": not an integer: `" + value + "`");
+    }
+}
+
+double double_flag(const std::string& flag, const std::string& value) {
+    try {
+        size_t pos = 0;
+        const double parsed = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        bad_usage(flag + ": not a number: `" + value + "`");
+    }
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+    std::vector<std::string> out;
+    std::string item;
+    for (const char c : text) {
+        if (c == ',') {
+            if (!item.empty()) out.push_back(item);
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    if (!item.empty()) out.push_back(item);
+    return out;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(path);
+    out << text;
+    out.flush();
+    if (!out.good()) throw Error("cannot write `" + path + "`");
+}
+
+/// A tiny argv cursor shared by the subcommands.
+class Args {
+public:
+    Args(int argc, char** argv, int from) : argc_(argc), argv_(argv), i_(from) {}
+    bool next(std::string& arg) {
+        if (i_ >= argc_) return false;
+        arg = argv_[i_++];
+        return true;
+    }
+    std::string value(const std::string& flag) {
+        if (i_ >= argc_) bad_usage(flag + " needs a value");
+        return argv_[i_++];
+    }
+
+private:
+    int argc_;
+    char** argv_;
+    int i_;
+};
+
+int cmd_plan(Args args) {
+    int shards = 0;
+    ShardStrategy strategy = ShardStrategy::RoundRobin;
+    std::string out_prefix;
+    std::vector<std::string> kernels, target_names, flows{"WLO-SLP"};
+    std::vector<int> widths;
+    bool has_widths = false;
+    std::vector<double> constraints{-40.0};
+    bool has_constraints = false;
+
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--shards") {
+            shards = int_flag(arg, args.value(arg));
+        } else if (arg == "--strategy") {
+            strategy = shard_strategy_from_string(args.value(arg));
+        } else if (arg == "--out-prefix") {
+            out_prefix = args.value(arg);
+        } else if (arg == "--kernels") {
+            kernels = split_list(args.value(arg));
+        } else if (arg == "--targets") {
+            target_names = split_list(args.value(arg));
+        } else if (arg == "--flows") {
+            flows = split_list(args.value(arg));
+        } else if (arg == "--widths") {
+            has_widths = true;
+            for (const std::string& w : split_list(args.value(arg))) {
+                widths.push_back(int_flag(arg, w));
+            }
+        } else if (arg == "--constraints") {
+            has_constraints = true;
+            constraints.clear();
+            for (const std::string& c : split_list(args.value(arg))) {
+                constraints.push_back(double_flag(arg, c));
+            }
+        } else if (arg == "--target-file") {
+            TargetRegistry::instance().add(
+                load_target_description(args.value(arg)));
+        } else {
+            bad_usage("unknown plan flag `" + arg + "`");
+        }
+    }
+    if (shards < 1) bad_usage("plan needs --shards N (>= 1)");
+    if (out_prefix.empty()) bad_usage("plan needs --out-prefix");
+    if (kernels.empty()) bad_usage("plan needs --kernels");
+    if (target_names.empty()) bad_usage("plan needs --targets");
+    if (!has_constraints) {
+        std::printf("using default constraint grid: -40 dB\n");
+    }
+
+    const std::vector<SweepPoint> grid =
+        has_widths ? SweepDriver::grid(kernels, target_names, widths, flows,
+                                       constraints)
+                   : SweepDriver::grid(kernels, target_names, flows,
+                                       constraints);
+    const std::vector<ShardPlan> plans =
+        make_shard_plans(grid, shards, strategy);
+
+    std::printf("grid: %zu points -> %d shards (%s)\n", grid.size(), shards,
+                to_string(strategy).c_str());
+    for (const ShardPlan& plan : plans) {
+        double cost = 0.0;
+        for (const SweepPoint& point : plan.points) {
+            cost += estimate_point_cost(point);
+        }
+        const std::string path = out_prefix + "." +
+                                 std::to_string(plan.shard_index) +
+                                 ".manifest";
+        write_file(path, shard_manifest_text(plan));
+        std::printf("  %s: %zu points, est. cost %.1f\n", path.c_str(),
+                    plan.points.size(), cost);
+    }
+    return 0;
+}
+
+int cmd_run(Args args) {
+    std::string manifest_path, out_path, snapshot_in, snapshot_out, json_path;
+    ShardRunOptions options;
+    options.threads = 0;
+
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--manifest") {
+            manifest_path = args.value(arg);
+        } else if (arg == "--out") {
+            out_path = args.value(arg);
+        } else if (arg == "--threads") {
+            options.threads = int_flag(arg, args.value(arg));
+        } else if (arg == "--snapshot-in") {
+            snapshot_in = args.value(arg);
+        } else if (arg == "--snapshot-out") {
+            snapshot_out = args.value(arg);
+        } else if (arg == "--cache-capacity") {
+            options.cache_capacity =
+                static_cast<size_t>(int_flag(arg, args.value(arg)));
+        } else if (arg == "--json") {
+            json_path = "-";
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            bad_usage("unknown run flag `" + arg + "`");
+        }
+    }
+    if (manifest_path.empty()) bad_usage("run needs --manifest");
+    if (out_path.empty()) bad_usage("run needs --out");
+
+    const ShardManifest manifest = load_shard_manifest(manifest_path);
+    CacheSnapshot warm;
+    if (!snapshot_in.empty()) {
+        warm = load_cache_snapshot(snapshot_in);
+        options.warm = &warm;
+    }
+
+    const ShardRunOutput out = run_shard(manifest, options);
+    write_file(out_path, shard_results_text(out.results));
+
+    std::printf("shard %d/%d: %zu points -> %s (eval cache: %zu hits / %zu "
+                "misses, %zu entries)\n",
+                manifest.shard_index, manifest.shard_count,
+                manifest.points.size(), out_path.c_str(),
+                out.stats.eval_hits, out.stats.eval_misses,
+                out.stats.eval_entries);
+    if (!snapshot_out.empty()) {
+        write_file(snapshot_out, cache_snapshot_text(out.snapshot));
+        std::printf("snapshot: %zu entries -> %s\n",
+                    out.snapshot.entries.size(), snapshot_out.c_str());
+    }
+    if (!json_path.empty()) {
+        write_file(json_path, sweep_to_json(out.sweep, out.stats));
+    }
+    return 0;
+}
+
+int cmd_merge(Args args) {
+    std::string out_path, cache_out;
+    std::vector<std::string> results_paths, cache_paths;
+
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--out") {
+            out_path = args.value(arg);
+        } else if (arg == "--cache") {
+            cache_paths.push_back(args.value(arg));
+        } else if (arg == "--cache-out") {
+            cache_out = args.value(arg);
+        } else if (!arg.empty() && arg[0] == '-') {
+            bad_usage("unknown merge flag `" + arg + "`");
+        } else {
+            results_paths.push_back(arg);
+        }
+    }
+    if (out_path.empty()) bad_usage("merge needs --out");
+    if (results_paths.empty()) bad_usage("merge needs result files");
+    // Validate the cache pairing before any output is written: a usage
+    // error after side effects would leave a half-done merge behind, and
+    // --cache-out with no inputs would overwrite a warm snapshot with an
+    // empty one.
+    if (!cache_paths.empty() && cache_out.empty()) {
+        bad_usage("--cache given without --cache-out");
+    }
+    if (!cache_out.empty() && cache_paths.empty()) {
+        bad_usage("--cache-out needs at least one --cache file");
+    }
+
+    std::vector<ShardResultsFile> shards;
+    shards.reserve(results_paths.size());
+    size_t hits = 0, misses = 0;
+    for (const std::string& path : results_paths) {
+        shards.push_back(load_shard_results(path));
+        hits += shards.back().eval_hits;
+        misses += shards.back().eval_misses;
+    }
+    const std::string merged = merge_shard_results(shards);
+    write_file(out_path, merged);
+    std::printf("merged %zu shards (%zu slots) -> %s (eval cache across "
+                "shards: %zu hits / %zu misses)\n",
+                shards.size(), shards.front().total_slots, out_path.c_str(),
+                hits, misses);
+
+    if (!cache_out.empty()) {
+        std::vector<CacheSnapshot> snapshots;
+        snapshots.reserve(cache_paths.size());
+        for (const std::string& path : cache_paths) {
+            snapshots.push_back(load_cache_snapshot(path));
+        }
+        const CacheSnapshot merged_cache = merge_cache_snapshots(snapshots);
+        write_file(cache_out, cache_snapshot_text(merged_cache));
+        std::printf("merged cache: %zu entries -> %s\n",
+                    merged_cache.entries.size(), cache_out.c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage(stderr);
+        return 2;
+    }
+    const std::string command = argv[1];
+    try {
+        if (command == "plan") return cmd_plan(Args(argc, argv, 2));
+        if (command == "run") return cmd_run(Args(argc, argv, 2));
+        if (command == "merge") return cmd_merge(Args(argc, argv, 2));
+        if (command == "--help" || command == "-h") {
+            usage(stdout);
+            return 0;
+        }
+        bad_usage("unknown command `" + command + "`");
+    } catch (const Error& e) {
+        std::fprintf(stderr, "slpwlo-shard: %s\n", e.what());
+        return 1;
+    }
+}
