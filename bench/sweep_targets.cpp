@@ -16,6 +16,7 @@
 // shrinks the grid to one kernel and one constraint for CI.
 #include <algorithm>
 #include <cctype>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -161,6 +162,45 @@ int main(int argc, char** argv) {
     std::printf("results identical (1 vs %d threads): %s\n", parallel_threads,
                 ok ? "yes" : "NO");
 
+    // Pair-seeding cliff guard: a swept model with no 2-lane
+    // configuration used to degrade to scalar code silently. Run seeding
+    // + virtual-width fusion fixed that; fail loudly if such a model
+    // (whose smallest configuration the 4-lane-unrolled kernels can
+    // actually fill) ever stops forming groups again.
+    std::map<std::string, int> cliff_widest;
+    for (const SweepResult& r : parallel_results) {
+        const TargetModel& model = r.point.target_model.has_value()
+                                       ? *r.point.target_model
+                                       : targets::by_name(r.point.target);
+        // Cliff shape only: SIMD present (min 1 means none), no 2-lane
+        // configuration, and a smallest configuration the 4-lane-unrolled
+        // kernels can fill.
+        const int min_k = model.min_group_size();
+        if (min_k <= 2 || min_k > 4) continue;
+        int& widest = cliff_widest[model.name];
+        for (const BlockGroups& bg : r.flow.groups) {
+            for (const SimdGroup& g : bg.groups) {
+                widest = std::max(widest, g.width());
+            }
+        }
+    }
+    bool cliff_ok = true;
+    for (const auto& [name, widest] : cliff_widest) {
+        if (widest < 4) {
+            cliff_ok = false;
+            std::printf("CLIFF REGRESSION: %s has no 2-lane configuration "
+                        "and formed no >= 4-lane group at any point\n",
+                        name.c_str());
+        }
+    }
+    if (!cliff_widest.empty() && cliff_ok) {
+        std::printf("cliff targets seeded >= 4-lane groups:");
+        for (const auto& [name, widest] : cliff_widest) {
+            std::printf(" %s(%d)", name.c_str(), widest);
+        }
+        std::printf("\n");
+    }
+
     maybe_emit_json(args, parallel_results, &stats);
-    return ok ? 0 : 1;
+    return ok && cliff_ok ? 0 : 1;
 }

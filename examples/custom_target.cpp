@@ -4,11 +4,13 @@
 // datapath widths with TargetModel::with_simd_width — equation (1) with a
 // bigger budget: on a 64-bit datapath the FIR taps group 4-wide at 16
 // bits without giving up any accuracy relative to the paper's 32-bit
-// targets. The sweep also shows the trade-off's cliff: at 128 bits this
-// DSP's element set has no 2-lane configuration (k=2 needs 64-bit lane
-// containers, which MYDSP64 does not implement — compare the NEON128
-// preset, which does), so the pairwise SLP extraction of the paper
-// cannot seed any group at all — wider is not automatically better.
+// targets. At 128 bits this DSP's element set has no 2-lane
+// configuration (k=2 would need 64-bit lane containers, which MYDSP64
+// does not implement — compare the NEON128 preset, which does). The
+// paper's pairwise extraction alone could not seed any group there; the
+// extractor now seeds k-lane groups straight from adjacent-memory runs
+// and fuses pairs through virtual intermediate widths, so the 128-bit
+// variant still groups 4-wide (see DESIGN.md "Seeding beyond pairs").
 #include <cstdio>
 
 #include "slpwlo.hpp"
@@ -80,10 +82,12 @@ int main() {
     }
     std::printf("\nequation (1): k lanes of m bits need k*m = datapath "
                 "width. The 64-bit\ndatapath groups the FIR taps 4-wide at "
-                "16 bits; at 128 bits MYDSP64 has\nno 64-bit lane "
-                "containers, so no k=2 configuration exists, pairwise\n"
-                "fusion cannot seed, and the joint optimizer correctly "
-                "falls back to\nscalar code (the NEON128 preset ships 2x64 "
-                "exactly for this reason).\n");
+                "16 bits. At 128 bits MYDSP64 has\nno 64-bit lane "
+                "containers, so no k=2 configuration exists and pairwise\n"
+                "fusion alone could never seed a group; k-lane run seeding "
+                "plus\nvirtual-width fusion still form 4-wide groups there "
+                "(smallest\nconfiguration: 4x32), so the wider datapath "
+                "keeps paying off instead\nof silently degrading to scalar "
+                "code.\n");
     return 0;
 }

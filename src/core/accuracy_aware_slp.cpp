@@ -8,9 +8,12 @@ namespace slpwlo {
 
 void set_group_max_wl(FixedPointSpec& spec, const std::vector<OpId>& lanes,
                       int group_width, const TargetModel& target) {
-    const auto m = target.simd_element_wl(group_width);
+    // A virtual-width group commits the WL of its *realization*
+    // configuration — the element width its lanes will execute at once
+    // the group has grown into an implementable size.
+    const auto m = target.realized_element_wl(group_width);
     SLPWLO_ASSERT(m.has_value(),
-                  "set_group_max_wl on an unsupported group size");
+                  "set_group_max_wl on an unrealizable group size");
     for (const OpId lane : lanes) {
         const NodeRef node = spec.node_of(lane);
         const int wl = std::min(spec.format(node).wl(), *m);
@@ -101,7 +104,7 @@ std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
         std::vector<Candidate> survivors;
         bool demoted = false;
         for (const Candidate& c : selection) {
-            if (view.kind(c.a) == OpKind::Load &&
+            if (view.kind(c.nodes.front()) == OpKind::Load &&
                 !consumed_as_superword(c)) {
                 demoted = true;
                 continue;

@@ -32,8 +32,9 @@ struct AccuracySlpConfig {
 };
 
 /// Equation (1): reduce the WL of every node carrying a lane of `lanes` to
-/// the largest supported m with m * group_width <= SIMD width (never
-/// increasing a WL that is already smaller).
+/// the element width a group of `group_width` lanes executes at once
+/// realized (for a virtual width, the realization configuration's element
+/// width; never increasing a WL that is already smaller).
 void set_group_max_wl(FixedPointSpec& spec, const std::vector<OpId>& lanes,
                       int group_width, const TargetModel& target);
 

@@ -42,8 +42,12 @@ struct CacheSnapshot {
 /// Capture a cache's current contents (sorted by key).
 CacheSnapshot snapshot_cache(const EvalCache& cache);
 
-/// Preload every snapshot entry into `cache` (the warm-start path).
-/// Existing keys keep their entries; capacity bounds apply as usual.
+/// Preload snapshot entries into `cache` (the warm-start path).
+/// Existing keys keep their entries. On a capacity-bounded cache only
+/// the free slots are filled — with the snapshot's highest-keyed
+/// entries, a deterministic survivor set — so resident entries are
+/// never displaced. Preloading is counter-neutral: it never inflates
+/// the cache's hit/miss counters and never counts as evictions.
 void preload_cache(EvalCache& cache, const CacheSnapshot& snapshot);
 
 /// Serialize / parse the snapshot text format. parse validates the

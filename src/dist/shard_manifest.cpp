@@ -41,14 +41,12 @@ BenefitMode benefit_mode_from_kv(const std::string& value,
                  value + "`");
 }
 
-/// Serializable strings (labels, names) must survive the line format.
+/// Serializable strings (labels, names) must survive the line format and
+/// be non-empty (an empty label would be indistinguishable from a missing
+/// key on re-read).
 void check_serializable(const std::string& what, const std::string& value) {
-    SLPWLO_CHECK(value.find('#') == std::string::npos &&
-                     value.find('\n') == std::string::npos &&
-                     kv::trim(value) == value && !value.empty(),
-                 what + " `" + value +
-                     "` cannot be serialized (empty, padded, or contains "
-                     "'#' / newline)");
+    SLPWLO_CHECK(!value.empty(), what + " cannot be empty");
+    kv::check_round_trips(what, value);
 }
 
 }  // namespace

@@ -33,6 +33,11 @@ std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t key) const {
     return it->second;
 }
 
+bool EvalCache::contains(uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(key) != entries_.end();
+}
+
 void EvalCache::store(uint64_t key, const Entry& entry) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!entries_.emplace(key, entry).second) return;  // first store wins

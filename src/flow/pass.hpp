@@ -67,6 +67,9 @@ public:
     };
 
     std::optional<Entry> lookup(uint64_t key) const;
+    /// Residency check that does NOT count as cache traffic (lookup()
+    /// bumps the hit/miss counters; snapshot preloading must not).
+    bool contains(uint64_t key) const;
     /// Insert `entry` under `key`. A key that is already present keeps its
     /// existing entry (first store wins); at capacity the oldest insertion
     /// is evicted first.

@@ -17,16 +17,13 @@ double benefit_score(const Economics& econ, BenefitMode mode) {
     return 0.0;
 }
 
-std::vector<std::pair<int, int>> select_candidates(
+std::vector<Candidate> select_candidates(
     const PackedView& view, std::vector<Candidate> candidates,
     const ConflictSet& conflicts, const TargetModel& target, BenefitMode mode,
     double min_benefit, const TrySelect& try_select, int* rejected_count) {
-    // Track original candidate indices so the conflict matrix stays valid.
-    std::vector<size_t> index(candidates.size());
-    for (size_t i = 0; i < index.size(); ++i) index[i] = i;
     std::vector<bool> alive(candidates.size(), true);
 
-    std::vector<std::pair<int, int>> selected;
+    std::vector<Candidate> selected;
     std::vector<Candidate> committed;
     int alive_count = static_cast<int>(candidates.size());
 
@@ -39,15 +36,17 @@ std::vector<std::pair<int, int>> select_candidates(
             // Estimate against the candidates this selection could coexist
             // with: the alive non-conflicting ones plus the selections
             // already committed this round. Reuse promised by a candidate
-            // that selecting `i` would eliminate is not real.
-            std::vector<Candidate> pool;
+            // that selecting `i` would eliminate is not real. The pool
+            // holds pointers into the (stable) candidate/committed
+            // vectors — rebuilding it per evaluation copies nothing.
+            std::vector<const Candidate*> pool;
             pool.reserve(static_cast<size_t>(alive_count) + committed.size());
             for (size_t j = 0; j < candidates.size(); ++j) {
                 if (alive[j] && !conflicts.conflict(i, j)) {
-                    pool.push_back(candidates[j]);
+                    pool.push_back(&candidates[j]);
                 }
             }
-            pool.insert(pool.end(), committed.begin(), committed.end());
+            for (const Candidate& d : committed) pool.push_back(&d);
             const Economics econ =
                 evaluate_candidate(view, pool, candidates[i], target);
             const double score = benefit_score(econ, mode);
@@ -70,7 +69,7 @@ std::vector<std::pair<int, int>> select_candidates(
             if (rejected_count != nullptr) (*rejected_count)++;
             continue;
         }
-        selected.emplace_back(candidates[best].a, candidates[best].b);
+        selected.push_back(candidates[best]);
         committed.push_back(candidates[best]);
 
         // Eliminate everything in conflict with the selection.

@@ -32,8 +32,9 @@ using TrySelect = std::function<bool(const Candidate&)>;
 /// benefit reaches `min_benefit` (the profitability floor: a candidate
 /// whose packing/unpacking overhead swamps its reuse would degrade the
 /// SIMD code, Section II.A). Deterministic: ties break on saved ops, then
-/// on (a, b) order. Returns the selected pairs in selection order.
-std::vector<std::pair<int, int>> select_candidates(
+/// on candidate order. Returns the selected candidates (pairs or k-lane
+/// run seeds) in selection order.
+std::vector<Candidate> select_candidates(
     const PackedView& view, std::vector<Candidate> candidates,
     const ConflictSet& conflicts, const TargetModel& target, BenefitMode mode,
     double min_benefit, const TrySelect& try_select, int* rejected_count);

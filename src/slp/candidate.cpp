@@ -1,5 +1,8 @@
 #include "slp/candidate.hpp"
 
+#include <algorithm>
+#include <map>
+
 namespace slpwlo {
 
 bool is_groupable(OpKind kind) {
@@ -59,18 +62,146 @@ Candidate orient(const PackedView& view, int a, int b) {
 
 }  // namespace
 
+std::vector<MemoryRun> find_memory_runs(const PackedView& view) {
+    // Candidate members: scalar (width-1) memory nodes, grouped by
+    // (kind, array) — runs never mix kinds or arrays.
+    struct Key {
+        OpKind kind;
+        int32_t array;
+        bool operator<(const Key& other) const {
+            if (kind != other.kind) return kind < other.kind;
+            return array < other.array;
+        }
+    };
+    std::map<Key, std::vector<int>> members;
+    for (int i = 0; i < view.size(); ++i) {
+        const OpKind kind = view.kind(i);
+        if (kind != OpKind::Load && kind != OpKind::Store) continue;
+        if (view.width(i) != 1) continue;
+        const Op& op = view.kernel().op(view.node(i).lanes.front());
+        members[Key{kind, op.array.index()}].push_back(i);
+    }
+
+    std::vector<MemoryRun> runs;
+    for (const auto& [key, nodes] : members) {
+        (void)key;
+        // successor[i]: the node whose index is exactly one past node i's
+        // (lowest view index wins when duplicated loads alias an address).
+        std::map<int, int> successor;
+        std::vector<bool> has_predecessor(nodes.size(), false);
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            for (size_t j = 0; j < nodes.size(); ++j) {
+                if (i == j) continue;
+                const auto diff = first_index(view, nodes[j])
+                                      .constant_difference(
+                                          first_index(view, nodes[i]));
+                if (!diff.has_value() || *diff != 1) continue;
+                if (!view.independent(nodes[i], nodes[j])) continue;
+                if (successor.emplace(nodes[i], nodes[j]).second) {
+                    has_predecessor[j] = true;
+                }
+            }
+        }
+        // Walk each adjacency chain from its head and split it into
+        // maximal mutually-independent segments: a dependence break ends
+        // the current run, and the offending node *starts the next one*
+        // (the suffix of a broken chain is still seedable).
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            if (has_predecessor[i]) continue;
+            MemoryRun run;
+            run.nodes.push_back(nodes[i]);
+            for (auto it = successor.find(nodes[i]); it != successor.end();
+                 it = successor.find(it->second)) {
+                const int next = it->second;
+                const bool clean = std::all_of(
+                    run.nodes.begin(), run.nodes.end(),
+                    [&](int n) { return view.independent(n, next); });
+                if (!clean) {
+                    if (run.length() >= 2) runs.push_back(std::move(run));
+                    run = MemoryRun{};
+                }
+                run.nodes.push_back(next);
+            }
+            if (run.length() >= 2) runs.push_back(std::move(run));
+        }
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const MemoryRun& x, const MemoryRun& y) {
+                  return x.nodes.front() < y.nodes.front();
+              });
+    return runs;
+}
+
+std::vector<Candidate> seed_runs(const PackedView& view,
+                                 const TargetModel& target) {
+    std::vector<Candidate> seeds;
+    // Inert on targets that can pair: the pairwise path covers them, and
+    // adding seeds there would perturb the selection existing reports
+    // were produced with.
+    if (target.supports_group_size(2)) return seeds;
+    const std::vector<int> lane_counts = target.feasible_group_sizes();
+    if (lane_counts.empty()) return seeds;
+
+    const std::vector<MemoryRun> runs = find_memory_runs(view);
+    for (const MemoryRun& run : runs) {
+        for (const int k : lane_counts) {
+            for (int offset = 0; offset + k <= run.length(); offset += k) {
+                seeds.emplace_back(std::vector<int>(
+                    run.nodes.begin() + offset,
+                    run.nodes.begin() + offset + k));
+            }
+        }
+    }
+    return seeds;
+}
+
 std::vector<Candidate> extract_candidates(const PackedView& view,
                                           const TargetModel& target) {
+    // Lanes available per isomorphism class, for the virtual-width
+    // availability gate below (computed lazily, once).
+    std::vector<int> class_lanes;
+    auto lanes_isomorphic_to = [&](int node) {
+        if (class_lanes.empty()) {
+            class_lanes.assign(static_cast<size_t>(view.size()), 0);
+            for (int i = 0; i < view.size(); ++i) {
+                for (int j = 0; j < view.size(); ++j) {
+                    if (i == j || isomorphic(view, i, j)) {
+                        class_lanes[static_cast<size_t>(i)] += view.width(j);
+                    }
+                }
+            }
+        }
+        return class_lanes[static_cast<size_t>(node)];
+    };
+
     std::vector<Candidate> out;
     for (int a = 0; a < view.size(); ++a) {
         for (int b = a + 1; b < view.size(); ++b) {
             if (!isomorphic(view, a, b)) continue;
             const int fused_width = view.width(a) + view.width(b);
-            if (!target.supports_group_size(fused_width)) continue;
+            if (!target.supports_group_size(fused_width)) {
+                // Virtual intermediate width: acceptable only when the
+                // fused group can keep doubling into an implementable
+                // size — and the view actually holds enough isomorphic
+                // lanes to get there. Without the availability gate a
+                // starved block would fuse (and commit equation-1 WL
+                // reductions) toward a realization that cannot exist,
+                // then strand; necessary-but-not-sufficient is fine, the
+                // engine's de-virtualization pass is the safety net.
+                const auto k = target.realization_group_size(fused_width);
+                if (!k.has_value()) continue;
+                if (lanes_isomorphic_to(a) < *k) continue;
+            }
             if (!view.independent(a, b)) continue;
             out.push_back(orient(view, a, b));
         }
     }
+    // k-lane run seeds after the pairs (cliff targets only); selection
+    // order among candidates is benefit-driven, so position only breaks
+    // exact ties deterministically.
+    std::vector<Candidate> seeds = seed_runs(view, target);
+    out.insert(out.end(), std::make_move_iterator(seeds.begin()),
+               std::make_move_iterator(seeds.end()));
     return out;
 }
 

@@ -1,10 +1,29 @@
 // SIMD group candidate extraction (Fig. 1c "Candidates Extraction").
 //
-// A candidate is a pair of isomorphic, independent view nodes of equal
-// width whose fusion the target can implement (equation 1 must have a
-// solution for the combined lane count). For loads/stores, isomorphism
-// additionally requires the same array — mixed-array vectors have no
-// memory-instruction realization.
+// A candidate is a tuple of isomorphic, independent view nodes of equal
+// width whose fusion the target can realize. Two seeding paths produce
+// them:
+//
+//  * pairwise fusion (the paper's Fig. 1c): two nodes combine when the
+//    fused lane count is implementable (equation 1 has a solution) — or
+//    when it is a *virtual* intermediate width, i.e. not implementable
+//    itself but able to keep doubling into an implementable size. Virtual
+//    widths are what let pairwise fusion climb a datapath whose smallest
+//    configuration is wider than 2 lanes; packing cost is only charged at
+//    realization (the lowering layer never sees a virtual group — the
+//    extraction engine splits unrealized nodes back to scalars).
+//  * k-lane run seeding (Larsen & Amarasinghe's adjacent-memory seeds):
+//    on targets with no 2-lane configuration, maximal runs of adjacent
+//    memory operations seed k-lane groups directly for every lane count
+//    the target admits. Run seeding is deliberately inert on targets that
+//    can pair — it adds no candidates there, and on gap-free
+//    configuration sets (every shipped preset) virtual widths change
+//    nothing either, so existing-preset results are unchanged — and
+//    every seed still competes through the same benefit gate as a
+//    pairwise candidate.
+//
+// For loads/stores, isomorphism additionally requires the same array —
+// mixed-array vectors have no memory-instruction realization.
 #pragma once
 
 #include <vector>
@@ -15,9 +34,16 @@
 namespace slpwlo {
 
 struct Candidate {
-    /// View-node indices; the fused lane order is lanes(a) then lanes(b).
-    int a = -1;
-    int b = -1;
+    /// View-node indices; the fused lane order is lanes(nodes[0]),
+    /// lanes(nodes[1]), ... Pairwise candidates have exactly two nodes,
+    /// run seeds have one per lane of the seeded group.
+    std::vector<int> nodes;
+
+    Candidate() = default;
+    Candidate(int a, int b) : nodes{a, b} {}
+    explicit Candidate(std::vector<int> nodes_) : nodes(std::move(nodes_)) {}
+
+    int node_count() const { return static_cast<int>(nodes.size()); }
 
     friend bool operator==(const Candidate&, const Candidate&) = default;
 };
@@ -29,9 +55,33 @@ bool is_groupable(OpKind kind);
 /// memory ops, equal widths.
 bool isomorphic(const PackedView& view, int a, int b);
 
-/// All candidates in the current view. Load/store pairs are oriented so
-/// that ascending-adjacent memory indices come out in lane order when
-/// possible; other pairs are oriented by program order. Deterministic.
+/// A maximal run of adjacent memory operations: width-1 view nodes of one
+/// kind on one array whose indices ascend by exactly 1, all mutually
+/// independent. `nodes` is in ascending address order.
+struct MemoryRun {
+    std::vector<int> nodes;
+
+    int length() const { return static_cast<int>(nodes.size()); }
+};
+
+/// All maximal adjacent-memory runs of length >= 2 in the current view,
+/// ordered by their first node. Deterministic.
+std::vector<MemoryRun> find_memory_runs(const PackedView& view);
+
+/// k-lane seed candidates from the view's memory runs: for every lane
+/// count k the target admits (equation 1 solvable), each run is chopped
+/// into non-overlapping k-lane chunks from its start. Only active on
+/// targets with no 2-lane configuration (the pair-seeding cliff);
+/// returns nothing otherwise.
+std::vector<Candidate> seed_runs(const PackedView& view,
+                                 const TargetModel& target);
+
+/// All candidates in the current view: every isomorphic, independent pair
+/// whose fused width the target can realize (directly or through virtual
+/// widths), plus the k-lane run seeds on cliff targets. Load/store pairs
+/// are oriented so that ascending-adjacent memory indices come out in
+/// lane order when possible; other pairs are oriented by program order.
+/// Deterministic.
 std::vector<Candidate> extract_candidates(const PackedView& view,
                                           const TargetModel& target);
 

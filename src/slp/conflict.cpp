@@ -21,20 +21,28 @@ bool ConflictSet::conflict(size_t i, size_t j) const {
 }
 
 bool shares_node(const Candidate& x, const Candidate& y) {
-    return x.a == y.a || x.a == y.b || x.b == y.a || x.b == y.b;
+    for (const int xn : x.nodes) {
+        for (const int yn : y.nodes) {
+            if (xn == yn) return true;
+        }
+    }
+    return false;
 }
 
 bool cyclic_dependency(const PackedView& view, const Candidate& x,
                        const Candidate& y) {
-    // Group X = {x.a, x.b}, group Y = {y.a, y.b}. A cycle arises when some
-    // member of Y depends on a member of X and some member of X depends on
-    // a member of Y.
-    auto group_depends = [&view](int ga, int gb, int ha, int hb) {
-        return view.depends(ga, ha) || view.depends(ga, hb) ||
-               view.depends(gb, ha) || view.depends(gb, hb);
+    // A cycle arises when some member of Y depends on a member of X and
+    // some member of X depends on a member of Y.
+    auto group_depends = [&view](const std::vector<int>& later,
+                                 const std::vector<int>& earlier) {
+        for (const int l : later) {
+            for (const int e : earlier) {
+                if (view.depends(l, e)) return true;
+            }
+        }
+        return false;
     };
-    return group_depends(y.a, y.b, x.a, x.b) &&
-           group_depends(x.a, x.b, y.a, y.b);
+    return group_depends(y.nodes, x.nodes) && group_depends(x.nodes, y.nodes);
 }
 
 ConflictSet detect_structural_conflicts(

@@ -31,10 +31,12 @@ private:
     size_t pairs_ = 0;
 };
 
-/// True if candidates share a view node.
+/// True if candidates share a view node (any member of x is a member
+/// of y).
 bool shares_node(const Candidate& x, const Candidate& y);
 
-/// True if selecting both candidates creates a cyclic dependency.
+/// True if selecting both candidates creates a cyclic dependency: some
+/// member of y depends on a member of x and vice versa.
 bool cyclic_dependency(const PackedView& view, const Candidate& x,
                        const Candidate& y);
 

@@ -120,27 +120,54 @@ void PackedView::rebuild_node_deps() {
     }
 }
 
-void PackedView::fuse(const std::vector<std::pair<int, int>>& pairs) {
+void PackedView::fuse(const std::vector<std::vector<int>>& tuples) {
     std::vector<bool> consumed(nodes_.size(), false);
     std::vector<Node> next;
     next.reserve(nodes_.size());
-    for (const auto& [a, b] : pairs) {
-        SLPWLO_ASSERT(a != b && !consumed[static_cast<size_t>(a)] &&
-                          !consumed[static_cast<size_t>(b)],
-                      "fuse pairs must be disjoint");
-        consumed[static_cast<size_t>(a)] = true;
-        consumed[static_cast<size_t>(b)] = true;
+    for (const std::vector<int>& tuple : tuples) {
+        SLPWLO_ASSERT(tuple.size() >= 2, "fuse tuples need >= 2 nodes");
         Node fused;
-        fused.lanes = nodes_[static_cast<size_t>(a)].lanes;
-        fused.lanes.insert(fused.lanes.end(),
-                           nodes_[static_cast<size_t>(b)].lanes.begin(),
-                           nodes_[static_cast<size_t>(b)].lanes.end());
-        fused.anchor = std::min(nodes_[static_cast<size_t>(a)].anchor,
-                                nodes_[static_cast<size_t>(b)].anchor);
+        fused.anchor = nodes_[static_cast<size_t>(tuple.front())].anchor;
+        for (const int n : tuple) {
+            SLPWLO_ASSERT(!consumed[static_cast<size_t>(n)],
+                          "fuse tuples must be disjoint");
+            consumed[static_cast<size_t>(n)] = true;
+            const Node& node = nodes_[static_cast<size_t>(n)];
+            fused.lanes.insert(fused.lanes.end(), node.lanes.begin(),
+                               node.lanes.end());
+            fused.anchor = std::min(fused.anchor, node.anchor);
+        }
         next.push_back(std::move(fused));
     }
     for (size_t i = 0; i < nodes_.size(); ++i) {
         if (!consumed[i]) next.push_back(std::move(nodes_[i]));
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Node& x, const Node& y) { return x.anchor < y.anchor; });
+    nodes_ = std::move(next);
+    rebuild_node_deps();
+}
+
+void PackedView::split_to_scalars(const std::vector<int>& nodes) {
+    if (nodes.empty()) return;
+    std::vector<bool> split(nodes_.size(), false);
+    for (const int n : nodes) {
+        SLPWLO_ASSERT(n >= 0 && n < size(), "split index out of range");
+        split[static_cast<size_t>(n)] = true;
+    }
+    std::vector<Node> next;
+    next.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (!split[i]) {
+            next.push_back(std::move(nodes_[i]));
+            continue;
+        }
+        for (const OpId lane : nodes_[i].lanes) {
+            Node scalar;
+            scalar.lanes = {lane};
+            scalar.anchor = position_of(lane);
+            next.push_back(std::move(scalar));
+        }
     }
     std::sort(next.begin(), next.end(),
               [](const Node& x, const Node& y) { return x.anchor < y.anchor; });

@@ -70,9 +70,19 @@ public:
     /// after a redefinition — i.e. its value has uses the view cannot see.
     bool has_external_uses(OpId op) const;
 
-    /// Fuse pairs selected in this round: each (a, b) becomes one node with
-    /// lanes(a) + lanes(b). Indices refer to the pre-fusion view.
-    void fuse(const std::vector<std::pair<int, int>>& pairs);
+    /// Fuse the tuples selected in this round: each tuple (>= 2 distinct
+    /// nodes) becomes one node whose lanes are the tuples' lanes in order
+    /// — a pair for classic pairwise fusion, k nodes for a run-seeded
+    /// k-lane group entering the view in one step. Tuples must be
+    /// disjoint; indices refer to the pre-fusion view. Node dependences
+    /// are rebuilt.
+    void fuse(const std::vector<std::vector<int>>& tuples);
+
+    /// Undo fusion of the given nodes: each becomes one width-1 node per
+    /// lane again (anchored at the lane's block position). Used to
+    /// de-virtualize groups stranded at a width the target cannot
+    /// realize. Indices refer to the pre-split view.
+    void split_to_scalars(const std::vector<int>& nodes);
 
     /// All groups formed so far (nodes with width >= 2), in anchor order.
     std::vector<SimdGroup> groups() const;

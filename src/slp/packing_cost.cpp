@@ -5,9 +5,11 @@
 namespace slpwlo {
 
 std::vector<OpId> fused_lanes(const PackedView& view, const Candidate& c) {
-    std::vector<OpId> lanes = view.node(c.a).lanes;
-    const auto& more = view.node(c.b).lanes;
-    lanes.insert(lanes.end(), more.begin(), more.end());
+    std::vector<OpId> lanes;
+    for (const int n : c.nodes) {
+        const auto& more = view.node(n).lanes;
+        lanes.insert(lanes.end(), more.begin(), more.end());
+    }
     return lanes;
 }
 
@@ -48,9 +50,9 @@ enum class SuperwordMatch { No, Direct, Reversed };
 /// A load producer only counts when its lanes are memory-adjacent: a
 /// gathered (non-contiguous) load group merely relocates the packing cost,
 /// it does not produce a free superword.
-SuperwordMatch producible_as_superword(const PackedView& view,
-                                       const std::vector<Candidate>& available,
-                                       const std::vector<OpId>& defs) {
+SuperwordMatch producible_as_superword(
+    const PackedView& view, const std::vector<const Candidate*>& available,
+    const std::vector<OpId>& defs) {
     if (defs.empty()) return SuperwordMatch::No;
     std::vector<OpId> reversed(defs.rbegin(), defs.rend());
 
@@ -61,8 +63,8 @@ SuperwordMatch producible_as_superword(const PackedView& view,
         return lanes_memory_adjacent(view, producer_lanes);
     };
 
-    for (const Candidate& c : available) {
-        const std::vector<OpId> lanes = fused_lanes(view, c);
+    for (const Candidate* c : available) {
+        const std::vector<OpId> lanes = fused_lanes(view, *c);
         if (lanes == defs && usable(lanes)) return SuperwordMatch::Direct;
         if (lanes == reversed && usable(lanes)) return SuperwordMatch::Reversed;
     }
@@ -92,12 +94,23 @@ bool is_splat(const PackedView& view, const std::vector<OpId>& lanes,
 Economics evaluate_candidate(const PackedView& view,
                              const std::vector<Candidate>& available,
                              const Candidate& c, const TargetModel& target) {
+    std::vector<const Candidate*> pool;
+    pool.reserve(available.size());
+    for (const Candidate& a : available) pool.push_back(&a);
+    return evaluate_candidate(view, pool, c, target);
+}
+
+Economics evaluate_candidate(const PackedView& view,
+                             const std::vector<const Candidate*>& available,
+                             const Candidate& c, const TargetModel& target) {
     Economics econ;
-    econ.saved_ops = 1.0;  // two issues become one
+    // n node issues become one (1.0 for a pair; a k-lane run seed saves
+    // k - 1 issues in one step).
+    econ.saved_ops = static_cast<double>(c.node_count() - 1);
     const Kernel& kernel = view.kernel();
     const std::vector<OpId> lanes = fused_lanes(view, c);
     const int w = static_cast<int>(lanes.size());
-    const OpKind kind = view.kind(c.a);
+    const OpKind kind = view.kind(c.nodes.front());
 
     if (kind == OpKind::Load || kind == OpKind::Store) {
         if (!lanes_memory_adjacent(view, lanes)) {
@@ -158,9 +171,9 @@ Economics evaluate_candidate(const PackedView& view,
                 });
         }
         const std::vector<OpId> lanes_reversed(lanes.rbegin(), lanes.rend());
-        for (const Candidate& d : available) {
-            if (d == c) continue;
-            const std::vector<OpId> dl = fused_lanes(view, d);
+        for (const Candidate* d : available) {
+            if (*d == c) continue;
+            const std::vector<OpId> dl = fused_lanes(view, *d);
             const int dslots = kernel.op(dl.front()).num_args();
             for (int slot = 0; slot < dslots; ++slot) {
                 const std::vector<OpId> defs = operand_defs(view, dl, slot);

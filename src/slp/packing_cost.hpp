@@ -48,4 +48,11 @@ Economics evaluate_candidate(const PackedView& view,
                              const std::vector<Candidate>& available,
                              const Candidate& c, const TargetModel& target);
 
+/// Pointer-pool variant for the selection hot loop: `available` holds
+/// non-owning pointers into stable candidate storage, so rebuilding the
+/// pool per evaluation copies no lane vectors.
+Economics evaluate_candidate(const PackedView& view,
+                             const std::vector<const Candidate*>& available,
+                             const Candidate& c, const TargetModel& target);
+
 }  // namespace slpwlo

@@ -10,6 +10,7 @@ SlpStats& SlpStats::operator+=(const SlpStats& other) {
     extra_conflicts += other.extra_conflicts;
     selected += other.selected;
     rejected_at_select += other.rejected_at_select;
+    devirtualized += other.devirtualized;
     return *this;
 }
 
@@ -50,28 +51,41 @@ std::vector<SimdGroup> extract_slp(PackedView& view, const TargetModel& target,
             }
         }
 
-        std::vector<std::pair<int, int>> selected = select_candidates(
+        std::vector<Candidate> selected = select_candidates(
             view, std::move(candidates), conflicts, target,
             options.benefit_mode, options.min_benefit, hooks.try_select,
             &local.rejected_at_select);
         if (hooks.round_finish) {
-            std::vector<Candidate> as_candidates;
-            as_candidates.reserve(selected.size());
-            for (const auto& [a, b] : selected) {
-                as_candidates.push_back(Candidate{a, b});
-            }
-            as_candidates = hooks.round_finish(std::move(as_candidates));
-            selected.clear();
-            for (const Candidate& c : as_candidates) {
-                selected.emplace_back(c.a, c.b);
-            }
+            selected = hooks.round_finish(std::move(selected));
         }
         if (selected.empty()) break;
 
         local.selected += static_cast<int>(selected.size());
         local.rounds++;
-        view.fuse(selected);
+        std::vector<std::vector<int>> tuples;
+        tuples.reserve(selected.size());
+        for (const Candidate& c : selected) {
+            tuples.push_back(c.nodes);
+        }
+        view.fuse(tuples);
     }
+
+    // De-virtualize: a node stranded at a width the target cannot realize
+    // (it was fused through a virtual intermediate width but never grew
+    // into an implementable size) is not a SIMD group — split it back to
+    // scalars so downstream passes only ever see realizable groups. Any
+    // equation-(1) WL reductions its selections committed stay: they were
+    // feasibility-checked, so the spec is merely narrower than it had to
+    // be, never wrong.
+    std::vector<int> stranded;
+    for (int i = 0; i < view.size(); ++i) {
+        if (view.width(i) >= 2 && !target.supports_group_size(view.width(i))) {
+            stranded.push_back(i);
+        }
+    }
+    local.devirtualized += static_cast<int>(stranded.size());
+    view.split_to_scalars(stranded);
+
     if (stats != nullptr) *stats += local;
     return view.groups();
 }
@@ -84,14 +98,16 @@ std::vector<SimdGroup> extract_slp_plain(PackedView& view,
     SlpHooks hooks;
     hooks.candidate_valid = [&view, &target, &spec](const Candidate& c) {
         // All elements of a group must have the same WL, and a SIMD
-        // configuration must exist whose element slots hold that WL.
+        // configuration must exist whose element slots hold that WL. A
+        // virtual-width candidate is judged at its realization width —
+        // the configuration its lanes will actually execute in.
         const std::vector<OpId> lanes = fused_lanes(view, c);
         const int wl = spec.result_format(lanes.front()).wl();
         for (const OpId lane : lanes) {
             if (spec.result_format(lane).wl() != wl) return false;
         }
         const auto slot_wl =
-            target.simd_element_wl(static_cast<int>(lanes.size()));
+            target.realized_element_wl(static_cast<int>(lanes.size()));
         return slot_wl.has_value() && *slot_wl >= wl;
     };
     return extract_slp(view, target, options, hooks, stats);

@@ -2,9 +2,12 @@
 // by the WLO-First baseline.
 //
 // The engine implements the round structure shared by both extractors:
-// extract candidates -> filter -> detect conflicts -> iterative selection
-// -> fuse selected pairs into wider nodes -> repeat while groups form and
-// the target supports the next width (Fig. 1a lines 6-14 + Fig. 1c).
+// extract candidates (pairs, through virtual widths when needed, plus
+// k-lane run seeds on pair-cliff targets) -> filter -> detect conflicts
+// -> iterative selection -> fuse selections into wider nodes -> repeat
+// while groups form (Fig. 1a lines 6-14 + Fig. 1c). After the rounds,
+// nodes stranded at a virtual width are split back to scalars, so only
+// target-realizable groups ever leave the engine.
 // The accuracy-aware behaviour of the paper's core algorithm is injected
 // through SlpHooks by src/core/accuracy_aware_slp.
 #pragma once
@@ -24,6 +27,9 @@ struct SlpStats {
     int extra_conflicts = 0;      ///< added by the conflict hook (accuracy)
     int selected = 0;
     int rejected_at_select = 0;   ///< vetoed by the selection hook
+    /// Nodes stranded at a virtual (unrealizable) width at the end of
+    /// extraction and split back to scalars.
+    int devirtualized = 0;
 
     SlpStats& operator+=(const SlpStats& other);
 };

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <ostream>
 #include <sstream>
 
 #include "support/diagnostics.hpp"
@@ -104,6 +105,35 @@ std::string exact_double(double value) {
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), "%.17g", value);
     return std::string(buffer);
+}
+
+void check_round_trips(const std::string& what, const std::string& value) {
+    if (value.find('\n') != std::string::npos ||
+        value.find('\r') != std::string::npos) {
+        throw Error(what + " `" + value +
+                    "` cannot be serialized: embedded newline (the parser "
+                    "splits lines first, so the value would not round-trip)");
+    }
+    if (value.find('#') != std::string::npos) {
+        throw Error(what + " `" + value +
+                    "` cannot be serialized: `#` starts a comment on read");
+    }
+    if (trim(value) != value) {
+        throw Error(what + " `" + value +
+                    "` cannot be serialized: leading/trailing whitespace "
+                    "is trimmed on read");
+    }
+}
+
+void write_pair(std::ostream& os, const std::string& key,
+                const std::string& value) {
+    check_round_trips("key `" + key + "`", key);
+    if (key.empty() || key.find('=') != std::string::npos) {
+        throw Error("key `" + key + "` cannot be serialized: keys must be "
+                    "non-empty and free of `=`");
+    }
+    check_round_trips("key `" + key + "`: value", value);
+    os << key << " = " << value << "\n";
 }
 
 KvReader::KvReader(const std::string& text, std::string source)

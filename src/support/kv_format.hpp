@@ -13,6 +13,7 @@
 // begin_target / end_target markers).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,25 @@ uint64_t to_fingerprint(const std::string& source, int line,
 /// `%.17g` rendering: round-trips any finite double exactly, so a
 /// serialize-parse cycle preserves content fingerprints bit-for-bit.
 std::string exact_double(double value);
+
+// --- write side ----------------------------------------------------------------
+// The parser splits lines first, strips `#` comments, then trims both
+// sides of the `=`. A value that embeds any of those would therefore not
+// round-trip — it would silently come back as something else (an embedded
+// `\n` even smuggles extra lines into the file). Writers must hard-error
+// instead of corrupting.
+
+/// Throws Error (naming `what`) when `value` would not survive a
+/// write -> parse round trip of the line format: it embeds a newline or
+/// carriage return, contains `#`, or carries leading/trailing whitespace
+/// the reader would trim away.
+void check_round_trips(const std::string& what, const std::string& value);
+
+/// Emit one `key = value\n` line after validating both sides
+/// (check_round_trips; keys additionally must be non-empty and free of
+/// `=`, which would split the line at the wrong place).
+void write_pair(std::ostream& os, const std::string& key,
+                const std::string& value);
 
 /// One significant line of a kv text.
 struct KvLine {

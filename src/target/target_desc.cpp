@@ -140,10 +140,6 @@ TargetModel load_target_description(const std::string& path) {
 }
 
 std::string target_description(const TargetModel& model) {
-    SLPWLO_CHECK(model.name.find('#') == std::string::npos &&
-                     model.name.find('\n') == std::string::npos,
-                 "target name `" + model.name +
-                     "` cannot be serialized (contains '#' or a newline)");
     std::ostringstream os;
     const auto int_list = [](const std::vector<int>& values) {
         std::string out;
@@ -156,9 +152,11 @@ std::string target_description(const TargetModel& model) {
     // kv::exact_double round-trips any double exactly, so a
     // serialize-parse cycle preserves the content fingerprint bit-for-bit.
     const auto number = [](double value) { return kv::exact_double(value); };
-    os << "# slpwlo target description\n"
-       << "name = " << model.name << "\n"
-       << "issue_width = " << model.issue_width << "\n"
+    os << "# slpwlo target description\n";
+    // write_pair hard-errors on a name the parser would corrupt (embedded
+    // newline, '#', padding) instead of silently breaking the round trip.
+    kv::write_pair(os, "name", model.name);
+    os << "issue_width = " << model.issue_width << "\n"
        << "alu_slots = " << model.alu_slots << "\n"
        << "mul_slots = " << model.mul_slots << "\n"
        << "mem_slots = " << model.mem_slots << "\n"

@@ -60,6 +60,42 @@ int TargetModel::max_group_size() const {
     return narrowest > 0 ? simd_width_bits / narrowest : 1;
 }
 
+std::vector<int> TargetModel::feasible_group_sizes() const {
+    std::vector<int> sizes;
+    if (simd_width_bits <= 0) return sizes;
+    // simd_element_wls is strictly descending, so the lane counts come
+    // out ascending without a sort.
+    for (const int m : simd_element_wls) {
+        if (m > 0 && simd_width_bits % m == 0 && simd_width_bits / m >= 2) {
+            sizes.push_back(simd_width_bits / m);
+        }
+    }
+    return sizes;
+}
+
+int TargetModel::min_group_size() const {
+    const std::vector<int> sizes = feasible_group_sizes();
+    return sizes.empty() ? 1 : sizes.front();
+}
+
+std::optional<int> TargetModel::realization_group_size(int group_width) const {
+    if (group_width < 2 || simd_width_bits <= 0) return std::nullopt;
+    for (int k = group_width; k <= max_group_size(); k *= 2) {
+        if (supports_group_size(k)) return k;
+    }
+    return std::nullopt;
+}
+
+bool TargetModel::fusion_can_reach(int group_width) const {
+    return realization_group_size(group_width).has_value();
+}
+
+std::optional<int> TargetModel::realized_element_wl(int group_width) const {
+    const auto k = realization_group_size(group_width);
+    if (!k.has_value()) return std::nullopt;
+    return simd_element_wl(*k);
+}
+
 double TargetModel::op_class_weight(OpClass cls) const {
     return op_class_cost[static_cast<size_t>(cls)];
 }
@@ -102,10 +138,27 @@ TargetModel TargetModel::with_simd_width(int bits) const {
                 variant.simd_element_wls.push_back(m);
             }
         }
-        SLPWLO_CHECK(!variant.simd_element_wls.empty(),
-                     "target `" + name + "`: no supported element width "
-                     "divides a " + std::to_string(bits) +
-                     "-bit SIMD datapath into >= 2 lanes");
+        if (variant.simd_element_wls.empty()) {
+            // Name every element and why it cannot pair at the new width,
+            // instead of the generic validate() complaint.
+            std::string why;
+            for (const int m : simd_element_wls) {
+                if (!why.empty()) why += "; ";
+                why += "element " + std::to_string(m) + " bits ";
+                if (m <= 0) {
+                    why += "is not positive";
+                } else if (bits % m != 0) {
+                    why += "does not divide " + std::to_string(bits);
+                } else {
+                    why += "yields only " + std::to_string(bits / m) +
+                           " lane(s)";
+                }
+            }
+            if (why.empty()) why = "the element set is empty";
+            throw Error("target `" + name + "`: no supported element width "
+                        "divides a " + std::to_string(bits) +
+                        "-bit SIMD datapath into >= 2 lanes (" + why + ")");
+        }
     }
     variant.validate();
     return variant;

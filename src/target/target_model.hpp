@@ -128,6 +128,33 @@ struct TargetModel {
     /// Largest implementable group width (1 when SIMD is absent).
     int max_group_size() const;
 
+    /// Every lane count >= 2 for which equation (1) has a solution,
+    /// ascending (the SLP run-seeding menu). Empty when SIMD is absent.
+    std::vector<int> feasible_group_sizes() const;
+
+    /// Smallest implementable lane count >= 2, or 1 when SIMD is absent.
+    /// A target whose minimum exceeds 2 has the pair-seeding cliff:
+    /// pairwise fusion of scalars can only reach it through virtual
+    /// intermediate widths or direct k-lane run seeding (src/slp).
+    int min_group_size() const;
+
+    /// Realization width of a (possibly virtual) fused width: the
+    /// smallest implementable lane count reachable from `group_width` by
+    /// the extraction engine's pairwise doubling (group_width * 2^j,
+    /// j >= 0). Equals `group_width` itself when directly implementable;
+    /// nullopt when no doubling chain lands on a supported size.
+    std::optional<int> realization_group_size(int group_width) const;
+
+    /// True when a fused group of `group_width` lanes is either directly
+    /// implementable or can still grow into an implementable size by
+    /// pairwise doubling (a *virtual* intermediate width).
+    bool fusion_can_reach(int group_width) const;
+
+    /// Element word length a group of `group_width` lanes will execute at
+    /// once realized (equation 1 at realization_group_size); nullopt when
+    /// the width has no realization.
+    std::optional<int> realized_element_wl(int group_width) const;
+
     /// Cost-table weight of a functional-unit class (op_class_cost).
     double op_class_weight(OpClass cls) const;
 

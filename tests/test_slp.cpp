@@ -85,11 +85,11 @@ TEST(Candidates, IsomorphismRules) {
     const auto candidates = extract_candidates(view, target);
     EXPECT_FALSE(candidates.empty());
     for (const Candidate& c : candidates) {
-        EXPECT_EQ(view.kind(c.a), view.kind(c.b));
-        EXPECT_TRUE(view.independent(c.a, c.b));
-        if (view.kind(c.a) == OpKind::Load) {
-            EXPECT_EQ(k.op(view.node(c.a).lanes[0]).array,
-                      k.op(view.node(c.b).lanes[0]).array);
+        EXPECT_EQ(view.kind(c.nodes.front()), view.kind(c.nodes.back()));
+        EXPECT_TRUE(view.independent(c.nodes.front(), c.nodes.back()));
+        if (view.kind(c.nodes.front()) == OpKind::Load) {
+            EXPECT_EQ(k.op(view.node(c.nodes.front()).lanes[0]).array,
+                      k.op(view.node(c.nodes.back()).lanes[0]).array);
         }
     }
 }
@@ -107,10 +107,10 @@ TEST(Candidates, AdjacentLoadsOrientedAscending) {
     PackedView view(k, hot_block(k));
     const auto candidates = extract_candidates(view, targets::xentium());
     for (const Candidate& c : candidates) {
-        if (view.kind(c.a) != OpKind::Load) continue;
+        if (view.kind(c.nodes.front()) != OpKind::Load) continue;
         const auto diff =
-            k.op(view.node(c.b).lanes[0])
-                .index.constant_difference(k.op(view.node(c.a).lanes[0]).index);
+            k.op(view.node(c.nodes.back()).lanes[0])
+                .index.constant_difference(k.op(view.node(c.nodes.front()).lanes[0]).index);
         if (diff.has_value() && std::abs(*diff) == 1) {
             // Oriented so the pair is ascending-adjacent.
             EXPECT_EQ(*diff, 1);
@@ -176,7 +176,7 @@ TEST(Economics, AdjacentLoadPairIsCheap) {
     const auto candidates = extract_candidates(view, target);
     bool found_cheap_load = false;
     for (const Candidate& c : candidates) {
-        if (view.kind(c.a) != OpKind::Load) continue;
+        if (view.kind(c.nodes.front()) != OpKind::Load) continue;
         const Economics econ = evaluate_candidate(view, candidates, c, target);
         if (lanes_memory_adjacent(view, fused_lanes(view, c))) {
             EXPECT_EQ(econ.pack_cost, 0.0);
@@ -194,7 +194,7 @@ TEST(Economics, SelfAccumulationCountsAsReuse) {
     const TargetModel target = targets::xentium();
     const auto candidates = extract_candidates(view, target);
     for (const Candidate& c : candidates) {
-        if (view.kind(c.a) != OpKind::Add) continue;
+        if (view.kind(c.nodes.front()) != OpKind::Add) continue;
         const Economics econ = evaluate_candidate(view, candidates, c, target);
         EXPECT_GE(econ.reuse, 1.0);  // acc operand is a held vector register
     }

@@ -1,0 +1,309 @@
+// Tests for the 2-lane SLP seeding cliff fix: k-lane group seeding from
+// adjacent-memory runs, pairwise fusion through virtual intermediate
+// widths, mixed-array rejection, and a byte-identity fingerprint of the
+// shipped-preset sweep report (NEON128 / SSE128 / DSP64), which run
+// seeding and virtual fusion must never perturb.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "flow/sweep.hpp"
+#include "ir/builder.hpp"
+#include "slp/packing_cost.hpp"
+#include "slp/plain_extractor.hpp"
+#include "support/diagnostics.hpp"
+#include "target/target_registry.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+using ::slpwlo::testing::initial_spec;
+using ::slpwlo::testing::set_uniform_wl;
+using ::slpwlo::testing::small_fir;
+
+BlockId hot_block(const Kernel& k) {
+    BlockId best = k.blocks_in_order().front();
+    for (const BlockId b : k.blocks_in_order()) {
+        if (k.block_frequency(b) > k.block_frequency(best)) best = b;
+    }
+    return best;
+}
+
+/// DSP64 widened to a 128-bit datapath: elements {32, 16, 8} give
+/// k in {4, 8, 16} — no 2-lane configuration, the pair-seeding cliff.
+TargetModel cliff_target() {
+    return targets::by_name("DSP64").with_simd_width(128);
+}
+
+int widest_group(const std::vector<SimdGroup>& groups) {
+    int widest = 0;
+    for (const SimdGroup& g : groups) widest = std::max(widest, g.width());
+    return widest;
+}
+
+// --- memory runs ---------------------------------------------------------------
+
+TEST(MemoryRuns, FindsMaximalAdjacentRunsPerArray) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const std::vector<MemoryRun> runs = find_memory_runs(view);
+    // One maximal run per loaded array (x descends in program order, c
+    // ascends — both are runs in ascending address order), 4 lanes each.
+    ASSERT_EQ(runs.size(), 2u);
+    for (const MemoryRun& run : runs) {
+        EXPECT_EQ(run.length(), 4);
+        // Ascending-adjacent by construction.
+        std::vector<OpId> lanes;
+        for (const int n : run.nodes) {
+            lanes.push_back(view.node(n).lanes.front());
+        }
+        EXPECT_TRUE(lanes_memory_adjacent(view, lanes));
+    }
+    // Ordered by first node.
+    EXPECT_LT(runs[0].nodes.front(), runs[1].nodes.front());
+}
+
+TEST(MemoryRuns, SeedingIsInertOnPairCapableTargets) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    // Every shipped preset with a 2-lane configuration must see zero run
+    // seeds — that is what keeps existing-preset sweeps bit-identical.
+    for (const char* name : {"XENTIUM", "ST240", "NEON128", "SSE128",
+                             "DSP64"}) {
+        EXPECT_TRUE(seed_runs(view, targets::by_name(name)).empty()) << name;
+    }
+    // And extract_candidates on a pair-capable target only emits pairs.
+    for (const Candidate& c :
+         extract_candidates(view, targets::by_name("NEON128"))) {
+        EXPECT_EQ(c.node_count(), 2);
+    }
+}
+
+TEST(MemoryRuns, SeedsKLaneChunksOnCliffTargets) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    const TargetModel cliff = cliff_target();
+    ASSERT_FALSE(cliff.supports_group_size(2));
+
+    const std::vector<Candidate> seeds = seed_runs(view, cliff);
+    // Two length-4 runs, and only k = 4 fits (8- and 16-lane chunks need
+    // longer runs): one 4-lane seed per array.
+    ASSERT_EQ(seeds.size(), 2u);
+    for (const Candidate& c : seeds) {
+        EXPECT_EQ(c.node_count(), 4);
+        const std::vector<OpId> lanes = fused_lanes(view, c);
+        EXPECT_TRUE(lanes_memory_adjacent(view, lanes));
+        // An adjacent k-lane load seed beats the scalar baseline in the
+        // benefit model: k issues collapse into one vector load with no
+        // packing.
+        const Economics econ = evaluate_candidate(view, seeds, c, cliff);
+        EXPECT_EQ(econ.saved_ops, 3.0);
+        EXPECT_EQ(econ.pack_cost, 0.0);
+    }
+
+    // The seeds ride along in extract_candidates.
+    const std::vector<Candidate> all = extract_candidates(view, cliff);
+    int k4 = 0;
+    for (const Candidate& c : all) {
+        if (c.node_count() == 4) k4++;
+    }
+    EXPECT_EQ(k4, 2);
+}
+
+TEST(MemoryRuns, MixedArraysNeverRun) {
+    // Interleaved adjacent loads from two arrays: runs (and therefore
+    // seeds) must stay within one array — a mixed vector has no memory
+    // instruction.
+    KernelBuilder b("mixed");
+    const ArrayId xa = b.input("xa", 8, Interval(-1.0, 1.0));
+    const ArrayId xb = b.input("xb", 8, Interval(-1.0, 1.0));
+    const ArrayId y = b.output("y", 4);
+    const LoopId n = b.begin_loop("n", 0, 4);
+    std::vector<VarId> loaded;
+    for (int i = 0; i < 4; ++i) {
+        loaded.push_back(b.load(xa, Affine::var(n) + i));
+        loaded.push_back(b.load(xb, Affine::var(n) + i));
+    }
+    VarId sum = loaded[0];
+    for (size_t i = 1; i < loaded.size(); ++i) {
+        sum = b.add(sum, loaded[i]);
+    }
+    b.store(y, Affine::var(n), sum);
+    b.end_loop();
+    const Kernel k = b.take();
+
+    PackedView view(k, hot_block(k));
+    const std::vector<MemoryRun> runs = find_memory_runs(view);
+    ASSERT_EQ(runs.size(), 2u);
+    for (const MemoryRun& run : runs) {
+        EXPECT_EQ(run.length(), 4);
+        const ArrayId array =
+            k.op(view.node(run.nodes.front()).lanes.front()).array;
+        for (const int node : run.nodes) {
+            EXPECT_EQ(k.op(view.node(node).lanes.front()).array, array);
+        }
+    }
+    for (const Candidate& c : seed_runs(view, cliff_target())) {
+        const std::vector<OpId> lanes = fused_lanes(view, c);
+        const ArrayId array = k.op(lanes.front()).array;
+        for (const OpId lane : lanes) {
+            EXPECT_EQ(k.op(lane).array, array);
+        }
+    }
+}
+
+// --- virtual-width fusion ------------------------------------------------------
+
+TEST(VirtualWidth, FusionClimbsToTheRealizationWidth) {
+    // On the cliff target, pairwise fusion must pass through virtual
+    // width 2 (not implementable) to reach the 4-lane configuration.
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    const TargetModel cliff = cliff_target();
+    SlpStats stats;
+    const auto groups = extract_slp_plain(view, cliff, spec, {}, &stats);
+    EXPECT_GE(widest_group(groups), 4);
+    // Every emitted group is realizable — nothing is left at a virtual
+    // width (the engine splits stranded nodes back to scalars).
+    for (const SimdGroup& g : groups) {
+        EXPECT_TRUE(cliff.supports_group_size(g.width()))
+            << "unrealizable group width " << g.width();
+    }
+    EXPECT_GE(stats.rounds, 1);
+}
+
+TEST(VirtualWidth, StarvedBlocksAreLeftAlone) {
+    // XENTIUM@simd128 admits only k = 8, but the FIR block holds 4 lanes
+    // of each op class: the availability gate must reject the doomed
+    // virtual fusions outright, leaving the block scalar instead of
+    // committing WL reductions toward a group that can never exist.
+    const TargetModel starved =
+        targets::xentium().with_simd_width(128);
+    ASSERT_EQ(starved.feasible_group_sizes(), (std::vector<int>{8}));
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    EXPECT_TRUE(extract_candidates(view, starved).empty());
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    SlpStats stats;
+    const auto groups = extract_slp_plain(view, starved, spec, {}, &stats);
+    EXPECT_TRUE(groups.empty());
+    EXPECT_EQ(stats.devirtualized, 0);
+}
+
+TEST(VirtualWidth, GroupsAreDisjointOnCliffTargets) {
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+    FixedPointSpec spec = initial_spec(k);
+    set_uniform_wl(spec, 16);
+    const auto groups = extract_slp_plain(view, cliff_target(), spec, {});
+    std::set<int32_t> seen;
+    for (const SimdGroup& g : groups) {
+        for (const OpId lane : g.lanes) {
+            EXPECT_TRUE(seen.insert(lane.index()).second)
+                << "op in two groups";
+        }
+    }
+}
+
+// --- end-to-end ----------------------------------------------------------------
+
+TEST(CliffFlow, WloSlpFormsWideGroupsAndBeatsScalar) {
+    // The full WLO-SLP flow on the cliff derivative: >= 4-lane groups and
+    // a SIMD schedule faster than the scalar baseline.
+    SweepOptions options;
+    options.threads = 1;
+    SweepDriver driver(options);
+    SweepPoint point;
+    point.kernel = "FIR";
+    point.target = "DSP64@simd128";
+    point.target_model = cliff_target();
+    point.flow = "WLO-SLP";
+    point.accuracy_db = -30.0;
+    const std::vector<SweepResult> results = driver.run({point});
+    ASSERT_EQ(results.size(), 1u);
+    const FlowResult& flow = results[0].flow;
+    EXPECT_GT(flow.group_count, 0);
+    int widest = 0;
+    for (const BlockGroups& bg : flow.groups) {
+        widest = std::max(widest, widest_group(bg.groups));
+    }
+    EXPECT_GE(widest, 4);
+    EXPECT_LT(flow.simd_cycles, flow.scalar_cycles);
+}
+
+// --- preset sweep byte-identity ------------------------------------------------
+
+uint64_t fnv1a(const std::string& text) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/// The shipped-preset sweep this fingerprint locks down: FIR x
+/// {NEON128, SSE128, DSP64} x the sweep_targets width menu x
+/// {-30, -50} dB, WLO-SLP. Every non-cliff point must stay bit-identical
+/// to the pre-run-seeding output forever; the one cliff derivative in
+/// the grid (DSP64@simd128) is pinned to its fixed (grouping) result.
+std::vector<SweepPoint> preset_grid() {
+    const std::vector<std::string> kernels{"FIR"};
+    const std::vector<double> constraints{-30.0, -50.0};
+    const std::vector<int> width_menu{0, 32, 64, 128};
+    std::vector<SweepPoint> points;
+    for (const std::string isa : {"NEON128", "SSE128", "DSP64"}) {
+        const TargetModel base = targets::by_name(isa);
+        std::vector<int> widths;
+        for (const int w : width_menu) {
+            if (w == base.simd_width_bits) continue;
+            if (!base.can_derive_simd_width(w)) continue;
+            widths.push_back(w);
+        }
+        const std::vector<SweepPoint> slice = SweepDriver::grid(
+            kernels, {isa}, widths, {"WLO-SLP"}, constraints);
+        points.insert(points.end(), slice.begin(), slice.end());
+    }
+    return points;
+}
+
+/// FNV-1a of the preset_grid() sweep report JSON (sweep_to_json of the
+/// results array). Recorded from the post-fix run whose non-cliff rows
+/// were verified bit-identical to the pre-fix sweep. The report embeds
+/// libm-derived doubles (log10 noise figures), so the constant is pinned
+/// to the CI platform's libm: when porting to a toolchain whose last-ULP
+/// rounding differs, re-audit the rows against a trusted run and re-pin.
+constexpr uint64_t kPresetReportFingerprint = 0xbe9f4944aec640d1ull;
+
+TEST(PresetSweep, ReportMatchesCheckedInFingerprintAtAnyThreadCount) {
+    const std::vector<SweepPoint> points = preset_grid();
+    ASSERT_EQ(points.size(), 18u);  // 3 ISAs x 3 widths x 2 constraints
+
+    SweepOptions serial_options;
+    serial_options.threads = 1;
+    SweepDriver serial(serial_options);
+    const std::string serial_json = sweep_to_json(serial.run(points));
+
+    SweepOptions parallel_options;
+    parallel_options.threads = 4;
+    SweepDriver parallel(parallel_options);
+    const std::string parallel_json = sweep_to_json(parallel.run(points));
+
+    // Deterministic at any thread count...
+    EXPECT_EQ(serial_json, parallel_json);
+    // ...and byte-identical to the checked-in report fingerprint. If this
+    // fails, the seeding/fusion change perturbed preset behavior — that
+    // is a regression unless the new output was deliberately re-audited
+    // point by point (update the constant only then).
+    EXPECT_EQ(fnv1a(serial_json), kPresetReportFingerprint)
+        << "preset sweep report changed; first 400 bytes:\n"
+        << serial_json.substr(0, 400);
+}
+
+}  // namespace
+}  // namespace slpwlo

@@ -1,12 +1,14 @@
 // Unit tests for the support library: intervals, RNG, polynomials, text,
-// dB math.
+// dB math, kv serialization.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "support/dbmath.hpp"
 #include "support/diagnostics.hpp"
 #include "support/interval.hpp"
+#include "support/kv_format.hpp"
 #include "support/polynomial.hpp"
 #include "support/rng.hpp"
 #include "support/text.hpp"
@@ -257,6 +259,41 @@ TEST(Diagnostics, ParseErrorCarriesLocation) {
     EXPECT_EQ(e.line(), 3);
     EXPECT_EQ(e.column(), 14);
     EXPECT_NE(std::string(e.what()).find("3:14"), std::string::npos);
+}
+
+// --- kv serialization ---------------------------------------------------------
+
+TEST(KvFormat, WritePairRoundTripsThroughTheReader) {
+    std::ostringstream os;
+    kv::write_pair(os, "name", "MYDSP64");
+    kv::write_pair(os, "label", "a value with spaces");
+    kv::KvReader reader(os.str(), "<round-trip>");
+    kv::KvLine line;
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.key, "name");
+    EXPECT_EQ(line.value, "MYDSP64");
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.key, "label");
+    EXPECT_EQ(line.value, "a value with spaces");
+    EXPECT_FALSE(reader.next(line));
+}
+
+TEST(KvFormat, WriteRejectsValuesTheParserWouldCorrupt) {
+    std::ostringstream os;
+    // Regression: an embedded newline used to serialize silently and come
+    // back as two lines (corrupting every container format built on the
+    // line-oriented reader). It must hard-error on write instead.
+    EXPECT_THROW(kv::write_pair(os, "name", "two\nlines"), Error);
+    EXPECT_THROW(kv::write_pair(os, "name", "cr\rreturn"), Error);
+    EXPECT_THROW(kv::write_pair(os, "name", "half # comment"), Error);
+    EXPECT_THROW(kv::write_pair(os, "name", " padded "), Error);
+    EXPECT_THROW(kv::check_round_trips("label", "a\nb"), Error);
+    EXPECT_NO_THROW(kv::check_round_trips("label", "clean value"));
+    // Keys that would not split back at the same place are rejected too.
+    EXPECT_THROW(kv::write_pair(os, "", "v"), Error);
+    EXPECT_THROW(kv::write_pair(os, "k=ey", "v"), Error);
+    EXPECT_THROW(kv::write_pair(os, "key\nkey", "v"), Error);
+    EXPECT_EQ(os.str(), "");  // nothing corrupt ever reached the stream
 }
 
 }  // namespace

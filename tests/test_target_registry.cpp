@@ -249,6 +249,55 @@ TEST(TargetModel, WithSimdWidthDerivesValidatedVariants) {
     EXPECT_THROW(targets::xentium().with_simd_width(16), Error);
 }
 
+TEST(TargetModel, WithSimdWidthErrorNamesTheInfeasibleElement) {
+    // The failure message must say which element cannot pair at the new
+    // width and why, not just that validation failed.
+    try {
+        targets::xentium().with_simd_width(24);  // 24 % 16 != 0
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("element 16 bits"), std::string::npos) << what;
+        EXPECT_NE(what.find("does not divide 24"), std::string::npos) << what;
+    }
+    try {
+        targets::xentium().with_simd_width(16);  // one 16-bit lane only
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("element 16 bits"), std::string::npos) << what;
+        EXPECT_NE(what.find("yields only 1 lane"), std::string::npos) << what;
+    }
+}
+
+TEST(TargetModel, LaneFeasibilityQueries) {
+    // DSP64: 64-bit datapath, elements {32, 16, 8} -> k in {2, 4, 8}.
+    const TargetModel dsp = targets::by_name("DSP64");
+    EXPECT_EQ(dsp.feasible_group_sizes(), (std::vector<int>{2, 4, 8}));
+    EXPECT_EQ(dsp.min_group_size(), 2);
+    EXPECT_EQ(dsp.realization_group_size(2), 2);
+    EXPECT_EQ(dsp.realization_group_size(3), std::nullopt);  // 3, 6, 12...
+    EXPECT_TRUE(dsp.fusion_can_reach(4));
+
+    // DSP64@simd128 keeps {32, 16, 8} -> k in {4, 8, 16}: the cliff.
+    const TargetModel cliff = dsp.with_simd_width(128);
+    EXPECT_FALSE(cliff.supports_group_size(2));
+    EXPECT_EQ(cliff.feasible_group_sizes(), (std::vector<int>{4, 8, 16}));
+    EXPECT_EQ(cliff.min_group_size(), 4);
+    // Width 2 is virtual: it realizes by doubling into the 4-lane config.
+    EXPECT_EQ(cliff.realization_group_size(2), 4);
+    EXPECT_TRUE(cliff.fusion_can_reach(2));
+    EXPECT_EQ(cliff.realized_element_wl(2), 32);
+    EXPECT_EQ(cliff.realized_element_wl(4), 32);
+    EXPECT_EQ(cliff.realization_group_size(32), std::nullopt);
+
+    // No SIMD at all: nothing is feasible or reachable.
+    const TargetModel scalar = targets::generic32();
+    EXPECT_TRUE(scalar.feasible_group_sizes().empty());
+    EXPECT_EQ(scalar.min_group_size(), 1);
+    EXPECT_FALSE(scalar.fusion_can_reach(2));
+}
+
 TEST(TargetModel, WithElementWlsDerivesValidatedVariants) {
     const TargetModel st = targets::st240();
     const TargetModel only16 = st.with_element_wls({16});
