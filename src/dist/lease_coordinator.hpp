@@ -1,0 +1,128 @@
+// LeaseCoordinator: elastic sweep execution over a shared lease directory.
+//
+// Static shard plans (shard_plan.hpp) freeze the slot -> worker assignment
+// at plan time, so one straggling machine stretches the whole sweep (the
+// per-point optimizer cost varies by orders of magnitude). The lease
+// coordinator replaces the static assignment with demand paging of slot
+// ranges: a coordinator chops a *whole-grid* manifest into cost-balanced
+// chunks once, and any number of workers — started at any time, on any
+// machine sharing the directory — acquire, run and publish chunks until
+// none remain. No network dependency: every coordination primitive is an
+// atomic filesystem operation (mkdir to claim, rename to steal or
+// publish), so an NFS/sshfs mount or a plain local directory is a queue.
+//
+//   <dir>/manifest            the whole-grid manifest (plan --shards 1)
+//   <dir>/config              lease_version, chunk count, grid fp, ttl
+//   <dir>/chunks/<i>.chunk    slot list of chunk i (cost-balanced greedy)
+//   <dir>/leases/<i>.lease/   claim directory: mkdir succeeds for exactly
+//                             one worker; `claim` records owner + deadline
+//   <dir>/results/<i>.<worker>.<seq>.rows
+//                             published rows (tmp + rename, atomic)
+//   <dir>/expired/<i>.<worker>.<seq>
+//                             stolen claim dirs (the re-issue audit trail)
+//
+// Liveness and duplicates: a claim carries a wall-clock deadline (claim
+// time + ttl). A worker finding an expired claim *steals* it — renames
+// the lease directory into expired/ (exactly one stealer's rename
+// succeeds) and re-claims. A killed worker's chunk is therefore re-issued
+// after one ttl; a merely *slow* worker may still finish and publish a
+// second rows file for the same chunk, which is fine by construction:
+// results are bit-deterministic, so duplicates are byte-identical (modulo
+// the measured micros column) and merge_shard_results resolves them under
+// DuplicatePolicy::AllowIdentical — anything that differs is still a hard
+// conflict. The merged elastic report is byte-identical to the
+// single-process sweep_to_json at any worker count, kill pattern or
+// steal interleaving.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/shard_manifest.hpp"
+#include "dist/shard_merger.hpp"
+#include "flow/work_source.hpp"
+
+namespace slpwlo::dist {
+
+struct LeaseOptions {
+    /// Target estimated cost per chunk (estimate_point_cost units);
+    /// <= 0 auto-sizes to total_cost / 16 — roughly four chunks in
+    /// flight per worker on a 4-worker farm, small enough to absorb
+    /// stragglers, large enough to amortize claim traffic.
+    double chunk_cost = 0.0;
+    /// Hard cap on slots per chunk; 0 = uncapped.
+    size_t max_chunk_slots = 0;
+    /// Lease time-to-live: an unexpired claim blocks the chunk, an
+    /// expired one may be stolen and re-issued.
+    long long ttl_ms = 60000;
+};
+
+/// Create `dir` (which must not already be an initialized lease
+/// directory) and populate it from `manifest`, which must cover the whole
+/// grid (every slot; serve from `plan --shards 1` output). Returns the
+/// chunk count. Chunks are a pure function of (manifest, options):
+/// greedy, in slot order, cut when the accumulated estimate_point_cost
+/// reaches the target.
+size_t init_lease_dir(const std::string& dir, const ShardManifest& manifest,
+                      const LeaseOptions& options = {});
+
+struct LeaseDirStatus {
+    size_t chunks = 0;     ///< chunk count from the config
+    size_t completed = 0;  ///< chunks with at least one published rows file
+    size_t claimed = 0;    ///< live claim directories present
+    size_t reissued = 0;   ///< chunks whose claim was stolen at least once
+};
+
+LeaseDirStatus lease_dir_status(const std::string& dir);
+
+/// Load every published rows file and fold them under
+/// DuplicatePolicy::AllowIdentical into the JSON results array —
+/// byte-identical to sweep_to_json(results) of the single-process sweep.
+/// Throws Error while any chunk has no published rows (poll
+/// lease_dir_status until completed == chunks first).
+std::string collect_lease_results(const std::string& dir);
+
+struct LeaseWorkerOptions {
+    /// Unique worker name (letters, digits, `-`, `_`); it lands in
+    /// results/expired filenames. Empty derives "w<pid>".
+    std::string worker_id;
+    /// Poll interval while other workers hold every remaining chunk.
+    long long poll_ms = 25;
+    /// Give up acquiring after this long with work outstanding but
+    /// nothing claimable (a crashed farm, an unreachable mount).
+    long long acquire_timeout_ms = 600000;
+    /// Test hook (slpwlo-shard work --straggle-ms): sleep this long while
+    /// *holding* each lease before publishing, to force expiry, steal and
+    /// duplicate-row resolution downstream.
+    long long straggle_ms = 0;
+};
+
+/// A lease directory as a WorkSource: acquire() claims the next available
+/// (or expired) chunk, complete() publishes its rows file, abandon()
+/// releases the claim. One source per worker; many workers per directory.
+class LeaseWorkSource final : public WorkSource {
+public:
+    LeaseWorkSource(std::string dir, LeaseWorkerOptions options = {});
+    ~LeaseWorkSource();
+
+    size_t total_slots() const override;
+    /// Blocks (polling) while undone chunks are all claimed by live
+    /// leases; returns an empty lease only when every chunk has published
+    /// results. `max_slots` is advisory — chunks are the granularity.
+    Lease acquire(size_t max_slots) override;
+    void complete(const Lease& lease, std::vector<WorkRow> rows) override;
+    void abandon(const Lease& lease) override;
+
+    /// The whole-grid manifest the directory serves (workers take their
+    /// sweep-wide FlowOptions defaults from here).
+    const ShardManifest& manifest() const;
+
+    /// Leases this source stole from an expired claim (re-issues).
+    size_t steals() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace slpwlo::dist

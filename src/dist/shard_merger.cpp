@@ -14,7 +14,7 @@ namespace slpwlo::dist {
 std::string shard_results_text(const ShardResultsFile& results) {
     std::ostringstream os;
     os << "# slpwlo shard results\n"
-       << "results_version = 1\n"
+       << "results_version = 2\n"
        << "shard_index = " << results.shard_index << "\n"
        << "shard_count = " << results.shard_count << "\n"
        << "total_slots = " << results.total_slots << "\n"
@@ -26,8 +26,10 @@ std::string shard_results_text(const ShardResultsFile& results) {
     for (const ShardRow& row : results.rows) {
         SLPWLO_CHECK(row.json.find('\n') == std::string::npos,
                      "shard result rows must be single-line JSON");
+        SLPWLO_CHECK(row.micros >= 0,
+                     "shard result row micros must be non-negative");
         os << "row = " << row.slot << " " << fingerprint_hex(row.point_fp)
-           << " " << row.json << "\n";
+           << " " << row.micros << " " << row.json << "\n";
     }
     return os.str();
 }
@@ -61,8 +63,13 @@ ShardResultsFile parse_shard_results(const std::string& text,
                 first_space == std::string::npos
                     ? std::string::npos
                     : payload.find(' ', first_space + 1);
-            if (second_space == std::string::npos) {
-                reader.fail_here("row expects `<slot> <fingerprint> <json>`");
+            const size_t third_space =
+                second_space == std::string::npos
+                    ? std::string::npos
+                    : payload.find(' ', second_space + 1);
+            if (third_space == std::string::npos) {
+                reader.fail_here(
+                    "row expects `<slot> <fingerprint> <micros> <json>`");
             }
             ShardRow row;
             row.slot = static_cast<size_t>(
@@ -72,7 +79,14 @@ ShardResultsFile parse_shard_results(const std::string& text,
                 source, line.line, "row fingerprint",
                 payload.substr(first_space + 1,
                                second_space - first_space - 1));
-            row.json = payload.substr(second_space + 1);
+            row.micros = kv::to_ll(
+                source, line.line, "row micros",
+                payload.substr(second_space + 1,
+                               third_space - second_space - 1));
+            if (row.micros < 0) {
+                reader.fail_here("row micros must be non-negative");
+            }
+            row.json = payload.substr(third_space + 1);
             if (row.json.empty() || row.json.front() != '{' ||
                 row.json.back() != '}') {
                 reader.fail_here("row JSON must be a single-line object");
@@ -81,9 +95,9 @@ ShardResultsFile parse_shard_results(const std::string& text,
         } else if (line.key == "results_version") {
             results.version =
                 kv::to_int(source, line.line, line.key, line.value);
-            if (results.version != 1) {
+            if (results.version != 2) {
                 reader.fail_here("unsupported results_version " + line.value +
-                                 " (this reader knows 1)");
+                                 " (this reader knows 2)");
             }
             saw_version = true;
         } else if (line.key == "shard_index") {
@@ -140,7 +154,8 @@ ShardResultsFile load_shard_results(const std::string& path) {
     return parse_shard_results(text.str(), path);
 }
 
-std::string merge_shard_results(const std::vector<ShardResultsFile>& shards) {
+std::string merge_shard_results(const std::vector<ShardResultsFile>& shards,
+                                DuplicatePolicy duplicates) {
     SLPWLO_CHECK(!shards.empty(), "nothing to merge: no shard result files");
     const size_t total_slots = shards.front().total_slots;
     const uint64_t grid_fp = shards.front().grid_fp;
@@ -161,6 +176,8 @@ std::string merge_shard_results(const std::vector<ShardResultsFile>& shards) {
         for (const ShardRow& row : shard.rows) {
             const auto [it, inserted] = by_slot.emplace(row.slot, &row);
             if (inserted) continue;
+            // Identity deliberately ignores micros: two runs of the same
+            // point measure different wall-clocks but must compare equal.
             const ShardRow& existing = *it->second;
             if (existing.point_fp != row.point_fp ||
                 existing.json != row.json) {
@@ -170,6 +187,7 @@ std::string merge_shard_results(const std::vector<ShardResultsFile>& shards) {
                             fingerprint_hex(existing.point_fp) + " vs " +
                             fingerprint_hex(row.point_fp) + ")");
             }
+            if (duplicates == DuplicatePolicy::AllowIdentical) continue;
             throw Error("shard merge: slot " + std::to_string(row.slot) +
                         " reported by more than one shard (overlapping "
                         "plans)");

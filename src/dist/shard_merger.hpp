@@ -8,7 +8,7 @@
 // point's content fingerprint:
 //
 //   # slpwlo shard results
-//   results_version = 1
+//   results_version = 2
 //   shard_index = 0
 //   shard_count = 4
 //   total_slots = 24
@@ -17,7 +17,12 @@
 //   eval_misses = 6
 //   eval_entries = 6
 //   rows = 6
-//   row = <slot> <point fingerprint:16 hex> <JSON object>
+//   row = <slot> <point fingerprint:16 hex> <micros> <JSON object>
+//
+// (results_version 2 added the measured per-slot wall-clock microseconds;
+// the column is for future cost models and is deliberately excluded from
+// row identity, fingerprints and merged report bytes — it is the one
+// nondeterministic field in an otherwise bit-reproducible pipeline.)
 //
 // merge_shard_results() reassembles the rows in slot order and produces
 // output byte-identical to sweep_to_json over the unsharded grid. The
@@ -27,6 +32,13 @@
 //     against a different grid);
 //   * the same slot appearing twice with different point fingerprints or
 //     row bytes is a hard conflict (two shards claim to be the same work);
+//   * under the default policy even an *identical* duplicate slot is an
+//     overlap error (static plans are disjoint by construction — overlap
+//     means someone merged the wrong files). Elastic lease re-issue
+//     legitimately produces identical duplicates (a straggler and its
+//     replacement both finish), so that path merges with
+//     DuplicatePolicy::AllowIdentical: same fingerprint and same row
+//     bytes (micros excluded) deduplicate, anything else still conflicts;
 //   * missing slots fail with the exact holes listed.
 #pragma once
 
@@ -41,10 +53,14 @@ struct ShardRow {
     size_t slot = 0;
     uint64_t point_fp = 0;   ///< point_fingerprint of the manifest point
     std::string json;        ///< sweep_result_to_json object (one line)
+    /// Measured wall-clock of this slot's flow run in microseconds.
+    /// Excluded from row identity and from the merged report: scheduling
+    /// may read it, bytes never depend on it.
+    long long micros = 0;
 };
 
 struct ShardResultsFile {
-    int version = 1;
+    int version = 2;
     int shard_index = 0;
     int shard_count = 1;
     size_t total_slots = 0;
@@ -60,9 +76,23 @@ ShardResultsFile parse_shard_results(const std::string& text,
                                      const std::string& source = "<string>");
 ShardResultsFile load_shard_results(const std::string& path);
 
+/// How merge_shard_results treats the same slot reported twice with
+/// identical content (fingerprint and row bytes; micros never compared).
+enum class DuplicatePolicy {
+    /// Hard error: static shard plans are disjoint, overlap is a bug.
+    Error,
+    /// Keep the first row: elastic lease re-issue runs a slot twice when
+    /// a straggler and its replacement both finish. Differing content is
+    /// still a conflict under either policy.
+    AllowIdentical,
+};
+
 /// Fold per-shard files into one JSON results array, byte-identical to
 /// sweep_to_json(results) of the unsharded run. Throws Error on grid
-/// mismatch, slot conflicts/duplicates, or missing slots.
-std::string merge_shard_results(const std::vector<ShardResultsFile>& shards);
+/// mismatch, slot conflicts, duplicates the policy forbids, or missing
+/// slots.
+std::string merge_shard_results(const std::vector<ShardResultsFile>& shards,
+                                DuplicatePolicy duplicates =
+                                    DuplicatePolicy::Error);
 
 }  // namespace slpwlo::dist

@@ -23,8 +23,10 @@ std::string to_string(ShardStrategy strategy) {
 ShardStrategy shard_strategy_from_string(const std::string& text) {
     if (text == "round-robin") return ShardStrategy::RoundRobin;
     if (text == "cost-balanced") return ShardStrategy::CostBalanced;
+    // Same convention as targets::by_name: an unknown spelling names
+    // every valid one (sorted).
     throw Error("unknown shard strategy `" + text +
-                "`; known: round-robin, cost-balanced");
+                "`; known: cost-balanced, round-robin");
 }
 
 double estimate_point_cost(const SweepPoint& point) {
@@ -39,7 +41,20 @@ double estimate_point_cost(const SweepPoint& point) {
     // Stricter constraints make the optimizers work harder before the
     // noise budget closes.
     const double constraint_weight = 1.0 + std::abs(point.accuracy_db) / 20.0;
-    return flow_weight * constraint_weight;
+    // Per-point model overrides change the work: a wider derived datapath
+    // (@simd256) admits more lane counts, and candidate seeding, fusion
+    // and equation-(1) WL commitments all grow with them. Points without
+    // an embedded model stay at the neutral weight (make_shard_plans and
+    // the lease coordinator both embed models before costing). The Float
+    // reference skips the SLP machinery entirely, so width is free there.
+    double width_weight = 1.0;
+    if (point.flow != "Float" && point.target_model.has_value()) {
+        const int lanes = point.target_model->max_group_size();
+        if (lanes > 1) {
+            width_weight += 0.25 * std::log2(static_cast<double>(lanes));
+        }
+    }
+    return flow_weight * constraint_weight * width_weight;
 }
 
 void embed_target_models(std::vector<SweepPoint>& points) {

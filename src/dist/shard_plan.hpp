@@ -44,11 +44,13 @@ std::string to_string(ShardStrategy strategy);
 ShardStrategy shard_strategy_from_string(const std::string& text);
 
 /// Deterministic relative wall-clock estimate of one sweep point, for
-/// CostBalanced assignment. A heuristic, not a measurement: stricter
-/// accuracy constraints drive more optimizer iterations, the decoupled
-/// WLO-First flows add a Tabu search, and the Float reference skips
-/// optimization entirely. Balance quality only affects wall-clock spread
-/// across shards — never results.
+/// CostBalanced assignment and lease chunk sizing. A heuristic, not a
+/// measurement: stricter accuracy constraints drive more optimizer
+/// iterations, the decoupled WLO-First flows add a Tabu search, the
+/// Float reference skips optimization entirely, and a point's embedded
+/// `target_model` override weighs in through its lane-count menu (a
+/// derived `@simd256` point costs more than its narrow base). Balance
+/// quality only affects wall-clock spread across shards — never results.
 double estimate_point_cost(const SweepPoint& point);
 
 /// Resolve registry names into embedded per-point models: points without

@@ -1,10 +1,12 @@
 #include "flow/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <sstream>
 
 #include "flow/report.hpp"
+#include "flow/work_source.hpp"
 #include "support/diagnostics.hpp"
 #include "support/thread_pool.hpp"
 #include "target/target_model.hpp"
@@ -12,7 +14,11 @@
 namespace slpwlo {
 
 SweepDriver::SweepDriver(SweepOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+    if (options_.cache_capacity.has_value()) {
+        eval_cache_.set_capacity(*options_.cache_capacity);
+    }
+}
 
 SweepDriver::~SweepDriver() = default;
 
@@ -79,6 +85,18 @@ const KernelContext& SweepDriver::context(const std::string& kernel_name) {
 
 std::vector<SweepResult> SweepDriver::run(
     const std::vector<SweepPoint>& points) {
+    // The whole grid as one in-process work source, drained through the
+    // same service the sharded and elastic paths use. A full-size lease
+    // keeps the historical behavior: one pool run over every point.
+    VectorSource source(points);
+    SweepService service(*this);
+    service.drain(source);
+    return source.take_results();
+}
+
+std::vector<SweepResult> SweepDriver::run_timed(
+    const std::vector<SweepPoint>& points,
+    std::vector<long long>* micros_out) {
     // Resolve the per-point ingredients up front so configuration errors
     // (unknown kernel / target / flow) surface before any thread spawns.
     struct Job {
@@ -106,6 +124,7 @@ std::vector<SweepResult> SweepDriver::run(
 
     EvalCache* cache = options_.memoize ? &eval_cache_ : nullptr;
     std::vector<std::optional<FlowResult>> slots(points.size());
+    std::vector<long long> micros(points.size(), 0);
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
@@ -115,8 +134,12 @@ std::vector<SweepResult> SweepDriver::run(
         pool.submit([&, i] {
             try {
                 const Job& job = jobs[i];
+                const auto start = std::chrono::steady_clock::now();
                 slots[i] = job.pipeline->run(*job.context, job.target,
                                              job.options, cache);
+                micros[i] = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error) first_error = std::current_exception();
@@ -133,6 +156,7 @@ std::vector<SweepResult> SweepDriver::run(
         SLPWLO_ASSERT(slots[i].has_value(), "sweep point produced no result");
         results.push_back(SweepResult{points[i], std::move(*slots[i])});
     }
+    if (micros_out != nullptr) *micros_out = std::move(micros);
     return results;
 }
 

@@ -57,14 +57,24 @@ struct SweepPoint {
     std::optional<TargetModel> target_model;
 };
 
-struct SweepOptions {
+/// Execution options shared by every sweep entry point — the in-process
+/// SweepDriver, the sharded worker (dist::run_shard) and the elastic
+/// lease worker (dist::LeaseWorkSource) all consume this one struct, so
+/// a thread count or cache bound means the same thing on every path.
+struct ExecOptions {
     /// Worker threads; <= 0 picks the hardware concurrency.
     int threads = 0;
     /// Sweep-wide flow options (accuracy_db is overridden per point).
     FlowOptions flow_options;
     /// Share an EvalCache across points and runs of this driver.
     bool memoize = true;
+    /// Optional EvalCache entry bound (insertion-order FIFO eviction);
+    /// nullopt leaves the cache unlimited.
+    std::optional<size_t> cache_capacity;
 };
+
+/// Historical name: SweepDriver predates the unified ExecOptions.
+using SweepOptions = ExecOptions;
 
 struct SweepResult {
     SweepPoint point;
@@ -105,8 +115,19 @@ public:
         const std::vector<double>& constraints);
 
     /// Run all points (concurrently) and return results in point order.
-    /// Throws if any point failed; the first failure is rethrown.
+    /// Throws if any point failed; the first failure is rethrown. This is
+    /// a thin wrapper: the points become a VectorSource drained by a
+    /// SweepService (flow/work_source.hpp) — the same execution path the
+    /// sharded and elastic sweeps use.
     std::vector<SweepResult> run(const std::vector<SweepPoint>& points);
+
+    /// The execution primitive behind run() and SweepService::drain():
+    /// run `points` concurrently, returning results in point order. When
+    /// `micros_out` is non-null it receives one measured wall-clock
+    /// duration (microseconds) per point, aligned with the results —
+    /// measurements are for scheduling, never part of any report bytes.
+    std::vector<SweepResult> run_timed(const std::vector<SweepPoint>& points,
+                                       std::vector<long long>* micros_out);
 
     /// Shared per-kernel context (built on first use, then reused —
     /// including across run() calls).

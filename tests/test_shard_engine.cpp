@@ -478,8 +478,8 @@ TEST(ShardMerger, ResultsFileRoundTrips) {
     file.eval_hits = 3;
     file.eval_misses = 5;
     file.eval_entries = 4;
-    file.rows.push_back(ShardRow{1, 0xa, "{\"flow\":\"WLO-SLP\",\"x\":1}"});
-    file.rows.push_back(ShardRow{5, 0xb, "{\"note\":\"has # inside\"}"});
+    file.rows.push_back(ShardRow{1, 0xa, "{\"flow\":\"WLO-SLP\",\"x\":1}", 12345});
+    file.rows.push_back(ShardRow{5, 0xb, "{\"note\":\"has # inside\"}", 0});
 
     const ShardResultsFile loaded =
         parse_shard_results(shard_results_text(file), "<round-trip>");
@@ -495,6 +495,9 @@ TEST(ShardMerger, ResultsFileRoundTrips) {
         EXPECT_EQ(loaded.rows[i].slot, file.rows[i].slot);
         EXPECT_EQ(loaded.rows[i].point_fp, file.rows[i].point_fp);
         EXPECT_EQ(loaded.rows[i].json, file.rows[i].json);
+        // The measured wall-clock column round-trips (but is excluded
+        // from row identity — see the merge tests).
+        EXPECT_EQ(loaded.rows[i].micros, file.rows[i].micros);
     }
 
     // A concatenation of two results files (duplicate headers) must not

@@ -4,6 +4,12 @@
 // a manifest as an independent worker process, and folds per-shard result
 // files back into the exact JSON the single-process sweep would have
 // produced (byte-identical; the merge refuses grids that do not match).
+// Beside the static plan/run/merge pipeline, serve/work run the same
+// grid *elastically*: a coordinator chops a whole-grid manifest into
+// cost-balanced chunks in a lease directory, and any number of workers
+// acquire, run and publish chunks on demand — with lease expiry and
+// re-issue, so a straggling or killed worker's slots are re-acquired
+// (dist/lease_coordinator.hpp).
 //
 //   slpwlo-shard plan  --shards N --out-prefix P --kernels A,B
 //                      --targets X,Y [--widths 0,64] [--flows F,G]
@@ -12,11 +18,16 @@
 //   slpwlo-shard run   --manifest FILE --out FILE [--threads N]
 //                      [--snapshot-in FILE] [--snapshot-out FILE]
 //                      [--cache-capacity N] [--json[=FILE]]
-//   slpwlo-shard merge --out FILE RESULTS... [--cache FILE]...
-//                      [--cache-out FILE]
+//   slpwlo-shard serve --manifest FILE --dir DIR [--chunk-cost C]
+//                      [--chunk-slots N] [--ttl-ms T]
+//   slpwlo-shard work  --dir DIR [--worker ID] [--threads N]
+//                      [--snapshot-in FILE] [--snapshot-out FILE]
+//                      [--cache-capacity N] [--straggle-ms T]
+//   slpwlo-shard merge --out FILE (RESULTS... | --lease-dir DIR)
+//                      [--cache FILE]... [--cache-out FILE]
 //
-// A typical 4-machine sweep (one command per line; see DESIGN.md §7 for
-// the shell version with line continuations):
+// A typical static 4-machine sweep (one command per line; see DESIGN.md
+// §7 for the shell version with line continuations):
 //
 //   $ slpwlo-shard plan --shards 4 --strategy cost-balanced
 //       --kernels FIR,IIR,CONV --targets XENTIUM --flows WLO-SLP,WLO-First
@@ -28,6 +39,14 @@
 //   $ slpwlo-shard merge --out sweep.json sweep.*.results
 //       --cache sweep.0.snap --cache sweep.1.snap --cache sweep.2.snap
 //       --cache sweep.3.snap --cache-out warm.snap
+//
+// The same grid elastically, over any shared directory (DESIGN.md §9):
+//
+//   $ slpwlo-shard plan --shards 1 --kernels ... --out-prefix grid
+//   $ slpwlo-shard serve --manifest grid.0.manifest --dir farm
+//   ... on each worker machine, as many times as you like ...
+//   $ slpwlo-shard work --dir farm
+//   $ slpwlo-shard merge --out sweep.json --lease-dir farm
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +54,7 @@
 #include <vector>
 
 #include "dist/cache_snapshot.hpp"
+#include "dist/lease_coordinator.hpp"
 #include "dist/shard_manifest.hpp"
 #include "dist/shard_merger.hpp"
 #include "dist/shard_plan.hpp"
@@ -60,8 +80,18 @@ void usage(FILE* out) {
         "  slpwlo-shard run   --manifest FILE --out FILE [--threads N]\n"
         "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
         "                     [--cache-capacity N] [--json[=FILE]]\n"
-        "  slpwlo-shard merge --out FILE RESULTS... [--cache FILE]...\n"
-        "                     [--cache-out FILE]\n");
+        "  slpwlo-shard serve --manifest FILE --dir DIR [--chunk-cost C]\n"
+        "                     [--chunk-slots N] [--ttl-ms T]\n"
+        "                     initialize an elastic lease directory from a\n"
+        "                     whole-grid manifest (plan --shards 1)\n"
+        "  slpwlo-shard work  --dir DIR [--worker ID] [--threads N]\n"
+        "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
+        "                     [--cache-capacity N] [--straggle-ms T]\n"
+        "                     acquire, run and publish lease chunks until\n"
+        "                     the directory drains (expired leases are\n"
+        "                     stolen and re-issued)\n"
+        "  slpwlo-shard merge --out FILE (RESULTS... | --lease-dir DIR)\n"
+        "                     [--cache FILE]... [--cache-out FILE]\n");
 }
 
 [[noreturn]] void bad_usage(const std::string& message) {
@@ -273,8 +303,94 @@ int cmd_run(Args args) {
     return 0;
 }
 
+int cmd_serve(Args args) {
+    std::string manifest_path, dir;
+    LeaseOptions options;
+
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--manifest") {
+            manifest_path = args.value(arg);
+        } else if (arg == "--dir") {
+            dir = args.value(arg);
+        } else if (arg == "--chunk-cost") {
+            options.chunk_cost = double_flag(arg, args.value(arg));
+        } else if (arg == "--chunk-slots") {
+            options.max_chunk_slots =
+                static_cast<size_t>(int_flag(arg, args.value(arg)));
+        } else if (arg == "--ttl-ms") {
+            options.ttl_ms = int_flag(arg, args.value(arg));
+        } else {
+            bad_usage("unknown serve flag `" + arg + "`");
+        }
+    }
+    if (manifest_path.empty()) bad_usage("serve needs --manifest");
+    if (dir.empty()) bad_usage("serve needs --dir");
+
+    const ShardManifest manifest = load_shard_manifest(manifest_path);
+    const size_t chunks = init_lease_dir(dir, manifest, options);
+    std::printf("lease directory %s: %zu slots in %zu chunks, ttl %lld ms\n",
+                dir.c_str(), manifest.total_slots, chunks, options.ttl_ms);
+    return 0;
+}
+
+int cmd_work(Args args) {
+    std::string dir, snapshot_in, snapshot_out;
+    LeaseWorkerOptions worker;
+    ExecOptions exec;
+
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--dir") {
+            dir = args.value(arg);
+        } else if (arg == "--worker") {
+            worker.worker_id = args.value(arg);
+        } else if (arg == "--threads") {
+            exec.threads = int_flag(arg, args.value(arg));
+        } else if (arg == "--snapshot-in") {
+            snapshot_in = args.value(arg);
+        } else if (arg == "--snapshot-out") {
+            snapshot_out = args.value(arg);
+        } else if (arg == "--cache-capacity") {
+            exec.cache_capacity =
+                static_cast<size_t>(int_flag(arg, args.value(arg)));
+        } else if (arg == "--straggle-ms") {
+            // Test hook: hold every lease this long before publishing, to
+            // exercise expiry, steal and duplicate resolution end to end.
+            worker.straggle_ms = int_flag(arg, args.value(arg));
+        } else {
+            bad_usage("unknown work flag `" + arg + "`");
+        }
+    }
+    if (dir.empty()) bad_usage("work needs --dir");
+
+    LeaseWorkSource source(dir, worker);
+    exec.flow_options = source.manifest().defaults;
+    SweepService service(exec);
+    if (!snapshot_in.empty()) {
+        const CacheSnapshot warm = load_cache_snapshot(snapshot_in);
+        preload_cache(service.driver().eval_cache(), warm);
+    }
+
+    const size_t executed = service.drain(source);
+    const SweepCacheStats stats = service.driver().cache_stats();
+    std::printf("worker drained %s: %zu of %zu slots run here, %zu leases "
+                "stolen from stragglers (eval cache: %zu hits / %zu misses, "
+                "%zu entries)\n",
+                dir.c_str(), executed, source.total_slots(), source.steals(),
+                stats.eval_hits, stats.eval_misses, stats.eval_entries);
+    if (!snapshot_out.empty()) {
+        const CacheSnapshot snapshot =
+            snapshot_cache(service.driver().eval_cache());
+        write_file(snapshot_out, cache_snapshot_text(snapshot));
+        std::printf("snapshot: %zu entries -> %s\n", snapshot.entries.size(),
+                    snapshot_out.c_str());
+    }
+    return 0;
+}
+
 int cmd_merge(Args args) {
-    std::string out_path, cache_out;
+    std::string out_path, cache_out, lease_dir;
     std::vector<std::string> results_paths, cache_paths;
 
     std::string arg;
@@ -285,6 +401,8 @@ int cmd_merge(Args args) {
             cache_paths.push_back(args.value(arg));
         } else if (arg == "--cache-out") {
             cache_out = args.value(arg);
+        } else if (arg == "--lease-dir") {
+            lease_dir = args.value(arg);
         } else if (!arg.empty() && arg[0] == '-') {
             bad_usage("unknown merge flag `" + arg + "`");
         } else {
@@ -292,7 +410,12 @@ int cmd_merge(Args args) {
         }
     }
     if (out_path.empty()) bad_usage("merge needs --out");
-    if (results_paths.empty()) bad_usage("merge needs result files");
+    if (lease_dir.empty() && results_paths.empty()) {
+        bad_usage("merge needs result files or --lease-dir");
+    }
+    if (!lease_dir.empty() && !results_paths.empty()) {
+        bad_usage("merge takes result files or --lease-dir, not both");
+    }
     // Validate the cache pairing before any output is written: a usage
     // error after side effects would leave a half-done merge behind, and
     // --cache-out with no inputs would overwrite a warm snapshot with an
@@ -304,20 +427,33 @@ int cmd_merge(Args args) {
         bad_usage("--cache-out needs at least one --cache file");
     }
 
-    std::vector<ShardResultsFile> shards;
-    shards.reserve(results_paths.size());
-    size_t hits = 0, misses = 0;
-    for (const std::string& path : results_paths) {
-        shards.push_back(load_shard_results(path));
-        hits += shards.back().eval_hits;
-        misses += shards.back().eval_misses;
+    if (!lease_dir.empty()) {
+        // Elastic path: every published chunk rows file, with re-issued
+        // duplicates resolved (byte-identical rows deduplicate, anything
+        // else is still a conflict).
+        const std::string merged = collect_lease_results(lease_dir);
+        write_file(out_path, merged);
+        const LeaseDirStatus status = lease_dir_status(lease_dir);
+        std::printf("merged lease directory %s (%zu chunks, %zu re-issued) "
+                    "-> %s\n",
+                    lease_dir.c_str(), status.chunks, status.reissued,
+                    out_path.c_str());
+    } else {
+        std::vector<ShardResultsFile> shards;
+        shards.reserve(results_paths.size());
+        size_t hits = 0, misses = 0;
+        for (const std::string& path : results_paths) {
+            shards.push_back(load_shard_results(path));
+            hits += shards.back().eval_hits;
+            misses += shards.back().eval_misses;
+        }
+        const std::string merged = merge_shard_results(shards);
+        write_file(out_path, merged);
+        std::printf("merged %zu shards (%zu slots) -> %s (eval cache across "
+                    "shards: %zu hits / %zu misses)\n",
+                    shards.size(), shards.front().total_slots,
+                    out_path.c_str(), hits, misses);
     }
-    const std::string merged = merge_shard_results(shards);
-    write_file(out_path, merged);
-    std::printf("merged %zu shards (%zu slots) -> %s (eval cache across "
-                "shards: %zu hits / %zu misses)\n",
-                shards.size(), shards.front().total_slots, out_path.c_str(),
-                hits, misses);
 
     if (!cache_out.empty()) {
         std::vector<CacheSnapshot> snapshots;
@@ -344,12 +480,17 @@ int main(int argc, char** argv) {
     try {
         if (command == "plan") return cmd_plan(Args(argc, argv, 2));
         if (command == "run") return cmd_run(Args(argc, argv, 2));
+        if (command == "serve") return cmd_serve(Args(argc, argv, 2));
+        if (command == "work") return cmd_work(Args(argc, argv, 2));
         if (command == "merge") return cmd_merge(Args(argc, argv, 2));
         if (command == "--help" || command == "-h") {
             usage(stdout);
             return 0;
         }
-        bad_usage("unknown command `" + command + "`");
+        // Same convention as targets::by_name: an unknown name lists
+        // every valid spelling (sorted).
+        bad_usage("unknown command `" + command +
+                  "`; known: merge, plan, run, serve, work");
     } catch (const Error& e) {
         std::fprintf(stderr, "slpwlo-shard: %s\n", e.what());
         return 1;
