@@ -1,0 +1,423 @@
+// Hot-path performance harness: delta evaluation + the compiled
+// simulation tape.
+//
+// Three measurements, each paired with a bit-identity check so a speedup
+// can never come from computing something different:
+//
+//   1. Tabu move evaluation — incremental sessions (EvalSession +
+//      WlCostSession) against full noise/cost recomputation per candidate
+//      move, the inner loop of run_tabu_wlo.
+//   2. Simulation noise evaluation — the compiled SimTape with
+//      pregenerated stimuli and cached double reference traces against
+//      the tree-walking simulators regenerating both per call (what
+//      SimulationEvaluator::noise_power did before the tape).
+//   3. Sweep wall-clock — a cold constraint sweep against a warm rerun
+//      preloaded with the cold run's EvalCache snapshot (stage memo +
+//      eval memo), with the report bytes compared.
+//
+// Emits a JSON report (--json / --json=FILE). Exits non-zero when any
+// bit-identity check fails — walker/tape divergence or delta/full
+// divergence is a correctness bug, not a performance result.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accuracy/analytic_evaluator.hpp"
+#include "bench_util.hpp"
+#include "core/wl_cost_model.hpp"
+#include "dist/cache_snapshot.hpp"
+#include "sim/fixed_sim.hpp"
+#include "sim/sim_tape.hpp"
+#include "support/rng.hpp"
+#include "target/target_model.hpp"
+
+namespace {
+
+using namespace slpwlo;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+bool bits_equal(double a, double b) {
+    uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ab == bb;
+}
+
+struct TabuReport {
+    std::string kernel;
+    long long moves = 0;
+    double full_moves_per_sec = 0.0;
+    double delta_moves_per_sec = 0.0;
+    double speedup = 0.0;
+    bool bit_identical = true;
+};
+
+/// One random single-WL move per iteration, exactly the candidate shape
+/// the Tabu loop evaluates; every `commit_every`-th move is committed so
+/// the spec keeps drifting like a real search. Both legs are run several
+/// times interleaved and the best rate kept, so a frequency dip in one
+/// leg cannot masquerade as (or hide) a speedup.
+TabuReport bench_tabu_moves(const Kernel& kernel, const TargetModel& target,
+                            long long moves, int repeats) {
+    TabuReport report;
+    report.kernel = kernel.name();
+    report.moves = moves;
+
+    const AnalyticEvaluator evaluator(kernel);
+    const WlCostModel cost_model(kernel, target);
+    const std::vector<int>& wls = target.scalar_wls;
+    constexpr int kCommitEvery = 16;
+
+    // Pregenerate the move sequence so the timed loops measure evaluation,
+    // not random-number generation, and both legs replay identical moves.
+    struct MoveCandidate {
+        uint32_t node_index;
+        int wl;
+    };
+    std::vector<MoveCandidate> sequence;
+    {
+        const FixedPointSpec probe(kernel);
+        Rng rng(0xD1CE, "perf/tabu-moves");
+        sequence.reserve(static_cast<size_t>(moves));
+        for (long long i = 0; i < moves; ++i) {
+            sequence.push_back(MoveCandidate{
+                static_cast<uint32_t>(rng.uniform_int(
+                    0, static_cast<int>(probe.nodes().size()) - 1)),
+                wls[static_cast<size_t>(rng.uniform_int(
+                    0, static_cast<int>(wls.size()) - 1))]});
+        }
+    }
+
+    const auto run = [&](long long count, bool delta, bool check) {
+        FixedPointSpec spec(kernel);
+        for (const NodeRef node : spec.nodes()) {
+            spec.set_wl(node, wls.back());
+        }
+        const std::vector<NodeRef> nodes = spec.nodes();
+
+        std::unique_ptr<EvalSession> eval;
+        std::unique_ptr<WlCostSession> costs;
+        if (delta || check) {
+            eval = evaluator.open_session(spec);
+            costs = cost_model.open_session(spec);
+        }
+
+        double sink = 0.0;
+        const auto start = std::chrono::steady_clock::now();
+        for (long long i = 0; i < count; ++i) {
+            const MoveCandidate& mc = sequence[static_cast<size_t>(i)];
+            const NodeRef node = nodes[mc.node_index];
+            const int wl = mc.wl;
+
+            const FixedFormat saved = spec.format(node);
+            double noise_db, cost;
+            if (delta) {
+                // The exact probe shape of the Tabu candidate loop: one
+                // shared set/restore window bracketed on both sessions.
+                eval->begin_move(node);
+                costs->begin_move(node);
+                spec.set_wl(node, wl);
+                noise_db = eval->noise_power_db();
+                cost = costs->cost();
+                spec.set_format(node, saved);
+                eval->end_move();
+                costs->end_move();
+            } else {
+                spec.set_wl(node, wl);
+                noise_db = evaluator.noise_power_db(spec);
+                cost = cost_model.cost(spec);
+                if (check) {
+                    // The sessions see the same journaled mutations; their
+                    // answers must be bit-equal to the full recompute.
+                    if (!bits_equal(eval->noise_power_db(), noise_db) ||
+                        !bits_equal(costs->cost(), cost)) {
+                        report.bit_identical = false;
+                    }
+                }
+                spec.set_format(node, saved);
+            }
+            sink += noise_db + cost;
+            if (i % kCommitEvery == kCommitEvery - 1) {
+                spec.set_wl(node, wl);  // commit the move
+            }
+        }
+        const double elapsed = seconds_since(start);
+        if (sink == 0.12345) std::printf("unlikely\n");  // keep `sink` live
+        return static_cast<double>(count) / elapsed;
+    };
+
+    // Correctness pass first (every move cross-checked), then clean timed
+    // legs with no checking overhead on either side.
+    run(std::min<long long>(moves, 512), /*delta=*/false, /*check=*/true);
+    for (int r = 0; r < repeats; ++r) {
+        report.full_moves_per_sec =
+            std::max(report.full_moves_per_sec,
+                     run(moves, /*delta=*/false, /*check=*/false));
+        report.delta_moves_per_sec =
+            std::max(report.delta_moves_per_sec,
+                     run(moves, /*delta=*/true, /*check=*/false));
+    }
+    report.speedup = report.delta_moves_per_sec / report.full_moves_per_sec;
+    return report;
+}
+
+struct NoiseReport {
+    long long evals = 0;
+    double walker_evals_per_sec = 0.0;
+    double tape_evals_per_sec = 0.0;
+    double speedup = 0.0;
+    bool bit_identical = true;
+};
+
+double mse_against(const std::vector<double>& ref,
+                   const std::vector<double>& outputs) {
+    double total = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const double err = outputs[i] - ref[i];
+        total += err * err;
+    }
+    return ref.empty() ? 0.0 : total / static_cast<double>(ref.size());
+}
+
+NoiseReport bench_noise_evals(const Kernel& kernel, long long evals) {
+    NoiseReport report;
+    report.evals = evals;
+
+    // A mid-precision spec so quantization (and the occasional overflow)
+    // actually exercises the fixed-point path.
+    FixedPointSpec spec(kernel);
+    for (const NodeRef node : spec.nodes()) spec.set_wl(node, 12);
+
+    const SimTape tape(kernel);
+    constexpr uint64_t kSeed = 0x5EED;
+
+    // Divergence gate: tape and walker must agree bit-for-bit on the
+    // double reference, the fixed outputs and the overflow count.
+    {
+        const Stimulus stimulus = make_stimulus(kernel, kSeed);
+        const DoubleSimResult ref_tape = run_double(tape, stimulus);
+        const DoubleSimResult ref_walk = run_double_walker(kernel, stimulus);
+        const FixedSimResult fx_tape = run_fixed(tape, spec, stimulus);
+        const FixedSimResult fx_walk =
+            run_fixed_walker(kernel, spec, stimulus);
+        bool same = ref_tape.outputs.size() == ref_walk.outputs.size() &&
+                    fx_tape.outputs.size() == fx_walk.outputs.size() &&
+                    fx_tape.overflow_count == fx_walk.overflow_count;
+        for (size_t i = 0; same && i < ref_tape.outputs.size(); ++i) {
+            same = bits_equal(ref_tape.outputs[i], ref_walk.outputs[i]);
+        }
+        for (size_t i = 0; same && i < fx_tape.outputs.size(); ++i) {
+            same = bits_equal(fx_tape.outputs[i], fx_walk.outputs[i]);
+        }
+        report.bit_identical = same;
+    }
+
+    // Walker leg: the pre-tape noise_power — stimulus regenerated, double
+    // reference re-walked, fixed tree re-walked, every call.
+    {
+        double sink = 0.0;
+        const auto start = std::chrono::steady_clock::now();
+        for (long long i = 0; i < evals; ++i) {
+            const Stimulus stimulus = make_stimulus(kernel, kSeed + i % 4);
+            const DoubleSimResult ref = run_double_walker(kernel, stimulus);
+            const FixedSimResult fx =
+                run_fixed_walker(kernel, spec, stimulus);
+            sink += mse_against(ref.outputs, fx.outputs);
+        }
+        report.walker_evals_per_sec =
+            static_cast<double>(evals) / seconds_since(start);
+        if (sink == 0.12345) std::printf("unlikely\n");
+    }
+
+    // Tape leg: what SimulationEvaluator does now — stimuli and reference
+    // traces pregenerated once, one fixed tape replay per eval.
+    {
+        std::vector<Stimulus> stimuli;
+        std::vector<std::vector<double>> refs;
+        for (uint64_t s = 0; s < 4; ++s) {
+            stimuli.push_back(make_stimulus(kernel, kSeed + s));
+            refs.push_back(run_double(tape, stimuli.back()).outputs);
+        }
+        double sink = 0.0;
+        const auto start = std::chrono::steady_clock::now();
+        for (long long i = 0; i < evals; ++i) {
+            const size_t s = static_cast<size_t>(i % 4);
+            sink += measure_noise_power(tape, spec, stimuli[s], refs[s]);
+        }
+        report.tape_evals_per_sec =
+            static_cast<double>(evals) / seconds_since(start);
+        if (sink == 0.12345) std::printf("unlikely\n");
+    }
+
+    report.speedup = report.tape_evals_per_sec / report.walker_evals_per_sec;
+    return report;
+}
+
+struct SweepReport {
+    size_t points = 0;
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+    double speedup = 0.0;
+    size_t stage_hits = 0;
+    bool bytes_identical = true;
+};
+
+SweepReport bench_sweep(const std::vector<SweepPoint>& grid, int threads) {
+    SweepReport report;
+    report.points = grid.size();
+
+    SweepOptions options;
+    options.threads = threads;
+
+    SweepDriver cold(options);
+    const auto cold_start = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> cold_results = cold.run(grid);
+    report.cold_ms = seconds_since(cold_start) * 1000.0;
+
+    const dist::CacheSnapshot snapshot = dist::snapshot_cache(cold.eval_cache());
+
+    SweepDriver warm(options);
+    dist::preload_cache(warm.eval_cache(), snapshot);
+    const auto warm_start = std::chrono::steady_clock::now();
+    const std::vector<SweepResult> warm_results = warm.run(grid);
+    report.warm_ms = seconds_since(warm_start) * 1000.0;
+
+    report.speedup = report.cold_ms / report.warm_ms;
+    report.stage_hits = warm.eval_cache().stage_hits();
+    report.bytes_identical =
+        sweep_to_json(cold_results) == sweep_to_json(warm_results);
+    return report;
+}
+
+/// Geometric mean of the per-kernel speedups — the one-number summary
+/// that doesn't let a single large kernel drown out a regression on a
+/// small one.
+double tabu_speedup_geomean(const std::vector<TabuReport>& reports) {
+    double log_sum = 0.0;
+    for (const TabuReport& r : reports) log_sum += std::log(r.speedup);
+    return std::exp(log_sum / static_cast<double>(reports.size()));
+}
+
+std::string report_json(const std::vector<TabuReport>& tabu,
+                        const NoiseReport& noise, const SweepReport& sweep) {
+    const bool tabu_identical =
+        std::all_of(tabu.begin(), tabu.end(),
+                    [](const TabuReport& r) { return r.bit_identical; });
+    std::ostringstream os;
+    os << "{\"tabu\":{\"moves\":" << tabu.front().moves << ",\"kernels\":[";
+    for (size_t i = 0; i < tabu.size(); ++i) {
+        const TabuReport& r = tabu[i];
+        os << (i == 0 ? "" : ",") << "{\"kernel\":\"" << r.kernel
+           << "\",\"full_moves_per_sec\":" << json_number(r.full_moves_per_sec)
+           << ",\"delta_moves_per_sec\":"
+           << json_number(r.delta_moves_per_sec)
+           << ",\"speedup\":" << json_number(r.speedup)
+           << ",\"bit_identical\":" << (r.bit_identical ? "true" : "false")
+           << "}";
+    }
+    os << "],\"speedup_geomean\":" << json_number(tabu_speedup_geomean(tabu))
+       << ",\"bit_identical\":" << (tabu_identical ? "true" : "false")
+       << "},\"noise\":{\"evals\":" << noise.evals
+       << ",\"walker_evals_per_sec\":"
+       << json_number(noise.walker_evals_per_sec)
+       << ",\"tape_evals_per_sec\":" << json_number(noise.tape_evals_per_sec)
+       << ",\"speedup\":" << json_number(noise.speedup)
+       << ",\"bit_identical\":" << (noise.bit_identical ? "true" : "false")
+       << "},\"sweep\":{\"points\":" << sweep.points
+       << ",\"cold_ms\":" << json_number(sweep.cold_ms)
+       << ",\"warm_ms\":" << json_number(sweep.warm_ms)
+       << ",\"speedup\":" << json_number(sweep.speedup)
+       << ",\"stage_hits\":" << sweep.stage_hits
+       << ",\"bytes_identical\":" << (sweep.bytes_identical ? "true" : "false")
+       << "}}\n";
+    return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace slpwlo;
+    namespace bench = slpwlo::bench;
+
+    bench::BenchArgSpec spec;
+    spec.smoke = true;
+    const bench::BenchOptions options =
+        bench::parse_bench_args(argc, argv, spec);
+
+    bench::print_header(
+        "perf_hotpaths: delta evaluation + compiled simulation tape",
+        "inner-loop cost of the WLO flows (Section IV hot paths)");
+
+    const long long tabu_moves = options.smoke ? 4000 : 40000;
+    const long long noise_evals = options.smoke ? 200 : 2000;
+    const int tabu_repeats = options.smoke ? 2 : 3;
+
+    kernels::BenchmarkKernel fir = kernels::make_benchmark_kernel("FIR");
+    const TargetModel target = targets::by_name("XENTIUM");
+
+    std::vector<TabuReport> tabu;
+    std::printf("\ntabu move evaluation (%lld moves x %d legs, XENTIUM)\n",
+                tabu_moves, tabu_repeats);
+    for (const std::string& name : kernels::benchmark_kernel_names()) {
+        const kernels::BenchmarkKernel bk =
+            kernels::make_benchmark_kernel(name);
+        tabu.push_back(
+            bench_tabu_moves(bk.kernel, target, tabu_moves, tabu_repeats));
+        const TabuReport& r = tabu.back();
+        std::printf(
+            "  %-6s full %10.0f /s   delta %10.0f /s   %6.2fx   "
+            "bit-identical: %s\n",
+            r.kernel.c_str(), r.full_moves_per_sec, r.delta_moves_per_sec,
+            r.speedup, r.bit_identical ? "yes" : "NO");
+    }
+    const bool tabu_identical =
+        std::all_of(tabu.begin(), tabu.end(),
+                    [](const TabuReport& r) { return r.bit_identical; });
+    std::printf("  geomean speedup: %12.2fx\n", tabu_speedup_geomean(tabu));
+
+    const NoiseReport noise = bench_noise_evals(fir.kernel, noise_evals);
+    std::printf("\nsimulation noise evaluation (%lld evals, FIR)\n",
+                noise.evals);
+    std::printf("  tree walker    : %12.1f evals/sec\n",
+                noise.walker_evals_per_sec);
+    std::printf("  compiled tape  : %12.1f evals/sec\n",
+                noise.tape_evals_per_sec);
+    std::printf("  speedup        : %12.2fx   bit-identical: %s\n",
+                noise.speedup, noise.bit_identical ? "yes" : "NO");
+
+    const std::vector<SweepPoint> grid = SweepDriver::grid(
+        {"FIR", "DOT"}, {"XENTIUM"}, {"WLO-SLP", "WLO-First"},
+        options.smoke ? std::vector<double>{-20.0, -40.0}
+                      : bench::constraint_grid());
+    const SweepReport sweep = bench_sweep(grid, options.threads);
+    std::printf("\nconstraint sweep, cold vs stage-memo warm (%zu points)\n",
+                sweep.points);
+    std::printf("  cold           : %12.1f ms\n", sweep.cold_ms);
+    std::printf("  warm           : %12.1f ms   (%zu stage hits)\n",
+                sweep.warm_ms, sweep.stage_hits);
+    std::printf("  speedup        : %12.2fx   report bytes identical: %s\n",
+                sweep.speedup, sweep.bytes_identical ? "yes" : "NO");
+
+    const std::string json = report_json(tabu, noise, sweep);
+    if (options.json_path.has_value()) {
+        bench::emit_json_to(*options.json_path, json, 3);
+    }
+
+    const bool ok = tabu_identical && noise.bit_identical &&
+                    sweep.bytes_identical && sweep.stage_hits > 0;
+    if (!ok) {
+        std::printf("\nFAIL: divergence between fast and reference paths\n");
+        return 1;
+    }
+    std::printf("\nall bit-identity checks passed\n");
+    return 0;
+}

@@ -264,8 +264,10 @@ int main(int argc, char** argv) {
         const CacheSnapshot warm = merge_cache_snapshots(snapshots);
         const std::string warm_path = dir + "/warm.snap";
         write_file(warm_path, cache_snapshot_text(warm));
-        std::printf("\nwarm snapshot: %zu entries merged from %zu shards\n",
-                    warm.entries.size(), snapshot_paths.size());
+        std::printf("\nwarm snapshot: %zu eval + %zu stage entries merged "
+                    "from %zu shards\n",
+                    warm.entries.size(), warm.stage_entries.size(),
+                    snapshot_paths.size());
 
         const std::string base = dir + "/round-robin.0";
         const std::string warm_results_path = dir + "/warm.0.results";
@@ -282,12 +284,16 @@ int main(int argc, char** argv) {
             const ShardResultsFile cold_results =
                 load_shard_results(base + ".results");
             const bool hits = warm_results.eval_hits > 0;
+            // A stage-memo hit means the warm worker skipped Tabu/SLP for
+            // that point entirely; every preloaded point must hit.
+            const bool stage_hits = warm_results.stage_hits > 0;
             const bool same = rows_identical(warm_results, cold_results);
-            std::printf("warm-snapshot shard 0: %zu cache hits (%s), rows "
-                        "identical to cold run: %s\n",
+            std::printf("warm-snapshot shard 0: %zu eval hits (%s), %zu "
+                        "stage hits (%s), rows identical to cold run: %s\n",
                         warm_results.eval_hits, hits ? "ok" : "NONE",
+                        warm_results.stage_hits, stage_hits ? "ok" : "NONE",
                         same ? "yes" : "NO");
-            ok = ok && hits && same;
+            ok = ok && hits && stage_hits && same;
         }
     }
 

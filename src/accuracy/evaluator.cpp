@@ -1,0 +1,29 @@
+#include "accuracy/evaluator.hpp"
+
+namespace slpwlo {
+
+namespace {
+
+/// Fallback session: every call is a full evaluation of the bound spec.
+class FullEvalSession final : public EvalSession {
+public:
+    FullEvalSession(const AccuracyEvaluator& evaluator, FixedPointSpec& spec)
+        : evaluator_(&evaluator), spec_(&spec) {}
+
+    double noise_power() override { return evaluator_->noise_power(*spec_); }
+
+    FixedPointSpec& spec() override { return *spec_; }
+
+private:
+    const AccuracyEvaluator* evaluator_;
+    FixedPointSpec* spec_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvalSession> AccuracyEvaluator::open_session(
+    FixedPointSpec& spec) const {
+    return std::make_unique<FullEvalSession>(*this, spec);
+}
+
+}  // namespace slpwlo

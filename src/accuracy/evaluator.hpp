@@ -6,12 +6,75 @@
 // WLO is decoupled from any particular accuracy-evaluation method; we mirror
 // that with this interface, implemented analytically (AnalyticEvaluator)
 // and by bit-accurate simulation (SimulationEvaluator).
+//
+// Hot loops (Tabu moves, SLP candidate filtering, scaling equalization)
+// evaluate thousands of single-node variations of one spec. For those,
+// open_session() returns an EvalSession bound to the (mutable) spec being
+// optimized: sessions may cache per-site noise contributions and track the
+// spec's change journal so each re-evaluation only recomputes what a move
+// touched. The contract is strict bit-identity: a session's noise_power()
+// returns the exact double the evaluator's full noise_power(spec) would
+// return for the spec's current state. The default session simply forwards
+// to the full evaluation, so simulation-backed evaluators work unchanged.
 #pragma once
+
+#include <memory>
 
 #include "fixpoint/spec.hpp"
 #include "support/dbmath.hpp"
 
 namespace slpwlo {
+
+/// A per-optimization-run evaluation handle bound to one spec.
+///
+/// Sessions exist so that a *shared, const* evaluator (KernelContext hands
+/// one AnalyticEvaluator to every sweep thread) can still keep mutable
+/// incremental state per optimization run. The bound spec may be mutated
+/// freely between calls — through set_wl, set_format, or checkpoint/revert —
+/// and the session resynchronizes from the spec's change journal.
+class EvalSession {
+public:
+    virtual ~EvalSession() = default;
+
+    /// Output noise power (linear) of the bound spec in its current state.
+    /// Bit-identical to the owning evaluator's noise_power(spec).
+    virtual double noise_power() = 0;
+
+    /// Bracket a single-node probe: between begin_move(node) and end_move()
+    /// the caller may mutate only `node` and must restore it to its
+    /// begin-time format before end_move(). Incremental sessions snapshot
+    /// the cached terms the node feeds in begin_move() and put them back in
+    /// end_move(), so the probe's restore costs a copy instead of a second
+    /// refresh pass. At most one probe may be outstanding per session.
+    /// The default is a no-op (full-recompute sessions have no cache).
+    virtual void begin_move(NodeRef) {}
+    virtual void end_move() {}
+
+    /// Noise power of the spec with `node` moved to word length `wl`, the
+    /// spec left unchanged on return. The single-move candidate evaluation
+    /// of the Tabu loop; incremental sessions make this O(degree(node)).
+    double preview_move(NodeRef node, int wl) {
+        FixedPointSpec& spec = this->spec();
+        begin_move(node);
+        const FixedFormat saved = spec.format(node);
+        spec.set_wl(node, wl);
+        const double power = noise_power();
+        spec.set_format(node, saved);
+        end_move();
+        return power;
+    }
+
+    /// Apply a move to the bound spec (the accepted candidate).
+    void commit_move(NodeRef node, int wl) { spec().set_wl(node, wl); }
+
+    double noise_power_db() { return power_to_db(noise_power()); }
+
+    bool violates(double constraint_db) {
+        return noise_power_db() > constraint_db;
+    }
+
+    virtual FixedPointSpec& spec() = 0;
+};
 
 class AccuracyEvaluator {
 public:
@@ -30,6 +93,12 @@ public:
     bool violates(const FixedPointSpec& spec, double constraint_db) const {
         return noise_power_db(spec) > constraint_db;
     }
+
+    /// Open an evaluation session bound to `spec` for a hot optimization
+    /// loop. The default implementation re-evaluates from scratch on every
+    /// call; evaluators with incremental state override this.
+    virtual std::unique_ptr<EvalSession> open_session(
+        FixedPointSpec& spec) const;
 };
 
 }  // namespace slpwlo

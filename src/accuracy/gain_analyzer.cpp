@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/double_sim.hpp"
+#include "sim/sim_tape.hpp"
 #include "support/diagnostics.hpp"
 
 namespace slpwlo {
@@ -29,8 +29,11 @@ Response response_of(const std::vector<double>& base,
 }  // namespace
 
 KernelGains analyze_gains(const Kernel& kernel, const GainOptions& options) {
+    // One compiled tape for the whole calibration: the analyzer issues one
+    // perturbed run per injection point, all over the same kernel.
+    const SimTape tape(kernel);
     const Stimulus stimulus = make_stimulus(kernel, options.seed);
-    const DoubleSimResult base = run_double(kernel, stimulus);
+    const DoubleSimResult base = run_double(tape, stimulus);
 
     KernelGains gains;
     gains.op_gains.assign(kernel.ops().size(), NodeGains{});
@@ -66,7 +69,7 @@ KernelGains analyze_gains(const Kernel& kernel, const GainOptions& options) {
                 inj.delta = options.delta;
                 sim_options.injections.push_back(inj);
                 const DoubleSimResult run =
-                    run_double(kernel, stimulus, sim_options);
+                    run_double(tape, stimulus, sim_options);
                 const Response r =
                     response_of(base.outputs, run.outputs, options.delta);
                 slot.a += r.sum_sq;
@@ -104,7 +107,7 @@ KernelGains analyze_gains(const Kernel& kernel, const GainOptions& options) {
             sim_options.array_injections.push_back(
                 DoubleSimOptions::ArrayInjection{id, element, options.delta});
             const DoubleSimResult run =
-                run_double(kernel, stimulus, sim_options);
+                run_double(tape, stimulus, sim_options);
             const Response r =
                 response_of(base.outputs, run.outputs, options.delta);
             sum_a += r.sum_sq;

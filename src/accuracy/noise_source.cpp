@@ -23,91 +23,67 @@ std::vector<NodeRef> compute_var_def_nodes(const Kernel& kernel) {
     return def_nodes;
 }
 
-std::vector<NoiseSource> enumerate_noise_sources(
-    const Kernel& kernel, const FixedPointSpec& spec,
-    const std::vector<NodeRef>& def_nodes) {
-    std::vector<NoiseSource> sources;
-    sources.reserve(kernel.ops().size() + kernel.arrays().size());
-    const QuantMode mode = spec.quant_mode();
+std::vector<NoiseSite> enumerate_noise_sites(
+    const Kernel& kernel, const std::vector<NodeRef>& def_nodes) {
+    std::vector<NoiseSite> sites;
+    sites.reserve(kernel.ops().size() + kernel.arrays().size());
 
-    auto operand_fwl = [&](VarId v) {
+    auto def_node = [&](VarId v) {
         const NodeRef node = def_nodes[v.index()];
         SLPWLO_ASSERT(node.valid(), "operand variable never defined: " +
                                         kernel.var(v).name);
-        return spec.format(node).fwl;
+        return node;
     };
 
-    auto push_op_source = [&](OpId op, const NoiseStats& stats, double dc_sign,
-                              const char* why) {
-        if (stats.mean == 0.0 && stats.variance == 0.0) return;
-        NoiseSource s;
+    auto push = [&](NoiseSite::Kind kind, OpId op, double dc_sign,
+                    const char* why, NodeRef d0, NodeRef d1 = {},
+                    NodeRef d2 = {}) {
+        NoiseSite s;
+        s.site_kind = kind;
         s.op = op;
-        s.stats = stats;
         s.dc_sign = dc_sign;
         s.why = why;
-        sources.push_back(s);
+        s.deps[0] = d0;
+        s.deps[1] = d1;
+        s.deps[2] = d2;
+        sites.push_back(s);
     };
 
     for (const BlockId block : kernel.blocks_in_order()) {
         for (const OpId op_id : kernel.block(block).ops) {
             const Op& op = kernel.op(op_id);
             switch (op.kind) {
-                case OpKind::Const: {
-                    const FixedFormat fmt = spec.result_format(op_id);
-                    const double err =
-                        quantize_value(op.const_value, fmt.fwl, mode) -
-                        op.const_value;
-                    if (err != 0.0) {
-                        push_op_source(op_id, NoiseStats{err, 0.0}, 1.0,
-                                       "const literal");
-                    }
+                case OpKind::Const:
+                    push(NoiseSite::Kind::ConstLiteral, op_id, 1.0,
+                         "const literal", NodeRef::of_var(op.dest));
                     break;
-                }
                 case OpKind::Copy:
-                case OpKind::Neg: {
-                    // The quantization happens at the op's *output* (after
-                    // negation, for Neg), so the DC sign is always +1: the
-                    // measured gains already include downstream propagation.
-                    const int fr = spec.result_format(op_id).fwl;
-                    const int fs = operand_fwl(op.args[0]);
-                    push_op_source(op_id, quantization_stats(fr, fs - fr, mode),
-                                   1.0, "narrowing");
+                case OpKind::Neg:
+                    push(NoiseSite::Kind::Narrowing, op_id, 1.0, "narrowing",
+                         NodeRef::of_var(op.dest), def_node(op.args[0]));
                     break;
-                }
                 case OpKind::Add:
-                case OpKind::Sub: {
-                    const int fr = spec.result_format(op_id).fwl;
-                    const int fa = operand_fwl(op.args[0]);
-                    const int fb = operand_fwl(op.args[1]);
-                    push_op_source(op_id, quantization_stats(fr, fa - fr, mode),
-                                   1.0, "align arg0");
-                    const double sign = op.kind == OpKind::Sub ? -1.0 : 1.0;
-                    push_op_source(op_id, quantization_stats(fr, fb - fr, mode),
-                                   sign, "align arg1");
+                case OpKind::Sub:
+                    push(NoiseSite::Kind::AlignArg0, op_id, 1.0, "align arg0",
+                         NodeRef::of_var(op.dest), def_node(op.args[0]));
+                    push(NoiseSite::Kind::AlignArg1, op_id,
+                         op.kind == OpKind::Sub ? -1.0 : 1.0, "align arg1",
+                         NodeRef::of_var(op.dest), def_node(op.args[1]));
                     break;
-                }
-                case OpKind::Mul: {
-                    const int fr = spec.result_format(op_id).fwl;
-                    const int fa = operand_fwl(op.args[0]);
-                    const int fb = operand_fwl(op.args[1]);
-                    push_op_source(op_id,
-                                   quantization_stats(fr, fa + fb - fr, mode),
-                                   1.0, "mul result");
+                case OpKind::Mul:
+                    push(NoiseSite::Kind::MulResult, op_id, 1.0, "mul result",
+                         NodeRef::of_var(op.dest), def_node(op.args[0]),
+                         def_node(op.args[1]));
                     break;
-                }
-                case OpKind::Div: {
-                    const int fr = spec.result_format(op_id).fwl;
-                    push_op_source(op_id, continuous_quantization_stats(fr, mode),
-                                   1.0, "div result");
+                case OpKind::Div:
+                    push(NoiseSite::Kind::DivResult, op_id, 1.0, "div result",
+                         NodeRef::of_var(op.dest));
                     break;
-                }
-                case OpKind::Store: {
-                    const int fr = spec.array_format(op.array).fwl;
-                    const int fs = operand_fwl(op.args[0]);
-                    push_op_source(op_id, quantization_stats(fr, fs - fr, mode),
-                                   1.0, "store narrowing");
+                case OpKind::Store:
+                    push(NoiseSite::Kind::StoreNarrowing, op_id, 1.0,
+                         "store narrowing", NodeRef::of_array(op.array),
+                         def_node(op.args[0]));
                     break;
-                }
                 case OpKind::Load:
                     break;  // representation-preserving
             }
@@ -117,23 +93,102 @@ std::vector<NoiseSource> enumerate_noise_sources(
     for (size_t a = 0; a < kernel.arrays().size(); ++a) {
         const ArrayDecl& decl = kernel.arrays()[a];
         const ArrayId id(static_cast<int32_t>(a));
-        if (decl.storage == StorageClass::Input) {
-            NoiseSource s;
-            s.array = id;
-            s.stats = continuous_quantization_stats(
-                spec.array_format(id).fwl, mode);
-            s.why = "input quantization";
-            sources.push_back(s);
-        } else if (decl.storage == StorageClass::Param) {
-            NoiseSource s;
-            s.array = id;
-            s.stats = continuous_quantization_stats(
-                spec.array_format(id).fwl, mode);
-            s.why = "coefficient quantization";
-            sources.push_back(s);
+        if (decl.storage != StorageClass::Input &&
+            decl.storage != StorageClass::Param) {
+            continue;
         }
+        NoiseSite s;
+        s.site_kind = NoiseSite::Kind::ArrayQuant;
+        s.array = id;
+        s.why = decl.storage == StorageClass::Input
+                    ? "input quantization"
+                    : "coefficient quantization";
+        s.deps[0] = NodeRef::of_array(id);
+        sites.push_back(s);
     }
 
+    return sites;
+}
+
+NoiseStats compute_site_stats(const NoiseSite& site, const Kernel& kernel,
+                              const FixedPointSpec& spec,
+                              const std::vector<NodeRef>& def_nodes) {
+    const QuantMode mode = spec.quant_mode();
+
+    auto operand_fwl = [&](VarId v) {
+        return spec.format(def_nodes[v.index()]).fwl;
+    };
+
+    switch (site.site_kind) {
+        case NoiseSite::Kind::ConstLiteral: {
+            const Op& op = kernel.op(site.op);
+            const FixedFormat fmt = spec.result_format(site.op);
+            const double err =
+                quantize_value(op.const_value, fmt.fwl, mode) - op.const_value;
+            return NoiseStats{err, 0.0};
+        }
+        case NoiseSite::Kind::Narrowing: {
+            const Op& op = kernel.op(site.op);
+            const int fr = spec.result_format(site.op).fwl;
+            const int fs = operand_fwl(op.args[0]);
+            return quantization_stats(fr, fs - fr, mode);
+        }
+        case NoiseSite::Kind::AlignArg0: {
+            const Op& op = kernel.op(site.op);
+            const int fr = spec.result_format(site.op).fwl;
+            const int fa = operand_fwl(op.args[0]);
+            return quantization_stats(fr, fa - fr, mode);
+        }
+        case NoiseSite::Kind::AlignArg1: {
+            const Op& op = kernel.op(site.op);
+            const int fr = spec.result_format(site.op).fwl;
+            const int fb = operand_fwl(op.args[1]);
+            return quantization_stats(fr, fb - fr, mode);
+        }
+        case NoiseSite::Kind::MulResult: {
+            const Op& op = kernel.op(site.op);
+            const int fr = spec.result_format(site.op).fwl;
+            const int fa = operand_fwl(op.args[0]);
+            const int fb = operand_fwl(op.args[1]);
+            return quantization_stats(fr, fa + fb - fr, mode);
+        }
+        case NoiseSite::Kind::DivResult: {
+            const int fr = spec.result_format(site.op).fwl;
+            return continuous_quantization_stats(fr, mode);
+        }
+        case NoiseSite::Kind::StoreNarrowing: {
+            const Op& op = kernel.op(site.op);
+            const int fr = spec.array_format(kernel.op(site.op).array).fwl;
+            const int fs = operand_fwl(op.args[0]);
+            return quantization_stats(fr, fs - fr, mode);
+        }
+        case NoiseSite::Kind::ArrayQuant:
+            return continuous_quantization_stats(
+                spec.array_format(site.array).fwl, mode);
+    }
+    SLPWLO_ASSERT(false, "unreachable site kind");
+    return NoiseStats{};
+}
+
+std::vector<NoiseSource> enumerate_noise_sources(
+    const Kernel& kernel, const FixedPointSpec& spec,
+    const std::vector<NodeRef>& def_nodes) {
+    const std::vector<NoiseSite> sites =
+        enumerate_noise_sites(kernel, def_nodes);
+    std::vector<NoiseSource> sources;
+    sources.reserve(sites.size());
+    for (const NoiseSite& site : sites) {
+        const NoiseStats stats =
+            compute_site_stats(site, kernel, spec, def_nodes);
+        if (!site_active(site, stats)) continue;
+        NoiseSource s;
+        s.op = site.op;
+        s.array = site.array;
+        s.stats = stats;
+        s.dc_sign = site.dc_sign;
+        s.why = site.why;
+        sources.push_back(s);
+    }
     return sources;
 }
 

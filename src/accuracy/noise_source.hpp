@@ -43,6 +43,55 @@ struct NoiseSource {
 /// Indexed by VarId; invalid NodeRef for never-defined variables.
 std::vector<NodeRef> compute_var_def_nodes(const Kernel& kernel);
 
+/// A noise *site*: the structural identity of a potential noise source,
+/// independent of any spec. Sites are enumerated once per kernel in the
+/// exact order enumerate_noise_sources() emits sources; per-site statistics
+/// are recomputed from a spec on demand (compute_site_stats). Incremental
+/// evaluators cache one contribution per site and refresh only the sites
+/// whose `deps` nodes changed.
+struct NoiseSite {
+    enum class Kind : uint8_t {
+        ConstLiteral,
+        Narrowing,       ///< Copy/Neg output quantization
+        AlignArg0,       ///< Add/Sub first-operand alignment
+        AlignArg1,       ///< Add/Sub second-operand alignment
+        MulResult,
+        DivResult,
+        StoreNarrowing,
+        ArrayQuant,      ///< Input/Param continuous quantization
+    };
+    Kind site_kind = Kind::ConstLiteral;
+    /// Op-attached site (everything but ArrayQuant).
+    OpId op;
+    /// Array-attached site (ArrayQuant only).
+    ArrayId array;
+    /// Sign applied to the DC gain (-1 for the Sub subtrahend alignment).
+    double dc_sign = 1.0;
+    const char* why = "";
+    /// Nodes whose format affects this site's statistics; invalid entries
+    /// unused (at most 3: result + two operand definitions for Mul).
+    NodeRef deps[3];
+};
+
+/// Enumerate the kernel's noise sites, in source-enumeration order.
+/// `def_nodes` must come from compute_var_def_nodes(kernel).
+std::vector<NoiseSite> enumerate_noise_sites(
+    const Kernel& kernel, const std::vector<NodeRef>& def_nodes);
+
+/// Error statistics of one site under `spec` — bit-identical to what
+/// enumerate_noise_sources computes for the corresponding source.
+NoiseStats compute_site_stats(const NoiseSite& site, const Kernel& kernel,
+                              const FixedPointSpec& spec,
+                              const std::vector<NodeRef>& def_nodes);
+
+/// Whether a site contributes to the noise sum. Op sites with exactly-zero
+/// statistics are skipped (matching the enumeration's filter); array sites
+/// always contribute (the enumeration emits them unconditionally).
+inline bool site_active(const NoiseSite& site, const NoiseStats& stats) {
+    if (site.site_kind == NoiseSite::Kind::ArrayQuant) return true;
+    return stats.mean != 0.0 || stats.variance != 0.0;
+}
+
 /// Enumerate all noise sources implied by `spec`.
 /// `def_nodes` must come from compute_var_def_nodes(kernel).
 std::vector<NoiseSource> enumerate_noise_sources(

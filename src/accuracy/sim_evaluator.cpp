@@ -1,14 +1,20 @@
 #include "accuracy/sim_evaluator.hpp"
 
-#include "sim/fixed_sim.hpp"
 #include "support/diagnostics.hpp"
 
 namespace slpwlo {
 
 SimulationEvaluator::SimulationEvaluator(const Kernel& kernel, int runs,
                                          uint64_t seed)
-    : kernel_(&kernel), runs_(runs), seed_(seed) {
+    : kernel_(&kernel), tape_(kernel), runs_(runs) {
     SLPWLO_CHECK(runs >= 1, "SimulationEvaluator requires at least one run");
+    stimuli_.reserve(static_cast<size_t>(runs));
+    ref_outputs_.reserve(static_cast<size_t>(runs));
+    for (int run = 0; run < runs; ++run) {
+        stimuli_.push_back(
+            make_stimulus(kernel, seed + static_cast<uint64_t>(run)));
+        ref_outputs_.push_back(run_double(tape_, stimuli_.back()).outputs);
+    }
 }
 
 double SimulationEvaluator::noise_power(const FixedPointSpec& spec) const {
@@ -16,9 +22,9 @@ double SimulationEvaluator::noise_power(const FixedPointSpec& spec) const {
                   "spec belongs to a different kernel");
     double total = 0.0;
     for (int run = 0; run < runs_; ++run) {
-        const Stimulus stimulus =
-            make_stimulus(*kernel_, seed_ + static_cast<uint64_t>(run));
-        total += measure_noise_power(*kernel_, spec, stimulus);
+        total += measure_noise_power(tape_, spec,
+                                     stimuli_[static_cast<size_t>(run)],
+                                     ref_outputs_[static_cast<size_t>(run)]);
     }
     return total / runs_;
 }

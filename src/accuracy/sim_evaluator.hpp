@@ -5,10 +5,16 @@
 // (the paper's [9]-style alternative). Orders of magnitude slower than the
 // analytical evaluator; used for cross-validation and final verification
 // that an optimized spec really meets its constraint.
+//
+// The stimuli and the spec-independent double reference traces are
+// generated once at construction on a compiled SimTape, so noise_power()
+// costs one fixed-point tape replay per run instead of stimulus generation
+// plus reference + fixed tree-walks.
 #pragma once
 
 #include "accuracy/evaluator.hpp"
 #include "ir/kernel.hpp"
+#include "sim/sim_tape.hpp"
 
 namespace slpwlo {
 
@@ -21,8 +27,11 @@ public:
 
 private:
     const Kernel* kernel_;
+    SimTape tape_;
+    /// Per run: the stimulus and its cached double reference output trace.
+    std::vector<Stimulus> stimuli_;
+    std::vector<std::vector<double>> ref_outputs_;
     int runs_;
-    uint64_t seed_;
 };
 
 }  // namespace slpwlo

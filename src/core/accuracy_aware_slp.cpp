@@ -29,6 +29,11 @@ std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
                                           SlpStats* stats) {
     const double constraint = config.accuracy_db;
 
+    // One incremental session for the whole extraction: the hooks probe
+    // small WL perturbations thousands of times, and the journal-tracking
+    // session re-evaluates each probe in O(changed nodes).
+    const std::unique_ptr<EvalSession> eval = evaluator.open_session(spec);
+
     auto apply_eq1 = [&](const Candidate& c) {
         const std::vector<OpId> lanes = fused_lanes(view, c);
         set_group_max_wl(spec, lanes, static_cast<int>(lanes.size()), target);
@@ -41,7 +46,7 @@ std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
     hooks.candidate_valid = [&](const Candidate& c) {
         const auto cp = spec.checkpoint();
         apply_eq1(c);
-        const bool ok = !evaluator.violates(spec, constraint);
+        const bool ok = !eval->violates(constraint);
         spec.revert(cp);
         return ok;
     };
@@ -51,7 +56,7 @@ std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
             const auto cp = spec.checkpoint();
             apply_eq1(ci);
             apply_eq1(cj);
-            const bool violates = evaluator.violates(spec, constraint);
+            const bool violates = eval->violates(constraint);
             spec.revert(cp);
             return violates;
         };
@@ -61,8 +66,7 @@ std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
     hooks.try_select = [&](const Candidate& c) {
         const auto cp = spec.checkpoint();
         apply_eq1(c);
-        if (config.strict_feasibility &&
-            evaluator.violates(spec, constraint)) {
+        if (config.strict_feasibility && eval->violates(constraint)) {
             spec.revert(cp);
             return false;
         }
@@ -125,8 +129,7 @@ std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
         for (const Candidate& c : survivors) {
             const auto cp = spec.checkpoint();
             apply_eq1(c);
-            if (config.strict_feasibility &&
-                evaluator.violates(spec, constraint)) {
+            if (config.strict_feasibility && eval->violates(constraint)) {
                 spec.revert(cp);
                 continue;
             }

@@ -68,8 +68,7 @@ namespace {
 /// `nodes[e]` is the format node whose FWL shrinks by (max - amounts[e]).
 void equalize(const std::vector<NodeRef>& nodes,
               const std::vector<int>& amounts, FixedPointSpec& spec,
-              const AccuracyEvaluator& evaluator, double accuracy_db,
-              ScalingStats& stats) {
+              EvalSession& eval, double accuracy_db, ScalingStats& stats) {
     // Distinct-node requirement: per-lane reductions differ, so lanes
     // sharing one format node (e.g. one array) cannot be adjusted.
     std::set<std::pair<int, int32_t>> distinct;
@@ -88,7 +87,7 @@ void equalize(const std::vector<NodeRef>& nodes,
                             spec.format(nodes[e]).with_fwl_reduced_by(reduction));
         }
     }
-    if (evaluator.violates(spec, accuracy_db)) {
+    if (eval.violates(accuracy_db)) {
         spec.revert(cp);
         stats.reverted++;
     } else {
@@ -105,6 +104,11 @@ ScalingStats optimize_scalings(const PackedView& view,
                                const AccuracyEvaluator& evaluator,
                                double accuracy_db) {
     ScalingStats stats;
+
+    // One incremental session for all equalization probes: each probe
+    // changes a handful of lane nodes, so the journal-tracking session
+    // re-evaluates in O(lanes) instead of O(#ops).
+    const std::unique_ptr<EvalSession> eval = evaluator.open_session(spec);
 
     // A multiply group's own result quantization (full product width down
     // to the result format) is a per-lane scaling too: unequal amounts
@@ -139,7 +143,7 @@ ScalingStats optimize_scalings(const PackedView& view,
             stats.skipped_negative++;
             continue;
         }
-        equalize(nodes, amounts, spec, evaluator, accuracy_db, stats);
+        equalize(nodes, amounts, spec, *eval, accuracy_db, stats);
     }
 
     for (const SuperwordReuse& reuse : find_superword_reuses(view, groups)) {
@@ -167,7 +171,7 @@ ScalingStats optimize_scalings(const PackedView& view,
         for (const OpId lane : g1.lanes) {
             nodes.push_back(spec.node_of(lane));
         }
-        equalize(nodes, amounts, spec, evaluator, accuracy_db, stats);
+        equalize(nodes, amounts, spec, *eval, accuracy_db, stats);
     }
     return stats;
 }

@@ -1,7 +1,6 @@
 #include "core/tabu_wlo.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "support/diagnostics.hpp"
 
@@ -16,7 +15,14 @@ TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
     for (const NodeRef node : spec.nodes()) {
         spec.set_wl(node, target.max_wl());
     }
-    SLPWLO_CHECK(!evaluator.violates(spec, accuracy_db),
+
+    // Sessions make the candidate evaluation incremental: each single-node
+    // move recomputes only the noise sites / cost terms that read the moved
+    // node, returning exactly the doubles a full re-evaluation would.
+    const std::unique_ptr<EvalSession> eval = evaluator.open_session(spec);
+    const std::unique_ptr<WlCostSession> costs = cost_model.open_session(spec);
+
+    SLPWLO_CHECK(!eval->violates(accuracy_db),
                  "accuracy constraint " + std::to_string(accuracy_db) +
                      " dB is infeasible even at maximum word lengths");
 
@@ -24,11 +30,16 @@ TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
     std::sort(wls.begin(), wls.end());  // ascending
 
     const auto& nodes = spec.nodes();
-    auto wl_index = [&wls](int wl) {
-        for (size_t i = 0; i < wls.size(); ++i) {
-            if (wls[i] == wl) return static_cast<int>(i);
-        }
-        return static_cast<int>(wls.size()) - 1;
+
+    // O(1) WL-value -> menu-index lookup (WLs are small positive ints).
+    std::vector<int> wl_lut(static_cast<size_t>(wls.back()) + 1,
+                            static_cast<int>(wls.size()) - 1);
+    for (size_t i = 0; i < wls.size(); ++i) {
+        wl_lut[static_cast<size_t>(wls[i])] = static_cast<int>(i);
+    }
+    auto wl_index = [&](int wl) {
+        if (wl < 0 || wl > wls.back()) return static_cast<int>(wls.size()) - 1;
+        return wl_lut[static_cast<size_t>(wl)];
     };
 
     auto objective = [&](bool feasible, double cost, double noise_db) {
@@ -39,7 +50,7 @@ TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
     };
 
     TabuStats stats;
-    stats.initial_cost = cost_model.cost(spec);
+    stats.initial_cost = costs->cost();
     stats.best_cost = stats.initial_cost;
     stats.feasible = true;
 
@@ -52,9 +63,9 @@ TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
     };
     snapshot();
 
-    // tabu[(node, wl)] = iteration until which moving `node` to `wl` is
-    // forbidden (prevents immediate reversals).
-    std::map<std::pair<size_t, int>, int> tabu;
+    // tabu[node * #wls + wl_index] = iteration until which moving `node` to
+    // that WL is forbidden (prevents immediate reversals). -1 = never.
+    std::vector<int> tabu(nodes.size() * wls.size(), -1);
 
     int stagnation = 0;
     for (int iter = 0; iter < options.max_iterations; ++iter) {
@@ -77,16 +88,23 @@ TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
                 if (ni < 0 || ni >= static_cast<int>(wls.size())) continue;
                 const int candidate_wl = wls[static_cast<size_t>(ni)];
 
+                // One probe window shared by both sessions: the restore
+                // below puts their cached terms back by copy instead of a
+                // second refresh pass (see EvalSession::begin_move).
+                eval->begin_move(nodes[i]);
+                costs->begin_move(nodes[i]);
                 spec.set_wl(nodes[i], candidate_wl);
-                const double noise_db = evaluator.noise_power_db(spec);
+                const double noise_db = eval->noise_power_db();
                 const bool feasible = noise_db <= accuracy_db;
-                const double cost = cost_model.cost(spec);
+                const double cost = costs->cost();
                 spec.set_wl(nodes[i], current);
+                eval->end_move();
+                costs->end_move();
 
                 const double score = objective(feasible, cost, noise_db);
-                const auto tabu_it = tabu.find({i, candidate_wl});
-                const bool is_tabu =
-                    tabu_it != tabu.end() && tabu_it->second > iter;
+                const int until =
+                    tabu[i * wls.size() + static_cast<size_t>(ni)];
+                const bool is_tabu = until > iter;
                 // Aspiration: a tabu move that beats the global best is
                 // always admissible.
                 if (is_tabu && !(feasible && cost < stats.best_cost)) {
@@ -101,7 +119,8 @@ TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
 
         const int old_wl = spec.format(nodes[best_move->node_index]).wl();
         spec.set_wl(nodes[best_move->node_index], best_move->wl);
-        tabu[{best_move->node_index, old_wl}] = iter + options.tenure;
+        tabu[best_move->node_index * wls.size() +
+             static_cast<size_t>(wl_index(old_wl))] = iter + options.tenure;
 
         if (best_move->feasible && best_move->cost < stats.best_cost) {
             stats.best_cost = best_move->cost;
@@ -118,7 +137,7 @@ TabuStats run_tabu_wlo(FixedPointSpec& spec, const AccuracyEvaluator& evaluator,
     for (size_t i = 0; i < nodes.size(); ++i) {
         spec.set_format(nodes[i], best_formats[i]);
     }
-    stats.feasible = !evaluator.violates(spec, accuracy_db);
+    stats.feasible = !eval->violates(accuracy_db);
     return stats;
 }
 

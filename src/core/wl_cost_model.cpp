@@ -1,15 +1,30 @@
 #include "core/wl_cost_model.hpp"
 
+#include "support/diagnostics.hpp"
+
 namespace slpwlo {
 
+namespace {
+
+size_t node_slot(const Kernel& kernel, NodeRef node) {
+    const size_t id = static_cast<size_t>(node.id);
+    return node.kind == NodeRef::Kind::Var ? id : kernel.vars().size() + id;
+}
+
+}  // namespace
+
 WlCostModel::WlCostModel(const Kernel& kernel, const TargetModel& target)
-    : target_(target) {
+    : target_(target), kernel_(&kernel) {
+    FixedPointSpec probe(kernel);  // reuse node_of resolution
+    node_ops_.resize(kernel.vars().size() + kernel.arrays().size());
     for (const BlockId block : kernel.blocks_in_order()) {
         const double weight =
             static_cast<double>(kernel.block_frequency(block));
         for (const OpId op_id : kernel.block(block).ops) {
             const OpKind kind = kernel.op(op_id).kind;
             if (kind == OpKind::Const || kind == OpKind::Copy) continue;
+            node_ops_[node_slot(kernel, probe.node_of(op_id))].push_back(
+                static_cast<uint32_t>(ops_.size()));
             ops_.push_back(WeightedOp{op_id, kind, weight});
             max_cost_ +=
                 weight * target.relative_op_cost(kind, target.max_wl());
@@ -24,6 +39,62 @@ double WlCostModel::cost(const FixedPointSpec& spec) const {
         total += wo.weight * target_.relative_op_cost(wo.kind, wl);
     }
     return total;
+}
+
+WlCostSession::WlCostSession(const WlCostModel& model, FixedPointSpec& spec)
+    : model_(&model), spec_(&spec) {
+    terms_.resize(model_->ops_.size());
+    for (size_t i = 0; i < terms_.size(); ++i) refresh(i);
+    cursor_ = spec_->journal_size();
+}
+
+void WlCostSession::refresh(size_t i) {
+    const WlCostModel::WeightedOp& wo = model_->ops_[i];
+    const int wl = spec_->result_format(wo.op).wl();
+    terms_[i] = wo.weight * model_->target_.relative_op_cost(wo.kind, wl);
+}
+
+void WlCostSession::sync() {
+    while (cursor_ < spec_->journal_size()) {
+        const NodeRef node = spec_->journal_entry(cursor_++);
+        for (const uint32_t i : model_->node_ops_[node_slot(
+                 *model_->kernel_, node)]) {
+            refresh(i);
+        }
+    }
+}
+
+double WlCostSession::cost() {
+    sync();
+    double total = 0.0;
+    for (const double term : terms_) total += term;
+    return total;
+}
+
+void WlCostSession::begin_move(NodeRef node) {
+    sync();  // snapshot from a cache that is current
+    move_ops_ = &model_->node_ops_[node_slot(*model_->kernel_, node)];
+    saved_terms_.clear();
+    for (const uint32_t i : *move_ops_) saved_terms_.push_back(terms_[i]);
+}
+
+void WlCostSession::end_move() {
+    SLPWLO_ASSERT(move_ops_ != nullptr, "end_move without begin_move");
+    for (size_t k = 0; k < move_ops_->size(); ++k) {
+        terms_[(*move_ops_)[k]] = saved_terms_[k];
+    }
+    cursor_ = spec_->journal_size();
+    move_ops_ = nullptr;
+}
+
+double WlCostSession::preview_move(NodeRef node, int wl) {
+    begin_move(node);
+    const FixedFormat saved = spec_->format(node);
+    spec_->set_wl(node, wl);
+    const double c = cost();
+    spec_->set_format(node, saved);
+    end_move();
+    return c;
 }
 
 }  // namespace slpwlo

@@ -12,18 +12,30 @@
 // Format (versioned, fingerprint-keyed, line-oriented):
 //
 //   # slpwlo evalcache snapshot
-//   snapshot_version = 1
+//   snapshot_version = 2
 //   entries = 2
 //   entry = <key:16 hex> <scalar cycles> <simd cycles> <noise bits:16 hex>
 //   entry = ...
+//   stage_entries = 1
+//   stage_entry = <key:16 hex> <flattened StageEntry, counted fields>
 //
-// The noise double is stored as its raw IEEE-754 bits, so save -> load is
+// Version 2 adds the stage-memo table (optimization-stage results keyed
+// by stage_memo_key, so warm sweeps skip Tabu/SLP); each stage_entry line
+// flattens one StageEntry as space-separated tokens with explicit counts:
+//
+//   <quant mode> <#formats> {<iwl> <fwl>}* <#blocks> {<block> <#groups>
+//   {<#lanes> {<lane>}*}*}* <8 slp ints> <6 scaling ints>
+//   <tabu iters> <tabu improvements> <initial cost bits:16 hex>
+//   <best cost bits:16 hex> <feasible> <group count>
+//
+// Doubles are stored as their raw IEEE-754 bits, so save -> load is
 // bit-exact (including the -inf noise of an exact spec) and a round-trip
 // preserves snapshot_fingerprint identically. Entries are sorted by key:
 // a snapshot's bytes are a pure function of the cache contents.
 //
 // Versioning policy mirrors the manifest: readers reject versions they do
-// not know; any incompatible change bumps `snapshot_version`.
+// not know (this reader knows 1 and 2; a version-1 file simply has no
+// stage lines); any incompatible change bumps `snapshot_version`.
 #pragma once
 
 #include <string>
@@ -34,9 +46,12 @@
 namespace slpwlo::dist {
 
 struct CacheSnapshot {
-    int version = 1;
+    int version = 2;
     /// Entries sorted by key, each key unique.
     std::vector<std::pair<uint64_t, EvalCache::Entry>> entries;
+    /// Stage-memo entries sorted by key, each key unique (empty when the
+    /// snapshot was written by a version-1 producer).
+    std::vector<std::pair<uint64_t, EvalCache::StageEntry>> stage_entries;
 };
 
 /// Capture a cache's current contents (sorted by key).

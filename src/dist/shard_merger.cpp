@@ -14,7 +14,7 @@ namespace slpwlo::dist {
 std::string shard_results_text(const ShardResultsFile& results) {
     std::ostringstream os;
     os << "# slpwlo shard results\n"
-       << "results_version = 2\n"
+       << "results_version = 3\n"
        << "shard_index = " << results.shard_index << "\n"
        << "shard_count = " << results.shard_count << "\n"
        << "total_slots = " << results.total_slots << "\n"
@@ -22,6 +22,9 @@ std::string shard_results_text(const ShardResultsFile& results) {
        << "eval_hits = " << results.eval_hits << "\n"
        << "eval_misses = " << results.eval_misses << "\n"
        << "eval_entries = " << results.eval_entries << "\n"
+       << "stage_hits = " << results.stage_hits << "\n"
+       << "stage_misses = " << results.stage_misses << "\n"
+       << "stage_entries = " << results.stage_entries << "\n"
        << "rows = " << results.rows.size() << "\n";
     for (const ShardRow& row : results.rows) {
         SLPWLO_CHECK(row.json.find('\n') == std::string::npos,
@@ -95,9 +98,9 @@ ShardResultsFile parse_shard_results(const std::string& text,
         } else if (line.key == "results_version") {
             results.version =
                 kv::to_int(source, line.line, line.key, line.value);
-            if (results.version != 2) {
+            if (results.version != 2 && results.version != 3) {
                 reader.fail_here("unsupported results_version " + line.value +
-                                 " (this reader knows 2)");
+                                 " (this reader knows 2 and 3)");
             }
             saw_version = true;
         } else if (line.key == "shard_index") {
@@ -120,6 +123,15 @@ ShardResultsFile parse_shard_results(const std::string& text,
                 kv::to_ll(source, line.line, line.key, line.value));
         } else if (line.key == "eval_entries") {
             results.eval_entries = static_cast<size_t>(
+                kv::to_ll(source, line.line, line.key, line.value));
+        } else if (line.key == "stage_hits") {
+            results.stage_hits = static_cast<size_t>(
+                kv::to_ll(source, line.line, line.key, line.value));
+        } else if (line.key == "stage_misses") {
+            results.stage_misses = static_cast<size_t>(
+                kv::to_ll(source, line.line, line.key, line.value));
+        } else if (line.key == "stage_entries") {
+            results.stage_entries = static_cast<size_t>(
                 kv::to_ll(source, line.line, line.key, line.value));
         } else if (line.key == "rows") {
             declared = kv::to_ll(source, line.line, line.key, line.value);

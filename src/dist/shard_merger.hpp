@@ -8,7 +8,7 @@
 // point's content fingerprint:
 //
 //   # slpwlo shard results
-//   results_version = 2
+//   results_version = 3
 //   shard_index = 0
 //   shard_count = 4
 //   total_slots = 24
@@ -16,13 +16,18 @@
 //   eval_hits = 12
 //   eval_misses = 6
 //   eval_entries = 6
+//   stage_hits = 0
+//   stage_misses = 6
+//   stage_entries = 6
 //   rows = 6
 //   row = <slot> <point fingerprint:16 hex> <micros> <JSON object>
 //
 // (results_version 2 added the measured per-slot wall-clock microseconds;
 // the column is for future cost models and is deliberately excluded from
 // row identity, fingerprints and merged report bytes — it is the one
-// nondeterministic field in an otherwise bit-reproducible pipeline.)
+// nondeterministic field in an otherwise bit-reproducible pipeline.
+// results_version 3 added the stage-memo counters; a version-2 file reads
+// fine with all stage counters zero.)
 //
 // merge_shard_results() reassembles the rows in slot order and produces
 // output byte-identical to sweep_to_json over the unsharded grid. The
@@ -60,7 +65,7 @@ struct ShardRow {
 };
 
 struct ShardResultsFile {
-    int version = 2;
+    int version = 3;
     int shard_index = 0;
     int shard_count = 1;
     size_t total_slots = 0;
@@ -68,6 +73,9 @@ struct ShardResultsFile {
     size_t eval_hits = 0;
     size_t eval_misses = 0;
     size_t eval_entries = 0;
+    size_t stage_hits = 0;
+    size_t stage_misses = 0;
+    size_t stage_entries = 0;
     std::vector<ShardRow> rows;
 };
 

@@ -106,6 +106,9 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
     out.results.eval_hits = out.stats.eval_hits;
     out.results.eval_misses = out.stats.eval_misses;
     out.results.eval_entries = out.stats.eval_entries;
+    out.results.stage_hits = out.stats.stage_hits;
+    out.results.stage_misses = out.stats.stage_misses;
+    out.results.stage_entries = out.stats.stage_entries;
     out.snapshot = snapshot_cache(service.driver().eval_cache());
     return out;
 }

@@ -47,11 +47,12 @@ const FixedFormat& FixedPointSpec::array_format(ArrayId a) const {
 
 void FixedPointSpec::set_format(NodeRef node, const FixedFormat& fmt) {
     SLPWLO_ASSERT(node.valid(), "invalid node");
-    if (node.kind == NodeRef::Kind::Var) {
-        var_formats_.at(static_cast<size_t>(node.id)) = fmt;
-    } else {
-        array_formats_.at(static_cast<size_t>(node.id)) = fmt;
-    }
+    FixedFormat& slot = node.kind == NodeRef::Kind::Var
+                            ? var_formats_.at(static_cast<size_t>(node.id))
+                            : array_formats_.at(static_cast<size_t>(node.id));
+    if (slot.iwl == fmt.iwl && slot.fwl == fmt.fwl) return;
+    slot = fmt;
+    journal_.push_back(node);
 }
 
 NodeRef FixedPointSpec::node_of(OpId op_id) const {
@@ -84,6 +85,22 @@ FixedPointSpec::Checkpoint FixedPointSpec::checkpoint() {
 
 void FixedPointSpec::revert(Checkpoint cp) {
     SLPWLO_ASSERT(cp == stack_.size(), "checkpoints must unwind in LIFO order");
+    const Snapshot& snap = stack_.back();
+    // Journal every node the restore actually changes, so incremental
+    // evaluators see reverted moves the same way they see applied ones.
+    for (size_t v = 0; v < var_formats_.size(); ++v) {
+        if (var_formats_[v].iwl != snap.var_formats[v].iwl ||
+            var_formats_[v].fwl != snap.var_formats[v].fwl) {
+            journal_.push_back(NodeRef::of_var(VarId(static_cast<int32_t>(v))));
+        }
+    }
+    for (size_t a = 0; a < array_formats_.size(); ++a) {
+        if (array_formats_[a].iwl != snap.array_formats[a].iwl ||
+            array_formats_[a].fwl != snap.array_formats[a].fwl) {
+            journal_.push_back(
+                NodeRef::of_array(ArrayId(static_cast<int32_t>(a))));
+        }
+    }
     var_formats_ = std::move(stack_.back().var_formats);
     array_formats_ = std::move(stack_.back().array_formats);
     stack_.pop_back();

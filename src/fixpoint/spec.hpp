@@ -75,6 +75,15 @@ public:
     /// arrays), in a deterministic order.
     const std::vector<NodeRef>& nodes() const { return nodes_; }
 
+    // --- change journal --------------------------------------------------------
+    // Append-only log of nodes whose format actually changed (including
+    // changes undone by revert, which re-appends the affected nodes).
+    // Incremental evaluators keep a cursor into the journal and refresh the
+    // cached contribution of every node logged since their last sync; a
+    // node may appear multiple times, which is safe (refresh is idempotent).
+    size_t journal_size() const { return journal_.size(); }
+    NodeRef journal_entry(size_t i) const { return journal_[i]; }
+
     // --- checkpoints -----------------------------------------------------------
     /// Opaque checkpoint token; revert/commit must be called in LIFO order.
     using Checkpoint = size_t;
@@ -97,6 +106,7 @@ private:
     std::vector<FixedFormat> array_formats_;
     std::vector<NodeRef> nodes_;
     std::vector<Snapshot> stack_;
+    std::vector<NodeRef> journal_;
     QuantMode quant_mode_ = QuantMode::Truncate;
 };
 

@@ -66,6 +66,30 @@ public:
         bool operator!=(const Entry& other) const { return !(*this == other); }
     };
 
+    /// Memoized result of a flow's *optimization* stages — IWL
+    /// determination, WLO, SLP extraction, scaling optimization — keyed by
+    /// stage_memo_key (kernel fp, target fp, flow name, accuracy
+    /// constraint, every optimization tunable). A hit restores the final
+    /// spec, the selected groups and the stage statistics, so a warm sweep
+    /// skips Tabu/SLP entirely and its report bytes are identical to the
+    /// cold run's.
+    struct StageEntry {
+        QuantMode quant_mode = QuantMode::Truncate;
+        /// Node formats in spec.nodes() order.
+        std::vector<FixedFormat> formats;
+        std::vector<BlockGroups> groups;
+        SlpStats slp_stats;
+        ScalingStats scaling_stats;
+        TabuStats tabu_stats;
+        int group_count = 0;
+
+        /// Bit-exact comparison (doubles compared by representation).
+        bool operator==(const StageEntry& other) const;
+        bool operator!=(const StageEntry& other) const {
+            return !(*this == other);
+        }
+    };
+
     std::optional<Entry> lookup(uint64_t key) const;
     /// Residency check that does NOT count as cache traffic (lookup()
     /// bumps the hit/miss counters; snapshot preloading must not).
@@ -90,17 +114,33 @@ public:
     /// independent of hashing and insertion history), for snapshots.
     std::vector<std::pair<uint64_t, Entry>> export_entries() const;
 
+    // --- stage memo table -------------------------------------------------------
+    // A second table with the same semantics (thread-safe, first store
+    // wins, FIFO eviction under the shared capacity bound, counter-neutral
+    // contains) holding StageEntry values.
+    std::optional<StageEntry> lookup_stage(uint64_t key) const;
+    bool contains_stage(uint64_t key) const;
+    void store_stage(uint64_t key, const StageEntry& entry);
+    size_t stage_hits() const;
+    size_t stage_misses() const;
+    size_t stage_size() const;
+    std::vector<std::pair<uint64_t, StageEntry>> export_stage_entries() const;
+
 private:
     void evict_to_capacity_locked();
 
     mutable std::mutex mutex_;
     std::unordered_map<uint64_t, Entry> entries_;
-    /// Resident keys in insertion order (the FIFO eviction queue).
+    std::unordered_map<uint64_t, StageEntry> stage_entries_;
+    /// Resident keys in insertion order (the FIFO eviction queues).
     std::deque<uint64_t> insertion_order_;
+    std::deque<uint64_t> stage_insertion_order_;
     size_t capacity_ = 0;
     size_t evictions_ = 0;
     mutable size_t hits_ = 0;
     mutable size_t misses_ = 0;
+    mutable size_t stage_hits_ = 0;
+    mutable size_t stage_misses_ = 0;
 };
 
 /// Content hash of everything the evaluation stage depends on: the full
@@ -113,6 +153,18 @@ private:
 uint64_t evaluation_key(const KernelContext& context,
                         const TargetModel& target, const FlowResult& result,
                         bool float_variant = false);
+
+/// Content hash of everything the optimization stages depend on: the
+/// kernel fingerprint, the target model's content fingerprint, the flow
+/// name (different pipelines produce different specs from identical
+/// inputs), the accuracy constraint, the quantization mode, and every
+/// WLO/SLP/Tabu tunable. The nested accuracy_db fields of
+/// wlo_slp/wlo_first are deliberately excluded — the passes overwrite
+/// them with options.accuracy_db.
+uint64_t stage_memo_key(const KernelContext& context,
+                        const TargetModel& target,
+                        const std::string& flow_name,
+                        const FlowOptions& options);
 
 /// FNV-1a hash over every semantic field of a target model — the name is
 /// deliberately excluded, so two models that evaluate identically share
@@ -151,6 +203,11 @@ struct PassContext {
     std::optional<EvalCache::Entry> cached_eval;
     /// True when the pipeline evaluates the float reference.
     bool float_variant = false;
+    /// Stage memo key (computed by FlowPipeline::run when a cache is
+    /// present) and whether the optimization stages were restored from it
+    /// (in which case the pipeline skips them).
+    std::optional<uint64_t> stage_key;
+    bool stage_restored = false;
 };
 
 class Pass {

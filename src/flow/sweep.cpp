@@ -165,6 +165,9 @@ SweepCacheStats SweepDriver::cache_stats() const {
     stats.eval_hits = eval_cache_.hits();
     stats.eval_misses = eval_cache_.misses();
     stats.eval_entries = eval_cache_.size();
+    stats.stage_hits = eval_cache_.stage_hits();
+    stats.stage_misses = eval_cache_.stage_misses();
+    stats.stage_entries = eval_cache_.stage_size();
     {
         std::lock_guard<std::mutex> lock(contexts_mutex_);
         stats.contexts = contexts_.size();
@@ -247,6 +250,9 @@ std::string cache_stats_to_json(const SweepCacheStats& stats) {
     std::ostringstream os;
     os << "{\"hits\":" << stats.eval_hits << ",\"misses\":" << stats.eval_misses
        << ",\"entries\":" << stats.eval_entries
+       << ",\"stage_hits\":" << stats.stage_hits
+       << ",\"stage_misses\":" << stats.stage_misses
+       << ",\"stage_entries\":" << stats.stage_entries
        << ",\"contexts\":" << stats.contexts << "}";
     return os.str();
 }

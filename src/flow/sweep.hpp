@@ -85,6 +85,10 @@ struct SweepCacheStats {
     size_t eval_hits = 0;
     size_t eval_misses = 0;
     size_t eval_entries = 0;
+    /// Stage-memo table counters (warm sweeps skip Tabu/SLP on stage hits).
+    size_t stage_hits = 0;
+    size_t stage_misses = 0;
+    size_t stage_entries = 0;
     size_t contexts = 0;
 };
 
@@ -170,7 +174,8 @@ std::string sweep_result_to_json(const SweepResult& result);
 std::string sweep_to_json(const std::vector<SweepResult>& results);
 
 /// EvalCache counters as a JSON object:
-/// {"hits":..,"misses":..,"entries":..,"contexts":..}.
+/// {"hits":..,"misses":..,"entries":..,"stage_hits":..,"stage_misses":..,
+///  "stage_entries":..,"contexts":..}.
 std::string cache_stats_to_json(const SweepCacheStats& stats);
 
 /// Full sweep report: {"results":[...],"eval_cache":{...}} — the results

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/sim_tape.hpp"
 #include "sim/walker.hpp"
 #include "support/diagnostics.hpp"
 
@@ -24,6 +25,12 @@ Stimulus make_stimulus(const Kernel& kernel, uint64_t seed) {
 
 DoubleSimResult run_double(const Kernel& kernel, const Stimulus& stimulus,
                            const DoubleSimOptions& options) {
+    return run_double(SimTape(kernel), stimulus, options);
+}
+
+DoubleSimResult run_double_walker(const Kernel& kernel,
+                                  const Stimulus& stimulus,
+                                  const DoubleSimOptions& options) {
     // Memory image.
     std::vector<std::vector<double>> mem(kernel.arrays().size());
     for (size_t a = 0; a < kernel.arrays().size(); ++a) {

@@ -56,7 +56,16 @@ struct DoubleSimResult {
     std::vector<Interval> array_ranges;
 };
 
+/// Reference simulation. Compiles the kernel to a SimTape and replays it;
+/// callers with many runs over one kernel should compile the tape once and
+/// use the run_double(SimTape, ...) overload (sim/sim_tape.hpp).
 DoubleSimResult run_double(const Kernel& kernel, const Stimulus& stimulus,
                            const DoubleSimOptions& options = {});
+
+/// The original recursive-walker implementation, kept as a differential
+/// reference for the tape replay (tests, bench/perf_hotpaths).
+DoubleSimResult run_double_walker(const Kernel& kernel,
+                                  const Stimulus& stimulus,
+                                  const DoubleSimOptions& options = {});
 
 }  // namespace slpwlo

@@ -1,5 +1,6 @@
 #include "sim/fixed_sim.hpp"
 
+#include "sim/sim_tape.hpp"
 #include "sim/walker.hpp"
 #include "support/diagnostics.hpp"
 
@@ -7,6 +8,12 @@ namespace slpwlo {
 
 FixedSimResult run_fixed(const Kernel& kernel, const FixedPointSpec& spec,
                          const Stimulus& stimulus) {
+    return run_fixed(SimTape(kernel), spec, stimulus);
+}
+
+FixedSimResult run_fixed_walker(const Kernel& kernel,
+                                const FixedPointSpec& spec,
+                                const Stimulus& stimulus) {
     const QuantMode mode = spec.quant_mode();
     FixedSimResult result;
 
@@ -106,17 +113,9 @@ FixedSimResult run_fixed(const Kernel& kernel, const FixedPointSpec& spec,
 
 double measure_noise_power(const Kernel& kernel, const FixedPointSpec& spec,
                            const Stimulus& stimulus) {
-    const DoubleSimResult ref = run_double(kernel, stimulus);
-    const FixedSimResult fix = run_fixed(kernel, spec, stimulus);
-    SLPWLO_ASSERT(ref.outputs.size() == fix.outputs.size(),
-                  "reference and fixed-point output traces differ in length");
-    if (ref.outputs.empty()) return 0.0;
-    double sum = 0.0;
-    for (size_t i = 0; i < ref.outputs.size(); ++i) {
-        const double e = fix.outputs[i] - ref.outputs[i];
-        sum += e * e;
-    }
-    return sum / static_cast<double>(ref.outputs.size());
+    const SimTape tape(kernel);
+    const DoubleSimResult ref = run_double(tape, stimulus);
+    return measure_noise_power(tape, spec, stimulus, ref.outputs);
 }
 
 }  // namespace slpwlo

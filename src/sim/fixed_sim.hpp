@@ -24,8 +24,17 @@ struct FixedSimResult {
     long long overflow_count = 0;
 };
 
+/// Fixed-point simulation. Compiles the kernel to a SimTape and replays it;
+/// callers with many runs over one kernel should compile the tape once and
+/// use the run_fixed(SimTape, ...) overload (sim/sim_tape.hpp).
 FixedSimResult run_fixed(const Kernel& kernel, const FixedPointSpec& spec,
                          const Stimulus& stimulus);
+
+/// The original recursive-walker implementation, kept as a differential
+/// reference for the tape replay (tests, bench/perf_hotpaths).
+FixedSimResult run_fixed_walker(const Kernel& kernel,
+                                const FixedPointSpec& spec,
+                                const Stimulus& stimulus);
 
 /// Mean squared error between the fixed-point outputs and the double
 /// reference outputs for the same stimulus — the measured noise power.

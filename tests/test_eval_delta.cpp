@@ -1,0 +1,210 @@
+// Incremental (delta) evaluation vs full recompute: the sessions'
+// contract is strict bit-identity, so every comparison here is on the
+// raw IEEE-754 bits, never within a tolerance.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accuracy/analytic_evaluator.hpp"
+#include "core/wl_cost_model.hpp"
+#include "support/rng.hpp"
+#include "target/target_model.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+using ::slpwlo::testing::cached_evaluator;
+using ::slpwlo::testing::initial_spec;
+using ::slpwlo::testing::set_uniform_wl;
+using ::slpwlo::testing::small_conv;
+using ::slpwlo::testing::small_fir;
+using ::slpwlo::testing::small_iir;
+
+uint64_t bits_of(double v) {
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+const std::vector<const Kernel*>& test_kernels() {
+    static const std::vector<const Kernel*> kernels = {
+        &small_fir(), &small_iir(), &small_conv()};
+    return kernels;
+}
+
+constexpr int kWlMenu[] = {8, 10, 12, 16, 20, 24, 32};
+
+/// A random node/WL move drawn from the menu.
+struct RandomMoves {
+    explicit RandomMoves(const FixedPointSpec& spec, uint64_t seed)
+        : nodes_(spec.nodes()), rng_(seed, "test/eval-delta") {}
+
+    NodeRef node() {
+        return nodes_[static_cast<size_t>(
+            rng_.uniform_int(0, static_cast<int>(nodes_.size()) - 1))];
+    }
+    int wl() {
+        return kWlMenu[static_cast<size_t>(
+            rng_.uniform_int(0, static_cast<int>(std::size(kWlMenu)) - 1))];
+    }
+
+    std::vector<NodeRef> nodes_;
+    Rng rng_;
+};
+
+TEST(EvalDelta, SessionTracksRandomCommittedMovesBitExactly) {
+    for (const Kernel* kernel : test_kernels()) {
+        const AnalyticEvaluator& evaluator = cached_evaluator(*kernel);
+        FixedPointSpec spec = initial_spec(*kernel);
+        set_uniform_wl(spec, 32);
+
+        const auto session = evaluator.open_session(spec);
+        RandomMoves moves(spec, 0xDE17A);
+        for (int i = 0; i < 200; ++i) {
+            spec.set_wl(moves.node(), moves.wl());
+            ASSERT_EQ(bits_of(session->noise_power()),
+                      bits_of(evaluator.noise_power(spec)))
+                << kernel->name() << " move " << i;
+        }
+    }
+}
+
+TEST(EvalDelta, CostSessionTracksRandomCommittedMovesBitExactly) {
+    const TargetModel target = targets::xentium();
+    for (const Kernel* kernel : test_kernels()) {
+        const WlCostModel model(*kernel, target);
+        FixedPointSpec spec = initial_spec(*kernel);
+        set_uniform_wl(spec, 32);
+
+        const auto session = model.open_session(spec);
+        RandomMoves moves(spec, 0xC057);
+        for (int i = 0; i < 200; ++i) {
+            spec.set_wl(moves.node(), moves.wl());
+            ASSERT_EQ(bits_of(session->cost()), bits_of(model.cost(spec)))
+                << kernel->name() << " move " << i;
+        }
+    }
+}
+
+TEST(EvalDelta, PreviewMoveIsExactAndLeavesSpecUnchanged) {
+    const TargetModel target = targets::xentium();
+    for (const Kernel* kernel : test_kernels()) {
+        const AnalyticEvaluator& evaluator = cached_evaluator(*kernel);
+        const WlCostModel model(*kernel, target);
+        FixedPointSpec spec = initial_spec(*kernel);
+        set_uniform_wl(spec, 24);
+
+        const auto eval = evaluator.open_session(spec);
+        const auto costs = model.open_session(spec);
+        RandomMoves moves(spec, 0x9E3779);
+        for (int i = 0; i < 100; ++i) {
+            const NodeRef node = moves.node();
+            const int wl = moves.wl();
+            const FixedFormat before = spec.format(node);
+
+            // Reference: apply the move on a copy, recompute from scratch.
+            FixedPointSpec applied = spec;
+            applied.set_wl(node, wl);
+            const double want_noise = evaluator.noise_power(applied);
+            const double want_cost = model.cost(applied);
+
+            ASSERT_EQ(bits_of(eval->preview_move(node, wl)),
+                      bits_of(want_noise))
+                << kernel->name() << " preview " << i;
+            ASSERT_EQ(bits_of(costs->preview_move(node, wl)),
+                      bits_of(want_cost))
+                << kernel->name() << " preview " << i;
+
+            // The preview must not leak into the spec or the cache.
+            ASSERT_EQ(spec.format(node).iwl, before.iwl);
+            ASSERT_EQ(spec.format(node).fwl, before.fwl);
+            ASSERT_EQ(bits_of(eval->noise_power()),
+                      bits_of(evaluator.noise_power(spec)));
+            ASSERT_EQ(bits_of(costs->cost()), bits_of(model.cost(spec)));
+
+            // Occasionally commit so the walk covers many base specs.
+            if (i % 7 == 0) {
+                spec.set_wl(node, wl);
+            }
+        }
+    }
+}
+
+TEST(EvalDelta, ProbeBracketsRestoreTheCacheBitExactly) {
+    const TargetModel target = targets::xentium();
+    const Kernel& kernel = small_fir();
+    const AnalyticEvaluator& evaluator = cached_evaluator(kernel);
+    const WlCostModel model(kernel, target);
+    FixedPointSpec spec = initial_spec(kernel);
+    set_uniform_wl(spec, 16);
+
+    const auto eval = evaluator.open_session(spec);
+    const auto costs = model.open_session(spec);
+    RandomMoves moves(spec, 0xB0B);
+    for (int i = 0; i < 200; ++i) {
+        const NodeRef node = moves.node();
+        const int wl = moves.wl();
+        const FixedFormat saved = spec.format(node);
+
+        // The Tabu candidate shape: one shared probe window, both sessions
+        // bracketed, queries interleaved inside.
+        eval->begin_move(node);
+        costs->begin_move(node);
+        spec.set_wl(node, wl);
+        const double probe_noise = eval->noise_power();
+        const double probe_cost = costs->cost();
+        ASSERT_EQ(bits_of(probe_noise), bits_of(evaluator.noise_power(spec)));
+        ASSERT_EQ(bits_of(probe_cost), bits_of(model.cost(spec)));
+        spec.set_format(node, saved);
+        eval->end_move();
+        costs->end_move();
+
+        ASSERT_EQ(bits_of(eval->noise_power()),
+                  bits_of(evaluator.noise_power(spec)))
+            << "probe " << i;
+        ASSERT_EQ(bits_of(costs->cost()), bits_of(model.cost(spec)))
+            << "probe " << i;
+
+        if (i % 5 == 0) {
+            spec.set_wl(moves.node(), moves.wl());  // drift the base spec
+        }
+    }
+}
+
+TEST(EvalDelta, SessionsResyncThroughCheckpointRevert) {
+    const TargetModel target = targets::xentium();
+    for (const Kernel* kernel : test_kernels()) {
+        const AnalyticEvaluator& evaluator = cached_evaluator(*kernel);
+        const WlCostModel model(*kernel, target);
+        FixedPointSpec spec = initial_spec(*kernel);
+        set_uniform_wl(spec, 20);
+
+        const auto eval = evaluator.open_session(spec);
+        const auto costs = model.open_session(spec);
+        RandomMoves moves(spec, 0xCAFE);
+        for (int round = 0; round < 20; ++round) {
+            const auto cp = spec.checkpoint();
+            for (int m = 0; m < 5; ++m) {
+                spec.set_wl(moves.node(), moves.wl());
+            }
+            ASSERT_EQ(bits_of(eval->noise_power()),
+                      bits_of(evaluator.noise_power(spec)));
+            ASSERT_EQ(bits_of(costs->cost()), bits_of(model.cost(spec)));
+
+            if (round % 2 == 0) {
+                spec.revert(cp);
+            } else {
+                spec.commit(cp);
+            }
+            ASSERT_EQ(bits_of(eval->noise_power()),
+                      bits_of(evaluator.noise_power(spec)))
+                << kernel->name() << " round " << round;
+            ASSERT_EQ(bits_of(costs->cost()), bits_of(model.cost(spec)))
+                << kernel->name() << " round " << round;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace slpwlo

@@ -243,6 +243,30 @@ TEST(ShardManifest, RejectsMalformedInput) {
 
 // --- cache snapshots -----------------------------------------------------------
 
+EvalCache::StageEntry synthetic_stage_entry() {
+    EvalCache::StageEntry stage;
+    stage.quant_mode = QuantMode::Round;
+    stage.formats = {FixedFormat(3, 12), FixedFormat(1, 0), FixedFormat(2, 7)};
+    BlockGroups bg;
+    bg.block = BlockId(1);
+    bg.groups.push_back(SimdGroup{{OpId(4), OpId(9)}});
+    stage.groups.push_back(std::move(bg));
+    stage.slp_stats.rounds = 2;
+    stage.slp_stats.candidates_seen = 11;
+    stage.slp_stats.selected = 3;
+    stage.scaling_stats.reuses_examined = 5;
+    stage.scaling_stats.equalized = 1;
+    stage.tabu_stats.iterations = 42;
+    stage.tabu_stats.improvements = 6;
+    // Odd doubles (negative, -inf) must survive the text round-trip
+    // bit-exactly, like the eval entries' noise field.
+    stage.tabu_stats.initial_cost = 19.75;
+    stage.tabu_stats.best_cost = -std::numeric_limits<double>::infinity();
+    stage.tabu_stats.feasible = true;
+    stage.group_count = 1;
+    return stage;
+}
+
 CacheSnapshot synthetic_snapshot() {
     EvalCache cache;
     cache.store(0x1111, EvalCache::Entry{100, 40, -38.5});
@@ -250,6 +274,7 @@ CacheSnapshot synthetic_snapshot() {
     // The -inf noise of an exact spec must survive the text round-trip.
     cache.store(0x3333,
                 EvalCache::Entry{7, 7, -std::numeric_limits<double>::infinity()});
+    cache.store_stage(0xaaaa, synthetic_stage_entry());
     return snapshot_cache(cache);
 }
 
@@ -264,6 +289,10 @@ TEST(CacheSnapshot, RoundTripsBitExactly) {
         EXPECT_EQ(loaded.entries[i].first, snapshot.entries[i].first);
         EXPECT_TRUE(loaded.entries[i].second == snapshot.entries[i].second);
     }
+    // Stage-memo entries (snapshot_version 2) round-trip field for field.
+    ASSERT_EQ(loaded.stage_entries.size(), 1u);
+    EXPECT_EQ(loaded.stage_entries[0].first, 0xaaaaull);
+    EXPECT_TRUE(loaded.stage_entries[0].second == synthetic_stage_entry());
     // And the serialization itself is stable.
     EXPECT_EQ(cache_snapshot_text(loaded), text);
 }
@@ -384,6 +413,42 @@ TEST(CacheSnapshot, RejectsMalformedInput) {
     EXPECT_THROW(
         parse_cache_snapshot("snapshot_version = 1\nsnapshot_version = 1\n"),
         Error);
+    // A version-1 file (no stage lines) still reads; one that smuggles
+    // stage entries in does not.
+    EXPECT_NO_THROW(parse_cache_snapshot(
+        "snapshot_version = 1\n"
+        "entry = 0000000000000001 1 2 0000000000000000\n"));
+    EXPECT_THROW(parse_cache_snapshot(
+                     "snapshot_version = 1\n"
+                     "stage_entry = 0000000000000001 0 0 0 0 0 0 0 0 0 0 0 "
+                     "0 0 0 0 0 0 0 0 0000000000000000 0000000000000000 "
+                     "0 0\n"),
+                 Error);
+    // Truncated or trailing stage_entry token streams are rejected.
+    EXPECT_THROW(parse_cache_snapshot("snapshot_version = 2\n"
+                                      "stage_entry = 0000000000000001 0 1\n"),
+                 Error);
+    EXPECT_THROW(parse_cache_snapshot("snapshot_version = 2\n"
+                                      "stage_entries = 3\n"),
+                 Error);
+}
+
+TEST(CacheSnapshot, StageEntriesMergeAndDetectConflicts) {
+    CacheSnapshot a;
+    a.stage_entries.emplace_back(0xaaaa, synthetic_stage_entry());
+    CacheSnapshot b;
+    b.stage_entries.emplace_back(0xaaaa, synthetic_stage_entry());
+    b.stage_entries.emplace_back(0xbbbb, synthetic_stage_entry());
+
+    const CacheSnapshot merged = merge_cache_snapshots({a, b});
+    ASSERT_EQ(merged.stage_entries.size(), 2u);  // 0xaaaa deduplicated
+    EXPECT_TRUE(merged.stage_entries[0].second == synthetic_stage_entry());
+
+    CacheSnapshot conflict;
+    EvalCache::StageEntry other = synthetic_stage_entry();
+    other.tabu_stats.best_cost = 0.0;  // any single-field difference
+    conflict.stage_entries.emplace_back(0xaaaa, std::move(other));
+    EXPECT_THROW(merge_cache_snapshots({a, conflict}), Error);
 }
 
 // --- EvalCache capacity bound --------------------------------------------------
@@ -542,6 +607,11 @@ TEST(ShardEngine, ShardedSweepIsByteIdenticalToSingleProcess) {
     warm_options.warm = &warm;
     const ShardRunOutput warm_out = run_shard(manifest, warm_options);
     EXPECT_GT(warm_out.results.eval_hits, 0u);
+    // Stage-memo hits: the warm worker restored the optimization stages
+    // (skipping Tabu/SLP) for every preloaded point, and the rows below
+    // are still byte-identical to the cold run's.
+    EXPECT_GT(warm_out.results.stage_hits, 0u);
+    EXPECT_EQ(warm_out.results.stage_misses, 0u);
     ASSERT_EQ(warm_out.results.rows.size(), shard_files[0].rows.size());
     for (size_t i = 0; i < warm_out.results.rows.size(); ++i) {
         EXPECT_EQ(warm_out.results.rows[i].json, shard_files[0].rows[i].json);

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "fixpoint/iwl.hpp"
+#include "kernels/kernels.hpp"
 #include "sim/double_sim.hpp"
 #include "sim/fixed_sim.hpp"
+#include "sim/sim_tape.hpp"
 #include "support/dbmath.hpp"
 #include "test_util.hpp"
 
@@ -201,6 +204,99 @@ TEST(FixedSim, OverflowCountedWhenIwlTooSmall) {
     // Sum node too.
     const auto result = run_fixed(k, spec, make_stimulus(k, 11));
     EXPECT_GT(result.overflow_count, 0);
+}
+
+// --- compiled tape vs tree walker ----------------------------------------
+// The SimTape replay is an optimization, not a semantic change: for every
+// registry kernel, word-length preset and quantization mode, outputs (and
+// overflow counts) must match the walkers bit for bit.
+
+uint64_t bits_of(double v) {
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+void expect_outputs_bitwise_equal(const std::vector<double>& tape,
+                                  const std::vector<double>& walker,
+                                  const std::string& what) {
+    ASSERT_EQ(tape.size(), walker.size()) << what;
+    for (size_t i = 0; i < tape.size(); ++i) {
+        ASSERT_EQ(bits_of(tape[i]), bits_of(walker[i]))
+            << what << " output " << i << ": tape " << tape[i] << " walker "
+            << walker[i];
+    }
+}
+
+TEST(SimTape, DoubleReplayMatchesWalkerBitwiseAcrossRegistry) {
+    for (const std::string& name : kernels::benchmark_kernel_names()) {
+        const kernels::BenchmarkKernel bk =
+            kernels::make_benchmark_kernel(name);
+        const SimTape tape(bk.kernel);
+        const Stimulus stimulus = make_stimulus(bk.kernel, 23);
+
+        DoubleSimOptions options;
+        options.record_ranges = true;
+        const DoubleSimResult walker =
+            run_double_walker(bk.kernel, stimulus, options);
+        const DoubleSimResult replay = run_double(tape, stimulus, options);
+
+        expect_outputs_bitwise_equal(replay.outputs, walker.outputs, name);
+        ASSERT_EQ(replay.var_ranges.size(), walker.var_ranges.size());
+        for (size_t i = 0; i < replay.var_ranges.size(); ++i) {
+            EXPECT_EQ(bits_of(replay.var_ranges[i].lo()),
+                      bits_of(walker.var_ranges[i].lo()))
+                << name << " var " << i;
+            EXPECT_EQ(bits_of(replay.var_ranges[i].hi()),
+                      bits_of(walker.var_ranges[i].hi()))
+                << name << " var " << i;
+        }
+        ASSERT_EQ(replay.array_ranges.size(), walker.array_ranges.size());
+        for (size_t i = 0; i < replay.array_ranges.size(); ++i) {
+            EXPECT_EQ(bits_of(replay.array_ranges[i].lo()),
+                      bits_of(walker.array_ranges[i].lo()))
+                << name << " array " << i;
+            EXPECT_EQ(bits_of(replay.array_ranges[i].hi()),
+                      bits_of(walker.array_ranges[i].hi()))
+                << name << " array " << i;
+        }
+    }
+}
+
+TEST(SimTape, FixedReplayMatchesWalkerBitwiseAcrossRegistry) {
+    for (const std::string& name : kernels::benchmark_kernel_names()) {
+        const kernels::BenchmarkKernel bk =
+            kernels::make_benchmark_kernel(name);
+        const SimTape tape(bk.kernel);
+        const Stimulus stimulus = make_stimulus(bk.kernel, 29);
+
+        for (const int base_wl : {8, 12, 16}) {
+            for (const QuantMode mode :
+                 {QuantMode::Truncate, QuantMode::Round}) {
+                FixedPointSpec spec(bk.kernel);
+                spec.set_quant_mode(mode);
+                // Non-uniform WLs (and a deliberately tight IWL) so the
+                // comparison also covers saturation paths.
+                size_t i = 0;
+                for (const NodeRef node : spec.nodes()) {
+                    const int wl = base_wl + static_cast<int>(i++ % 3);
+                    spec.set_format(node, FixedFormat(4, wl - 4));
+                }
+
+                const FixedSimResult walker =
+                    run_fixed_walker(bk.kernel, spec, stimulus);
+                const FixedSimResult replay = run_fixed(tape, spec, stimulus);
+
+                const std::string what = name + " wl" +
+                                         std::to_string(base_wl) + " " +
+                                         to_string(mode);
+                expect_outputs_bitwise_equal(replay.outputs, walker.outputs,
+                                             what);
+                EXPECT_EQ(replay.overflow_count, walker.overflow_count)
+                    << what;
+            }
+        }
+    }
 }
 
 }  // namespace
