@@ -14,10 +14,16 @@
 //   3. Sweep wall-clock — a cold constraint sweep against a warm rerun
 //      preloaded with the cold run's EvalCache snapshot (stage memo +
 //      eval memo), with the report bytes compared.
+//   4. Compiled noise evaluation — the emit->compile->execute backend
+//      (CompiledEvaluator, src/exec) against the tape-backed
+//      SimulationEvaluator on the same stimuli; gated on bit-identical
+//      noise powers across a spread of specs. Skipped (reported as
+//      available:false) when the host has no usable C compiler.
 //
 // Emits a JSON report (--json / --json=FILE). Exits non-zero when any
-// bit-identity check fails — walker/tape divergence or delta/full
-// divergence is a correctness bug, not a performance result.
+// bit-identity check fails — walker/tape divergence, delta/full
+// divergence or compiled/tape divergence is a correctness bug, not a
+// performance result.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -27,9 +33,11 @@
 #include <vector>
 
 #include "accuracy/analytic_evaluator.hpp"
+#include "accuracy/sim_evaluator.hpp"
 #include "bench_util.hpp"
 #include "core/wl_cost_model.hpp"
 #include "dist/cache_snapshot.hpp"
+#include "exec/compiled_evaluator.hpp"
 #include "sim/fixed_sim.hpp"
 #include "sim/sim_tape.hpp"
 #include "support/rng.hpp"
@@ -262,6 +270,77 @@ NoiseReport bench_noise_evals(const Kernel& kernel, long long evals) {
     return report;
 }
 
+struct CompiledReport {
+    long long evals = 0;
+    double tape_evals_per_sec = 0.0;
+    double compiled_evals_per_sec = 0.0;
+    double speedup = 0.0;
+    bool bit_identical = true;
+    bool available = true;  ///< host toolchain usable; timing skipped if not
+};
+
+CompiledReport bench_compiled_evals(const Kernel& kernel, long long evals) {
+    CompiledReport report;
+    report.evals = evals;
+
+    const SimulationEvaluator tape_eval(kernel);
+    const exec::CompiledEvaluator compiled_eval(kernel);
+
+    // A spread of specs: three uniform precisions plus a ragged one, so
+    // the gate covers distinct emitted bodies (and the evaluator's MRU).
+    std::vector<FixedPointSpec> specs;
+    for (const int wl : {8, 10, 12, 14}) {
+        FixedPointSpec spec(kernel);
+        for (const NodeRef node : spec.nodes()) spec.set_wl(node, wl);
+        specs.push_back(std::move(spec));
+    }
+    {
+        FixedPointSpec ragged(kernel);
+        int wl = 8;
+        for (const NodeRef node : ragged.nodes()) {
+            ragged.set_wl(node, wl);
+            wl = wl == 16 ? 8 : wl + 1;
+        }
+        specs.push_back(std::move(ragged));
+    }
+
+    // Divergence gate (doubles as the compile warm-up): every spec's
+    // compiled noise power must be bit-equal to the tape's.
+    for (const FixedPointSpec& spec : specs) {
+        const double tape_np = tape_eval.noise_power(spec);
+        const double compiled_np = compiled_eval.noise_power(spec);
+        if (!bits_equal(tape_np, compiled_np)) report.bit_identical = false;
+    }
+    if (compiled_eval.degraded()) {
+        // No usable host compiler: the evaluator already fell back to the
+        // tape (which is why the gate still passed) — nothing to time.
+        report.available = false;
+        report.speedup = 1.0;
+        return report;
+    }
+
+    const auto time_leg = [&](const AccuracyEvaluator& evaluator,
+                              long long count) {
+        double sink = 0.0;
+        const auto start = std::chrono::steady_clock::now();
+        for (long long i = 0; i < count; ++i) {
+            sink += evaluator.noise_power(
+                specs[static_cast<size_t>(i) % specs.size()]);
+        }
+        const double elapsed = seconds_since(start);
+        if (sink == 0.12345) std::printf("unlikely\n");
+        return static_cast<double>(count) / elapsed;
+    };
+
+    report.tape_evals_per_sec = time_leg(tape_eval, evals);
+    // The compiled leg is orders of magnitude faster; run it longer so
+    // the clock resolution cannot dominate the rate.
+    report.compiled_evals_per_sec = time_leg(compiled_eval, evals * 20);
+    report.speedup =
+        report.compiled_evals_per_sec / report.tape_evals_per_sec;
+    return report;
+}
+
 struct SweepReport {
     size_t points = 0;
     double cold_ms = 0.0;
@@ -308,7 +387,9 @@ double tabu_speedup_geomean(const std::vector<TabuReport>& reports) {
 }
 
 std::string report_json(const std::vector<TabuReport>& tabu,
-                        const NoiseReport& noise, const SweepReport& sweep) {
+                        const NoiseReport& noise,
+                        const CompiledReport& compiled,
+                        const SweepReport& sweep) {
     const bool tabu_identical =
         std::all_of(tabu.begin(), tabu.end(),
                     [](const TabuReport& r) { return r.bit_identical; });
@@ -332,6 +413,15 @@ std::string report_json(const std::vector<TabuReport>& tabu,
        << ",\"tape_evals_per_sec\":" << json_number(noise.tape_evals_per_sec)
        << ",\"speedup\":" << json_number(noise.speedup)
        << ",\"bit_identical\":" << (noise.bit_identical ? "true" : "false")
+       << "},\"compiled\":{\"evals\":" << compiled.evals
+       << ",\"tape_evals_per_sec\":"
+       << json_number(compiled.tape_evals_per_sec)
+       << ",\"compiled_evals_per_sec\":"
+       << json_number(compiled.compiled_evals_per_sec)
+       << ",\"speedup\":" << json_number(compiled.speedup)
+       << ",\"bit_identical\":"
+       << (compiled.bit_identical ? "true" : "false")
+       << ",\"available\":" << (compiled.available ? "true" : "false")
        << "},\"sweep\":{\"points\":" << sweep.points
        << ",\"cold_ms\":" << json_number(sweep.cold_ms)
        << ",\"warm_ms\":" << json_number(sweep.warm_ms)
@@ -394,6 +484,24 @@ int main(int argc, char** argv) {
     std::printf("  speedup        : %12.2fx   bit-identical: %s\n",
                 noise.speedup, noise.bit_identical ? "yes" : "NO");
 
+    const CompiledReport compiled =
+        bench_compiled_evals(fir.kernel, noise_evals);
+    std::printf("\ncompiled noise evaluation (%lld evals, FIR)\n",
+                compiled.evals);
+    if (compiled.available) {
+        std::printf("  tape evaluator : %12.1f evals/sec\n",
+                    compiled.tape_evals_per_sec);
+        std::printf("  compiled       : %12.1f evals/sec\n",
+                    compiled.compiled_evals_per_sec);
+        std::printf("  speedup        : %12.2fx   bit-identical: %s\n",
+                    compiled.speedup,
+                    compiled.bit_identical ? "yes" : "NO");
+    } else {
+        std::printf("  no usable host compiler — degraded to the tape "
+                    "(bit-identical: %s), timing skipped\n",
+                    compiled.bit_identical ? "yes" : "NO");
+    }
+
     const std::vector<SweepPoint> grid = SweepDriver::grid(
         {"FIR", "DOT"}, {"XENTIUM"}, {"WLO-SLP", "WLO-First"},
         options.smoke ? std::vector<double>{-20.0, -40.0}
@@ -407,13 +515,14 @@ int main(int argc, char** argv) {
     std::printf("  speedup        : %12.2fx   report bytes identical: %s\n",
                 sweep.speedup, sweep.bytes_identical ? "yes" : "NO");
 
-    const std::string json = report_json(tabu, noise, sweep);
+    const std::string json = report_json(tabu, noise, compiled, sweep);
     if (options.json_path.has_value()) {
         bench::emit_json_to(*options.json_path, json, 3);
     }
 
     const bool ok = tabu_identical && noise.bit_identical &&
-                    sweep.bytes_identical && sweep.stage_hits > 0;
+                    compiled.bit_identical && sweep.bytes_identical &&
+                    sweep.stage_hits > 0;
     if (!ok) {
         std::printf("\nFAIL: divergence between fast and reference paths\n");
         return 1;

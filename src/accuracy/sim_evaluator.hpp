@@ -34,4 +34,23 @@ private:
     int runs_;
 };
 
+/// The tree-walker variant of SimulationEvaluator: same stimuli, same
+/// double references (tape-replayed — the traces are bit-identical), but
+/// each noise_power() runs the recursive walker. Exists as the
+/// differential reference of the `--evaluator` axis; its results are
+/// bit-identical to SimulationEvaluator by the tape/walker contract.
+class WalkerEvaluator final : public AccuracyEvaluator {
+public:
+    explicit WalkerEvaluator(const Kernel& kernel, int runs = 2,
+                             uint64_t seed = 0x5E1F);
+
+    double noise_power(const FixedPointSpec& spec) const override;
+
+private:
+    const Kernel* kernel_;
+    std::vector<Stimulus> stimuli_;
+    std::vector<std::vector<double>> ref_outputs_;
+    int runs_;
+};
+
 }  // namespace slpwlo

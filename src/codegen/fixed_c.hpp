@@ -11,6 +11,17 @@
 //   void <kernel>_fixed(const T_in* x_raw, T_out* y_raw);
 // where raw values are the fixed-point integers (value * 2^fwl); coefficient
 // arrays are embedded as static const data.
+//
+// The compile-and-execute backend (src/exec) asks for two instrumented
+// extensions so the compiled artifact can stand in for SimTape::run_fixed
+// bit for bit (see DESIGN.md §12):
+//   * count_overflows: every saturation site counts into a caller-provided
+//     `long long* slpwlo_ovf`, exactly once per dynamic clamping event —
+//     including constants that saturate at emission time, which the
+//     simulator re-counts on every execution;
+//   * record_trace: every store to an Output array appends the stored raw
+//     integer to a caller-provided `int64_t* slpwlo_trace` cursor, in
+//     execution order (the simulator's output trace).
 #pragma once
 
 #include <string>
@@ -19,10 +30,23 @@
 
 namespace slpwlo {
 
+struct FixedCOptions {
+    /// Add `long long* slpwlo_ovf` to the signature and count every dynamic
+    /// saturation event into it (matches FixedSimResult::overflow_count for
+    /// the op-level sites; input/param quantization is counted host-side).
+    bool count_overflows = false;
+    /// Add `int64_t* slpwlo_trace` to the signature and append each Output
+    /// store's raw value to it, in execution order.
+    bool record_trace = false;
+};
+
 struct FixedCResult {
     std::string code;           ///< full translation unit
     std::string function_name;  ///< entry point
 };
+
+FixedCResult emit_fixed_c(const Kernel& kernel, const FixedPointSpec& spec,
+                          const FixedCOptions& options);
 
 FixedCResult emit_fixed_c(const Kernel& kernel, const FixedPointSpec& spec);
 

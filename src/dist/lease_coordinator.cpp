@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -13,6 +14,7 @@
 
 #include "dist/shard_plan.hpp"
 #include "dist/shard_runner.hpp"
+#include "exec/jit_cache.hpp"
 #include "flow/report.hpp"
 #include "support/diagnostics.hpp"
 #include "support/kv_format.hpp"
@@ -44,11 +46,23 @@ void write_text(const fs::path& path, const std::string& text) {
     if (!out.good()) throw Error("cannot write `" + path.string() + "`");
 }
 
-/// Publish atomically: readers never observe a half-written file.
+/// Publish atomically: readers never observe a half-written file. The
+// `.tmp.<pid>.<seq>` suffix keeps concurrent publishers off each other's
+// temp files and marks orphans from SIGKILLed workers for the age-based
+// sweep (exec::jit_cleanup_stale matches the `.tmp.` infix).
 void publish_text(const fs::path& path, const std::string& text) {
-    const fs::path tmp = path.string() + ".tmp";
+    static std::atomic<unsigned long long> seq{0};
+    const fs::path tmp = path.string() + ".tmp." + std::to_string(getpid()) +
+                         "." + std::to_string(seq.fetch_add(1));
     write_text(tmp, text);
     fs::rename(tmp, path);
+}
+
+/// Orphaned-temp sweep age: at least one ttl (nobody legitimately holds a
+/// half-written file that long), floored so a zero-ttl test directory
+/// cannot race a live writer.
+long long stale_tmp_age_ms(long long ttl_ms) {
+    return std::max(ttl_ms, 1000ll);
 }
 
 struct LeaseConfig {
@@ -259,6 +273,9 @@ size_t init_lease_dir(const std::string& dir, const ShardManifest& manifest,
     fs::create_directories(root / "leases");
     fs::create_directories(root / "results");
     fs::create_directories(root / "expired");
+    // Shared compiled-kernel cache: workers running --evaluator=compiled
+    // point their jit cache here, so the farm compiles each kernel once.
+    fs::create_directories(root / "jit");
 
     // Re-serialize through the plan writer so the stored manifest keeps
     // the bit-exact round-trip guarantee (fingerprints and all).
@@ -274,12 +291,23 @@ size_t init_lease_dir(const std::string& dir, const ShardManifest& manifest,
 
     // Cost-balanced greedy chunking in slot order: cut when a chunk
     // reaches the target cost. Deterministic; re-serving the same
-    // manifest and options always yields the same chunks.
+    // manifest and options always yields the same chunks. Measured costs
+    // (when provided) replace the heuristic slot for slot — the re-serve
+    // path sizes chunks from what the previous run actually took.
+    if (!options.measured_costs.empty()) {
+        SLPWLO_CHECK(options.measured_costs.size() == manifest.points.size(),
+                     "measured chunk costs need one entry per grid slot (" +
+                         std::to_string(options.measured_costs.size()) +
+                         " costs, " + std::to_string(manifest.points.size()) +
+                         " slots)");
+    }
     std::vector<double> costs;
     costs.reserve(manifest.points.size());
     double total_cost = 0.0;
-    for (const SweepPoint& point : manifest.points) {
-        costs.push_back(estimate_point_cost(point));
+    for (size_t i = 0; i < manifest.points.size(); ++i) {
+        costs.push_back(options.measured_costs.empty()
+                            ? estimate_point_cost(manifest.points[i])
+                            : options.measured_costs[i]);
         total_cost += costs.back();
     }
     double target = options.chunk_cost;
@@ -350,6 +378,13 @@ std::string collect_lease_results(const std::string& dir) {
     const LeaseConfig config =
         parse_lease_config(read_text(root / "config"),
                            (root / "config").string());
+
+    // Housekeeping for SIGKILLed workers: their half-written publishes
+    // (`.tmp.<pid>.<seq>`) never match the `.rows` filter below, but they
+    // would otherwise accumulate forever.
+    const long long age = stale_tmp_age_ms(config.ttl_ms);
+    exec::jit_cleanup_stale((root / "results").string(), age);
+    exec::jit_cleanup_stale((root / "jit").string(), age);
 
     std::map<size_t, std::vector<fs::path>> by_chunk;
     for (const auto& entry : fs::directory_iterator(root / "results")) {
@@ -556,6 +591,13 @@ LeaseWorkSource::LeaseWorkSource(std::string dir, LeaseWorkerOptions options)
         SLPWLO_CHECK(impl_->manifest.slots[i] == i,
                      "whole-grid manifest slots must be 0..n-1");
     }
+    // Share one compiled-kernel cache across the farm ($SLPWLO_JIT_DIR
+    // still wins when the user pinned one), and sweep temp orphans a
+    // SIGKILLed predecessor may have left in it or in results/.
+    exec::set_jit_cache_directory((impl_->root / "jit").string());
+    const long long age = stale_tmp_age_ms(impl_->config.ttl_ms);
+    exec::jit_cleanup_stale((impl_->root / "jit").string(), age);
+    exec::jit_cleanup_stale((impl_->root / "results").string(), age);
 }
 
 LeaseWorkSource::~LeaseWorkSource() = default;

@@ -20,6 +20,17 @@
 //                             published rows (tmp + rename, atomic)
 //   <dir>/expired/<i>.<worker>.<seq>
 //                             stolen claim dirs (the re-issue audit trail)
+//   <dir>/jit/                shared compiled-kernel cache: every worker's
+//                             CompiledEvaluator publishes objects here, so
+//                             the farm compiles each kernel once
+//
+// Temp hygiene: every publish goes through a `.tmp.<pid>.<seq>` sibling
+// plus an atomic rename, so a SIGKILLed worker can only orphan files whose
+// names carry the `.tmp.` marker. Workers and the collector sweep such
+// orphans older than one ttl (exec::jit_cleanup_stale) from results/ and
+// jit/ — readers never match them (they filter on exact suffixes), so the
+// sweep is pure housekeeping and can never race a live writer that is
+// within its ttl.
 //
 // Liveness and duplicates: a claim carries a wall-clock deadline (claim
 // time + ttl). A worker finding an expired claim *steals* it — renames
@@ -55,6 +66,11 @@ struct LeaseOptions {
     /// Lease time-to-live: an unexpired claim blocks the chunk, an
     /// expired one may be stolen and re-issued.
     long long ttl_ms = 60000;
+    /// Measured per-slot costs (measured_slot_costs over a previous run's
+    /// rows files), one entry per grid slot, replacing the
+    /// estimate_point_cost heuristic for chunk sizing. Empty = use the
+    /// heuristic. Costs shape only the chunk boundaries, never results.
+    std::vector<double> measured_costs;
 };
 
 /// Create `dir` (which must not already be an initialized lease

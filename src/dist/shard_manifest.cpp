@@ -82,6 +82,12 @@ std::string flow_options_kv(const FlowOptions& options,
          std::to_string(options.wlo_first.tabu.stagnation_limit));
     emit("wlo_first.tabu.infeasibility_penalty",
          kv::exact_double(options.wlo_first.tabu.infeasibility_penalty));
+    // Execution-strategy fields (manifest_version >= 2): they never change
+    // a result byte, but workers must inherit the launcher's choice of
+    // noise backend and timing so an --evaluator=compiled sweep runs
+    // compiled on every shard.
+    emit("evaluator", to_string(options.evaluator));
+    emit_bool("measure", options.measure);
     return os.str();
 }
 
@@ -126,6 +132,14 @@ void apply_flow_option(FlowOptions& options, const std::string& key,
     } else if (key == "wlo_first.tabu.infeasibility_penalty") {
         options.wlo_first.tabu.infeasibility_penalty =
             kv::to_double(source, line, key, value);
+    } else if (key == "evaluator") {
+        try {
+            options.evaluator = parse_sim_backend(value);
+        } catch (const Error& e) {
+            kv::fail(source, line, e.what());
+        }
+    } else if (key == "measure") {
+        options.measure = kv::to_bool(source, line, key, value);
     } else {
         kv::fail(source, line, "unknown option key `" + key + "`");
     }
@@ -137,7 +151,7 @@ std::string shard_manifest_text(const ShardPlan& plan,
                  "shard plan slots/points size mismatch");
     std::ostringstream os;
     os << "# slpwlo shard manifest\n"
-       << "manifest_version = 1\n"
+       << "manifest_version = 2\n"
        << "shard_index = " << plan.shard_index << "\n"
        << "shard_count = " << plan.shard_count << "\n"
        << "strategy = " << to_string(plan.strategy) << "\n"
@@ -326,9 +340,9 @@ ShardManifest parse_shard_manifest(const std::string& text,
         if (kvline.key == "manifest_version") {
             manifest.version =
                 kv::to_int(source, kvline.line, kvline.key, kvline.value);
-            if (manifest.version != 1) {
+            if (manifest.version != 1 && manifest.version != 2) {
                 reader.fail_here("unsupported manifest_version " +
-                                 kvline.value + " (this reader knows 1)");
+                                 kvline.value + " (this reader knows 1-2)");
             }
             saw_version = true;
         } else if (kvline.key == "shard_index") {

@@ -43,6 +43,12 @@
 // Versioning policy: `manifest_version` is bumped on any change a v1
 // reader cannot ignore; readers reject versions they do not know
 // (unknown keys within a known version are errors, not extensions).
+// Version history:
+//   1  the original format above;
+//   2  adds the execution-strategy options `option.evaluator`
+//      (tape/walker/compiled noise backend) and `option.measure`
+//      (compiled-body timing) to defaults and per-point blocks.
+// This reader accepts versions 1 and 2; the writer emits 2.
 #pragma once
 
 #include <string>

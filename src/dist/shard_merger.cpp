@@ -14,7 +14,7 @@ namespace slpwlo::dist {
 std::string shard_results_text(const ShardResultsFile& results) {
     std::ostringstream os;
     os << "# slpwlo shard results\n"
-       << "results_version = 3\n"
+       << "results_version = 4\n"
        << "shard_index = " << results.shard_index << "\n"
        << "shard_count = " << results.shard_count << "\n"
        << "total_slots = " << results.total_slots << "\n"
@@ -31,8 +31,11 @@ std::string shard_results_text(const ShardResultsFile& results) {
                      "shard result rows must be single-line JSON");
         SLPWLO_CHECK(row.micros >= 0,
                      "shard result row micros must be non-negative");
+        SLPWLO_CHECK(row.measured_ns >= 0,
+                     "shard result row measured_ns must be non-negative");
         os << "row = " << row.slot << " " << fingerprint_hex(row.point_fp)
-           << " " << row.micros << " " << row.json << "\n";
+           << " " << row.micros << " " << row.measured_ns << " " << row.json
+           << "\n";
     }
     return os.str();
 }
@@ -55,41 +58,57 @@ ShardResultsFile parse_shard_results(const std::string& text,
             reader.fail_here("duplicate key `" + line.key + "`");
         }
         if (line.key == "row") {
+            // The row grammar is versioned, so the header's version line
+            // must have been read first (writers always emit it first).
+            if (!saw_version) {
+                reader.fail_here("row before results_version");
+            }
             // Rows carry raw JSON which may legitimately contain '#', so
             // re-split from the raw line instead of the comment-stripped
-            // value.
+            // value. Versions 2-3 carry three leading columns, version 4
+            // adds measured_ns as a fourth.
             const size_t eq = line.raw.find('=');
             SLPWLO_ASSERT(eq != std::string::npos, "row line lost its `=`");
             const std::string payload = kv::trim(line.raw.substr(eq + 1));
-            const size_t first_space = payload.find(' ');
-            const size_t second_space =
-                first_space == std::string::npos
-                    ? std::string::npos
-                    : payload.find(' ', first_space + 1);
-            const size_t third_space =
-                second_space == std::string::npos
-                    ? std::string::npos
-                    : payload.find(' ', second_space + 1);
-            if (third_space == std::string::npos) {
+            const int columns = results.version >= 4 ? 4 : 3;
+            std::vector<std::string> fields;
+            size_t cursor = 0;
+            bool malformed = false;
+            for (int c = 0; c < columns; ++c) {
+                const size_t space = payload.find(' ', cursor);
+                if (space == std::string::npos) {
+                    malformed = true;
+                    break;
+                }
+                fields.push_back(payload.substr(cursor, space - cursor));
+                cursor = space + 1;
+            }
+            if (malformed) {
                 reader.fail_here(
-                    "row expects `<slot> <fingerprint> <micros> <json>`");
+                    columns == 4
+                        ? "row expects `<slot> <fingerprint> <micros> "
+                          "<measured_ns> <json>`"
+                        : "row expects `<slot> <fingerprint> <micros> "
+                          "<json>`");
             }
             ShardRow row;
             row.slot = static_cast<size_t>(
-                kv::to_ll(source, line.line, "row slot",
-                          payload.substr(0, first_space)));
-            row.point_fp = kv::to_fingerprint(
-                source, line.line, "row fingerprint",
-                payload.substr(first_space + 1,
-                               second_space - first_space - 1));
-            row.micros = kv::to_ll(
-                source, line.line, "row micros",
-                payload.substr(second_space + 1,
-                               third_space - second_space - 1));
+                kv::to_ll(source, line.line, "row slot", fields[0]));
+            row.point_fp = kv::to_fingerprint(source, line.line,
+                                              "row fingerprint", fields[1]);
+            row.micros =
+                kv::to_ll(source, line.line, "row micros", fields[2]);
             if (row.micros < 0) {
                 reader.fail_here("row micros must be non-negative");
             }
-            row.json = payload.substr(third_space + 1);
+            if (columns == 4) {
+                row.measured_ns = kv::to_ll(source, line.line,
+                                            "row measured_ns", fields[3]);
+                if (row.measured_ns < 0) {
+                    reader.fail_here("row measured_ns must be non-negative");
+                }
+            }
+            row.json = payload.substr(cursor);
             if (row.json.empty() || row.json.front() != '{' ||
                 row.json.back() != '}') {
                 reader.fail_here("row JSON must be a single-line object");
@@ -98,9 +117,9 @@ ShardResultsFile parse_shard_results(const std::string& text,
         } else if (line.key == "results_version") {
             results.version =
                 kv::to_int(source, line.line, line.key, line.value);
-            if (results.version != 2 && results.version != 3) {
+            if (results.version < 2 || results.version > 4) {
                 reader.fail_here("unsupported results_version " + line.value +
-                                 " (this reader knows 2 and 3)");
+                                 " (this reader knows 2-4)");
             }
             saw_version = true;
         } else if (line.key == "shard_index") {
@@ -188,8 +207,9 @@ std::string merge_shard_results(const std::vector<ShardResultsFile>& shards,
         for (const ShardRow& row : shard.rows) {
             const auto [it, inserted] = by_slot.emplace(row.slot, &row);
             if (inserted) continue;
-            // Identity deliberately ignores micros: two runs of the same
-            // point measure different wall-clocks but must compare equal.
+            // Identity deliberately ignores micros and measured_ns: two
+            // runs of the same point measure different wall-clocks but
+            // must compare equal.
             const ShardRow& existing = *it->second;
             if (existing.point_fp != row.point_fp ||
                 existing.json != row.json) {

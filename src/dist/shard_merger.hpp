@@ -8,7 +8,7 @@
 // point's content fingerprint:
 //
 //   # slpwlo shard results
-//   results_version = 3
+//   results_version = 4
 //   shard_index = 0
 //   shard_count = 4
 //   total_slots = 24
@@ -20,14 +20,18 @@
 //   stage_misses = 6
 //   stage_entries = 6
 //   rows = 6
-//   row = <slot> <point fingerprint:16 hex> <micros> <JSON object>
+//   row = <slot> <point fingerprint:16 hex> <micros> <measured_ns> <JSON>
 //
 // (results_version 2 added the measured per-slot wall-clock microseconds;
-// the column is for future cost models and is deliberately excluded from
-// row identity, fingerprints and merged report bytes — it is the one
-// nondeterministic field in an otherwise bit-reproducible pipeline.
+// the column is for cost models and is deliberately excluded from
+// row identity, fingerprints and merged report bytes — measurements are
+// the nondeterministic fields in an otherwise bit-reproducible pipeline.
 // results_version 3 added the stage-memo counters; a version-2 file reads
-// fine with all stage counters zero.)
+// fine with all stage counters zero. results_version 4 added the
+// measured_ns column — the compiled kernel body's per-execution wall time
+// from FlowResult::measured_ns, 0 unless the flow ran with measure on —
+// under the same exclusion discipline as micros; version-2/3 files read
+// fine with measured_ns zero.)
 //
 // merge_shard_results() reassembles the rows in slot order and produces
 // output byte-identical to sweep_to_json over the unsharded grid. The
@@ -62,10 +66,14 @@ struct ShardRow {
     /// Excluded from row identity and from the merged report: scheduling
     /// may read it, bytes never depend on it.
     long long micros = 0;
+    /// Median wall time of one compiled kernel execution in nanoseconds
+    /// (FlowResult::measured_ns); 0 unless the flow measured. Same
+    /// exclusion discipline as micros.
+    long long measured_ns = 0;
 };
 
 struct ShardResultsFile {
-    int version = 3;
+    int version = 4;
     int shard_index = 0;
     int shard_count = 1;
     size_t total_slots = 0;

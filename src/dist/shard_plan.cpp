@@ -6,7 +6,9 @@
 #include <numeric>
 
 #include "dist/shard_manifest.hpp"
+#include "dist/shard_merger.hpp"
 #include "flow/pass.hpp"
+#include "flow/report.hpp"
 #include "support/diagnostics.hpp"
 #include "target/target_model.hpp"
 
@@ -125,45 +127,37 @@ uint64_t grid_fingerprint(const std::vector<SweepPoint>& points) {
     return h;
 }
 
-std::vector<ShardPlan> make_shard_plans(std::vector<SweepPoint> grid,
-                                        int shard_count,
-                                        ShardStrategy strategy) {
-    SLPWLO_CHECK(shard_count >= 1, "shard count must be >= 1");
-    embed_target_models(grid);
-    const uint64_t grid_fp = grid_fingerprint(grid);
+namespace {
 
-    // Slot -> shard assignment.
-    std::vector<int> shard_of(grid.size(), 0);
-    if (strategy == ShardStrategy::RoundRobin) {
-        for (size_t i = 0; i < grid.size(); ++i) {
-            shard_of[i] = static_cast<int>(i % shard_count);
+/// Longest-processing-time greedy: place expensive slots first, each on
+/// the currently least-loaded shard. Ties break on the lower slot / lower
+/// shard index, so the assignment is a pure function of the costs.
+std::vector<int> lpt_assignment(const std::vector<double>& cost,
+                                int shard_count) {
+    std::vector<size_t> order(cost.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (cost[a] != cost[b]) return cost[a] > cost[b];
+        return a < b;
+    });
+    std::vector<int> shard_of(cost.size(), 0);
+    std::vector<double> load(shard_count, 0.0);
+    for (const size_t slot : order) {
+        int lightest = 0;
+        for (int s = 1; s < shard_count; ++s) {
+            if (load[s] < load[lightest]) lightest = s;
         }
-    } else {
-        // Longest-processing-time greedy: place expensive points first,
-        // each on the currently least-loaded shard. Ties break on the
-        // lower slot / lower shard index, so the assignment is a pure
-        // function of the grid.
-        std::vector<size_t> order(grid.size());
-        std::iota(order.begin(), order.end(), size_t{0});
-        std::vector<double> cost(grid.size());
-        for (size_t i = 0; i < grid.size(); ++i) {
-            cost[i] = estimate_point_cost(grid[i]);
-        }
-        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-            if (cost[a] != cost[b]) return cost[a] > cost[b];
-            return a < b;
-        });
-        std::vector<double> load(shard_count, 0.0);
-        for (const size_t slot : order) {
-            int lightest = 0;
-            for (int s = 1; s < shard_count; ++s) {
-                if (load[s] < load[lightest]) lightest = s;
-            }
-            shard_of[slot] = lightest;
-            load[lightest] += cost[slot];
-        }
+        shard_of[slot] = lightest;
+        load[lightest] += cost[slot];
     }
+    return shard_of;
+}
 
+std::vector<ShardPlan> plans_from_assignment(std::vector<SweepPoint> grid,
+                                             int shard_count,
+                                             ShardStrategy strategy,
+                                             uint64_t grid_fp,
+                                             const std::vector<int>& shard_of) {
     std::vector<ShardPlan> plans(shard_count);
     for (int s = 0; s < shard_count; ++s) {
         plans[s].shard_index = s;
@@ -179,6 +173,86 @@ std::vector<ShardPlan> make_shard_plans(std::vector<SweepPoint> grid,
         plan.points.push_back(std::move(grid[slot]));
     }
     return plans;
+}
+
+}  // namespace
+
+std::vector<ShardPlan> make_shard_plans(std::vector<SweepPoint> grid,
+                                        int shard_count,
+                                        ShardStrategy strategy) {
+    SLPWLO_CHECK(shard_count >= 1, "shard count must be >= 1");
+    embed_target_models(grid);
+    const uint64_t grid_fp = grid_fingerprint(grid);
+
+    std::vector<int> shard_of;
+    if (strategy == ShardStrategy::RoundRobin) {
+        shard_of.resize(grid.size(), 0);
+        for (size_t i = 0; i < grid.size(); ++i) {
+            shard_of[i] = static_cast<int>(i % shard_count);
+        }
+    } else {
+        std::vector<double> cost(grid.size());
+        for (size_t i = 0; i < grid.size(); ++i) {
+            cost[i] = estimate_point_cost(grid[i]);
+        }
+        shard_of = lpt_assignment(cost, shard_count);
+    }
+    return plans_from_assignment(std::move(grid), shard_count, strategy,
+                                 grid_fp, shard_of);
+}
+
+std::vector<ShardPlan> make_shard_plans(
+    std::vector<SweepPoint> grid, int shard_count,
+    const std::vector<double>& slot_costs) {
+    SLPWLO_CHECK(shard_count >= 1, "shard count must be >= 1");
+    SLPWLO_CHECK(slot_costs.size() == grid.size(),
+                 "measured-cost plans need one cost per grid slot (" +
+                     std::to_string(slot_costs.size()) + " costs, " +
+                     std::to_string(grid.size()) + " slots)");
+    embed_target_models(grid);
+    const uint64_t grid_fp = grid_fingerprint(grid);
+    return plans_from_assignment(std::move(grid), shard_count,
+                                 ShardStrategy::CostBalanced, grid_fp,
+                                 lpt_assignment(slot_costs, shard_count));
+}
+
+std::vector<double> measured_slot_costs(
+    const std::vector<ShardResultsFile>& files, size_t total_slots,
+    uint64_t grid_fp) {
+    std::vector<double> costs(total_slots, -1.0);
+    for (const ShardResultsFile& file : files) {
+        if (file.total_slots != total_slots || file.grid_fp != grid_fp) {
+            throw Error("measured costs: result file for grid " +
+                        fingerprint_hex(file.grid_fp) + " with " +
+                        std::to_string(file.total_slots) +
+                        " slots does not match the grid being planned (" +
+                        std::to_string(total_slots) + " slots)");
+        }
+        for (const ShardRow& row : file.rows) {
+            SLPWLO_CHECK(row.slot < total_slots,
+                         "measured costs: row slot out of range");
+            const double micros = static_cast<double>(row.micros);
+            // Elastic re-issue reports a slot twice (straggler and
+            // replacement); keep the faster measurement — the straggler's
+            // inflated wall-clock says nothing about the point.
+            if (costs[row.slot] < 0.0 || micros < costs[row.slot]) {
+                costs[row.slot] = micros;
+            }
+        }
+    }
+    double sum = 0.0;
+    size_t measured = 0;
+    for (const double c : costs) {
+        if (c < 0.0) continue;
+        sum += c;
+        measured++;
+    }
+    const double fallback = measured > 0 ? sum / measured : 1.0;
+    for (double& c : costs) {
+        if (c < 0.0) c = fallback;
+        if (c < 1.0) c = 1.0;  // floor: zeroes would degenerate the LPT
+    }
+    return costs;
 }
 
 }  // namespace slpwlo::dist

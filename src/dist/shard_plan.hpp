@@ -93,4 +93,27 @@ std::vector<ShardPlan> make_shard_plans(
     std::vector<SweepPoint> grid, int shard_count,
     ShardStrategy strategy = ShardStrategy::RoundRobin);
 
+/// CostBalanced partition with explicit per-slot costs instead of the
+/// estimate_point_cost heuristic — the re-serve path: slot_costs[i] is
+/// the relative cost of grid slot i (one entry per grid point). Costs
+/// only shape the wall-clock balance, never results.
+std::vector<ShardPlan> make_shard_plans(std::vector<SweepPoint> grid,
+                                        int shard_count,
+                                        const std::vector<double>& slot_costs);
+
+struct ShardResultsFile;
+
+/// Per-slot costs measured by a previous run of the same grid: the
+/// minimum `micros` reported for each slot across `files` (elastic
+/// re-issue legitimately reports a slot twice; the straggler's inflated
+/// wall-clock must not poison the plan). Slots no file reported get the
+/// mean of the measured ones (1.0 when nothing was measured), and every
+/// cost is floored at one microsecond so a degenerate measurement cannot
+/// zero out the LPT ordering. Files whose grid fingerprint or slot count
+/// disagree with (`total_slots`, `grid_fp`) throw — re-serving a
+/// different grid from old measurements would balance garbage.
+std::vector<double> measured_slot_costs(
+    const std::vector<ShardResultsFile>& files, size_t total_slots,
+    uint64_t grid_fp);
+
 }  // namespace slpwlo::dist

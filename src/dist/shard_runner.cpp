@@ -14,6 +14,7 @@ ShardRow make_shard_row(size_t slot, const SweepPoint& point,
     out.point_fp = point_fingerprint(point);
     out.json = sweep_result_to_json(row.result);
     out.micros = row.micros;
+    out.measured_ns = row.result.flow.measured_ns;
     return out;
 }
 

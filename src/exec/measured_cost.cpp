@@ -1,0 +1,80 @@
+#include "exec/measured_cost.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "exec/compiled_kernel.hpp"
+#include "sim/double_sim.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::exec {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long long ns_since(Clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+long long measure_kernel_ns(const Kernel& kernel, const FixedPointSpec& spec,
+                            const MeasureOptions& options) {
+    SLPWLO_CHECK(options.reps >= 1 && options.batch >= 1,
+                 "measure_kernel_ns needs at least one rep and one stimulus");
+    std::string error;
+    const std::unique_ptr<CompiledKernel> ck =
+        CompiledKernel::create(kernel, spec, &error);
+    if (ck == nullptr) return 0;
+
+    const size_t in_elems = ck->input_elems();
+    const size_t oc = ck->output_count();
+    const size_t batch = static_cast<size_t>(options.batch);
+    std::vector<int64_t> in(batch * in_elems);
+    std::vector<int64_t> out(batch * oc);
+    std::vector<long long> ovf(batch, 0);
+    const Stimulus stimulus = make_stimulus(kernel, options.seed);
+    ck->pack_stimulus(stimulus, in.data());
+    for (size_t s = 1; s < batch; ++s) {
+        std::copy(in.begin(),
+                  in.begin() + static_cast<long>(in_elems),
+                  in.begin() + static_cast<long>(s * in_elems));
+    }
+
+    auto run_batch = [&] {
+        std::fill(ovf.begin(), ovf.end(), 0);
+        ck->run_fixed_batch(in.data(), out.data(), ovf.data(),
+                            static_cast<int>(batch));
+    };
+
+    for (int i = 0; i < options.warmup; ++i) run_batch();
+
+    long long iters = options.iters;
+    if (iters <= 0) {
+        // Calibrate once; the pinned count is reused for every repetition
+        // so all reps time the same amount of work.
+        const Clock::time_point start = Clock::now();
+        run_batch();
+        const long long once = std::max<long long>(1, ns_since(start));
+        iters = std::max<long long>(1, options.calibrate_ns / once);
+    }
+
+    std::vector<long long> samples;
+    samples.reserve(static_cast<size_t>(options.reps));
+    for (int rep = 0; rep < options.reps; ++rep) {
+        const Clock::time_point start = Clock::now();
+        for (long long i = 0; i < iters; ++i) run_batch();
+        const long long elapsed = ns_since(start);
+        samples.push_back(
+            elapsed / std::max<long long>(
+                          1, iters * static_cast<long long>(batch)));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+}  // namespace slpwlo::exec

@@ -1,0 +1,98 @@
+#include "exec/toolchain.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace slpwlo::exec {
+namespace {
+
+/// First line of `command`'s stdout, or empty when the command fails.
+/// Stderr is discarded; a non-zero exit or no output means "not a compiler".
+std::string probe_version(const std::string& command) {
+    const std::string line = command + " --version 2>/dev/null";
+    FILE* pipe = popen(line.c_str(), "r");
+    if (pipe == nullptr) return {};
+    char buffer[512];
+    std::string banner;
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) banner = buffer;
+    const int status = pclose(pipe);
+    if (status != 0) return {};
+    while (!banner.empty() &&
+           (banner.back() == '\n' || banner.back() == '\r')) {
+        banner.pop_back();
+    }
+    return banner;
+}
+
+Toolchain probe_host() {
+    Toolchain tc;
+    // -ffp-contract=off keeps the emitted double reference bodies free of
+    // fused multiply-adds, which the bit-identity contract requires.
+    tc.flags = "-O2 -fPIC -shared -ffp-contract=off";
+    std::vector<std::string> candidates;
+    if (const char* env = std::getenv("SLPWLO_CC");
+        env != nullptr && env[0] != '\0') {
+        // An explicit override is authoritative: if it does not work we
+        // report "no toolchain" rather than silently picking another one.
+        candidates = {env};
+    } else {
+        candidates = {"cc", "gcc", "clang"};
+    }
+    for (const std::string& cc : candidates) {
+        const std::string banner = probe_version(cc);
+        if (banner.empty()) continue;
+        tc.usable = true;
+        tc.cc = cc;
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(
+                          hash_name(cc + "|" + banner + "|" + tc.flags)));
+        tc.id = cc + "-" + hex;
+        break;
+    }
+    return tc;
+}
+
+}  // namespace
+
+const Toolchain& host_toolchain() {
+    static const Toolchain toolchain = probe_host();
+    return toolchain;
+}
+
+bool compile_shared(const Toolchain& toolchain, const std::string& c_path,
+                    const std::string& so_path, std::string* log) {
+    if (!toolchain.usable) {
+        if (log != nullptr) *log = "no usable C compiler";
+        return false;
+    }
+    const std::string log_path = so_path + ".log";
+    const std::string command = toolchain.cc + " " + toolchain.flags +
+                                " -o '" + so_path + "' '" + c_path + "' > '" +
+                                log_path + "' 2>&1";
+    const int status = std::system(command.c_str());
+    std::string diagnostics;
+    if (FILE* f = std::fopen(log_path.c_str(), "r"); f != nullptr) {
+        char buffer[1024];
+        size_t n = 0;
+        while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+            diagnostics.append(buffer, n);
+        }
+        std::fclose(f);
+    }
+    std::error_code ec;
+    std::filesystem::remove(log_path, ec);
+    if (log != nullptr) *log = diagnostics;
+    if (status != 0 || !std::filesystem::exists(so_path)) {
+        std::filesystem::remove(so_path, ec);
+        return false;
+    }
+    return true;
+}
+
+}  // namespace slpwlo::exec

@@ -1,0 +1,36 @@
+// Host toolchain probe for the compile-and-execute backend.
+//
+// The backend shells out to a C compiler to turn emitted kernels into
+// shared objects. The compiler is discovered once per process (and the
+// result cached): `$SLPWLO_CC` if set, otherwise the first of `cc`, `gcc`,
+// `clang` that answers `--version`. The probe's version banner is folded
+// into `id`, which participates in the JitCache key so objects built by a
+// different compiler are never reused.
+//
+// A missing compiler is not an error at this layer: `usable` is false and
+// every caller is expected to degrade (CompiledEvaluator falls back to the
+// SimTape, MeasuredCostModel reports 0). A `clang -target` cross hook can
+// slot in later by constructing a Toolchain by hand.
+#pragma once
+
+#include <string>
+
+namespace slpwlo::exec {
+
+struct Toolchain {
+    bool usable = false;
+    std::string cc;     ///< compiler command ("cc", "/usr/bin/clang", ...)
+    std::string id;     ///< cache identity: command + version banner hash
+    std::string flags;  ///< compile flags (position-independent shared object)
+};
+
+/// The probed host toolchain; the probe runs once and is cached for the
+/// process. Thread-safe.
+const Toolchain& host_toolchain();
+
+/// Compile `c_path` into the shared object `so_path`. Returns false (and
+/// fills `log` with the compiler's diagnostics) on failure.
+bool compile_shared(const Toolchain& toolchain, const std::string& c_path,
+                    const std::string& so_path, std::string* log = nullptr);
+
+}  // namespace slpwlo::exec

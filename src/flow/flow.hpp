@@ -25,6 +25,7 @@
 #include <mutex>
 
 #include "accuracy/analytic_evaluator.hpp"
+#include "accuracy/sim_backend.hpp"
 #include "core/wlo_first.hpp"
 #include "fixpoint/iwl.hpp"
 #include "lower/lowering.hpp"
@@ -38,6 +39,18 @@ struct FlowOptions {
     QuantMode quant_mode = QuantMode::Truncate;
     WloSlpOptions wlo_slp;      ///< accuracy_db is overridden
     WloFirstOptions wlo_first;  ///< accuracy_db is overridden
+    /// Bit-accurate noise backend for simulation-backed verification:
+    /// measured_noise_db, and the post-flow `measure` hook (FlowResult::
+    /// sim_noise_db). All three backends produce bit-identical noise
+    /// power; `compiled` is the fast path and silently degrades to the
+    /// tape when no host compiler is usable. Execution-strategy only:
+    /// excluded from stage_memo_key and from options_to_json, so switching
+    /// backends can never split the cache or change report bytes.
+    SimBackend evaluator = SimBackend::Tape;
+    /// Time the compiled kernel body after the flow (FlowResult::
+    /// measured_ns). Observational, like `evaluator`: excluded from memo
+    /// keys and default report bytes.
+    bool measure = false;
 };
 
 class KernelContext {
@@ -105,6 +118,20 @@ struct FlowResult {
     ScalingStats scaling_stats;  ///< WLO-SLP only
     TabuStats tabu_stats;        ///< WLO-First only
     int group_count = 0;
+
+    /// Median wall time of one compiled kernel execution in nanoseconds
+    /// (exec/measured_cost.hpp); 0 unless FlowOptions::measure was set and
+    /// the compiled backend was usable. Like per-slot micros, this is a
+    /// measurement, not an outcome: it is excluded from every identity
+    /// fingerprint and from default to_json bytes.
+    long long measured_ns = 0;
+    /// Simulation-verified noise of the final spec, run on the configured
+    /// FlowOptions::evaluator backend; 0 unless `measure` was set. All
+    /// backends are bit-identical, so this can never differ across
+    /// `--evaluator` choices — it exists to execute the chosen backend
+    /// (and its degradation path) during real sweeps, and as a sim-vs-
+    /// analytic cross-check. Observational, like measured_ns.
+    double sim_noise_db = 0.0;
 };
 
 FlowResult run_wlo_slp_flow(const KernelContext& context,

@@ -6,6 +6,8 @@
 #include "core/slp_aware_wlo.hpp"
 #include "core/tabu_wlo.hpp"
 #include "core/wlo_first.hpp"
+#include "exec/compiled_evaluator.hpp"
+#include "exec/measured_cost.hpp"
 #include "support/diagnostics.hpp"
 
 namespace slpwlo {
@@ -339,6 +341,9 @@ uint64_t stage_memo_key(const KernelContext& context,
                static_cast<int64_t>(wf.tabu.stagnation_limit)));
     mix_double(wf.tabu.infeasibility_penalty);
     mix_slp(wf.slp);
+    // options.evaluator and options.measure are deliberately NOT mixed:
+    // they pick an execution strategy (and an observational timing), not
+    // an outcome, so switching them must keep hitting the same entries.
     return h;
 }
 
@@ -618,6 +623,21 @@ FlowResult FlowPipeline::run(const KernelContext& context,
         entry.tabu_stats = ctx.result.tabu_stats;
         entry.group_count = ctx.result.group_count;
         cache->store_stage(*ctx.stage_key, entry);
+    }
+
+    // Observational timing + simulation-backed verification of the final
+    // spec. Outside the memoized region on purpose: a warm (stage- or
+    // eval-cached) run still measures, and a measurement never lands in
+    // any cache entry. The noise check runs on the configured `--evaluator`
+    // backend — this is where the axis actually executes during a sweep
+    // (all three backends are bit-identical, so the bytes cannot differ).
+    // The float reference has no fixed-point spec to compile.
+    if (ctx.options.measure && !ctx.float_variant) {
+        ctx.result.measured_ns =
+            exec::measure_kernel_ns(context.kernel(), ctx.result.spec);
+        ctx.result.sim_noise_db =
+            exec::make_noise_evaluator(context.kernel(), ctx.options.evaluator)
+                ->noise_power_db(ctx.result.spec);
     }
     return std::move(ctx.result);
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "accuracy/sim_evaluator.hpp"
+#include "exec/compiled_evaluator.hpp"
 #include "support/diagnostics.hpp"
 #include "support/text.hpp"
 
@@ -62,6 +63,14 @@ double measured_noise_db(const KernelContext& context,
     return sim.noise_power_db(result.spec);
 }
 
+double measured_noise_db(const KernelContext& context,
+                         const FlowResult& result, int runs,
+                         SimBackend backend) {
+    const std::unique_ptr<AccuracyEvaluator> evaluator =
+        exec::make_noise_evaluator(context.kernel(), backend, runs);
+    return evaluator->noise_power_db(result.spec);
+}
+
 std::string json_escape(const std::string& text) {
     std::ostringstream os;
     os << '"';
@@ -91,7 +100,7 @@ std::string json_number(double value) {
     return format_double(value, 10);
 }
 
-std::string to_json(const FlowResult& result) {
+std::string to_json(const FlowResult& result, bool include_measured) {
     std::ostringstream os;
     os << "{\"flow\":" << json_escape(result.flow_name)
        << ",\"kernel\":" << json_escape(result.kernel_name)
@@ -122,6 +131,10 @@ std::string to_json(const FlowResult& result) {
     os << ",\"tabu\":{\"iterations\":" << result.tabu_stats.iterations
        << ",\"feasible\":" << (result.tabu_stats.feasible ? "true" : "false")
        << "}";
+    if (include_measured) {
+        os << ",\"measured_ns\":" << result.measured_ns
+           << ",\"sim_noise_db\":" << json_number(result.sim_noise_db);
+    }
     os << "}";
     return os.str();
 }

@@ -27,6 +27,14 @@ std::string wl_histogram(const FixedPointSpec& spec);
 double measured_noise_db(const KernelContext& context,
                          const FlowResult& result, int runs = 2);
 
+/// Same measurement through a selectable backend (tape, walker or
+/// compiled — exec/compiled_evaluator.hpp's make_noise_evaluator). Every
+/// backend returns bit-identical noise power; `compiled` degrades to the
+/// tape when no host compiler is usable.
+double measured_noise_db(const KernelContext& context,
+                         const FlowResult& result, int runs,
+                         SimBackend backend);
+
 // --- structured emission -------------------------------------------------------
 
 /// JSON string literal with the required escapes.
@@ -39,6 +47,12 @@ std::string json_number(double value);
 /// One FlowResult as a single JSON object: flow/kernel/target identity,
 /// the constraint, cycle counts, analytic noise, group count, the WL
 /// histogram, and the per-flow optimizer statistics.
-std::string to_json(const FlowResult& result);
+///
+/// `include_measured` additionally emits "measured_ns" and
+/// "sim_noise_db". It defaults off so
+/// default report bytes — and everything fingerprinted from them — stay
+/// independent of wall-clock measurements (same discipline as per-slot
+/// micros in shard result rows).
+std::string to_json(const FlowResult& result, bool include_measured = false);
 
 }  // namespace slpwlo

@@ -5,6 +5,7 @@
 #include <exception>
 #include <sstream>
 
+#include "exec/jit_cache.hpp"
 #include "flow/report.hpp"
 #include "flow/work_source.hpp"
 #include "support/diagnostics.hpp"
@@ -172,6 +173,9 @@ SweepCacheStats SweepDriver::cache_stats() const {
         std::lock_guard<std::mutex> lock(contexts_mutex_);
         stats.contexts = contexts_.size();
     }
+    const exec::JitCacheStats jit = exec::jit_cache_stats();
+    stats.jit_hits = jit.hits;
+    stats.jit_builds = jit.builds;
     return stats;
 }
 
@@ -196,7 +200,9 @@ std::string slp_options_to_json(const SlpOptions& slp) {
 
 /// The option fields a per-point override can vary (both flows' ablation
 /// axes); emitted alongside the result so variant rows stay
-/// distinguishable.
+/// distinguishable. The evaluator/measure fields are deliberately absent:
+/// they select an execution strategy, not an outcome, so rows produced
+/// under different backends must stay byte-identical.
 std::string options_to_json(const FlowOptions& options) {
     std::ostringstream os;
     os << "{\"quant_mode\":"
@@ -253,7 +259,14 @@ std::string cache_stats_to_json(const SweepCacheStats& stats) {
        << ",\"stage_hits\":" << stats.stage_hits
        << ",\"stage_misses\":" << stats.stage_misses
        << ",\"stage_entries\":" << stats.stage_entries
-       << ",\"contexts\":" << stats.contexts << "}";
+       << ",\"contexts\":" << stats.contexts;
+    // JIT traffic appears only when the compiled backend actually ran, so
+    // tape/walker sweeps keep their historical report bytes.
+    if (stats.jit_hits != 0 || stats.jit_builds != 0) {
+        os << ",\"jit_hits\":" << stats.jit_hits
+           << ",\"jit_builds\":" << stats.jit_builds;
+    }
+    os << "}";
     return os.str();
 }
 

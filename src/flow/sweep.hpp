@@ -90,6 +90,11 @@ struct SweepCacheStats {
     size_t stage_misses = 0;
     size_t stage_entries = 0;
     size_t contexts = 0;
+    /// Process-wide JitCache traffic (exec/jit_cache.hpp): shared objects
+    /// reused from / added to the on-disk cache by compiled evaluation and
+    /// measurement. Both zero unless the compiled backend ran.
+    size_t jit_hits = 0;
+    size_t jit_builds = 0;
 };
 
 class SweepDriver {

@@ -98,54 +98,94 @@ bool PackedView::independent(int a, int b) const {
     return !depends(a, b) && !depends(b, a);
 }
 
-void PackedView::rebuild_node_deps() {
+bool PackedView::lanes_depend(const Node& a, const Node& b) const {
+    for (const OpId la : a.lanes) {
+        for (const OpId lb : b.lanes) {
+            if (deps_.depends(position_of(la), position_of(lb))) return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::vector<bool>> PackedView::full_node_deps() const {
     const int n = size();
-    node_dep_.assign(static_cast<size_t>(n),
-                     std::vector<bool>(static_cast<size_t>(n), false));
+    std::vector<std::vector<bool>> dep(
+        static_cast<size_t>(n),
+        std::vector<bool>(static_cast<size_t>(n), false));
     for (int i = 0; i < n; ++i) {
         for (int j = 0; j < n; ++j) {
             if (i == j) continue;
-            bool dep = false;
-            for (const OpId la : nodes_[static_cast<size_t>(i)].lanes) {
-                for (const OpId lb : nodes_[static_cast<size_t>(j)].lanes) {
-                    if (deps_.depends(position_of(la), position_of(lb))) {
-                        dep = true;
-                        break;
-                    }
-                }
-                if (dep) break;
-            }
-            node_dep_[static_cast<size_t>(i)][static_cast<size_t>(j)] = dep;
+            dep[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+                lanes_depend(nodes_[static_cast<size_t>(i)],
+                             nodes_[static_cast<size_t>(j)]);
         }
     }
+    return dep;
 }
 
+void PackedView::rebuild_node_deps() { node_dep_ = full_node_deps(); }
+
 void PackedView::fuse(const std::vector<std::vector<int>>& tuples) {
+    // Each pending node remembers which pre-fusion nodes it absorbs, so
+    // the dependence matrix can be folded instead of rebuilt.
+    struct Pending {
+        Node node;
+        std::vector<int> sources;
+    };
     std::vector<bool> consumed(nodes_.size(), false);
-    std::vector<Node> next;
+    std::vector<Pending> next;
     next.reserve(nodes_.size());
     for (const std::vector<int>& tuple : tuples) {
         SLPWLO_ASSERT(tuple.size() >= 2, "fuse tuples need >= 2 nodes");
-        Node fused;
-        fused.anchor = nodes_[static_cast<size_t>(tuple.front())].anchor;
+        Pending fused;
+        fused.node.anchor = nodes_[static_cast<size_t>(tuple.front())].anchor;
         for (const int n : tuple) {
             SLPWLO_ASSERT(!consumed[static_cast<size_t>(n)],
                           "fuse tuples must be disjoint");
             consumed[static_cast<size_t>(n)] = true;
             const Node& node = nodes_[static_cast<size_t>(n)];
-            fused.lanes.insert(fused.lanes.end(), node.lanes.begin(),
-                               node.lanes.end());
-            fused.anchor = std::min(fused.anchor, node.anchor);
+            fused.node.lanes.insert(fused.node.lanes.end(), node.lanes.begin(),
+                                    node.lanes.end());
+            fused.node.anchor = std::min(fused.node.anchor, node.anchor);
+            fused.sources.push_back(n);
         }
         next.push_back(std::move(fused));
     }
     for (size_t i = 0; i < nodes_.size(); ++i) {
-        if (!consumed[i]) next.push_back(std::move(nodes_[i]));
+        if (!consumed[i]) {
+            next.push_back(
+                Pending{std::move(nodes_[i]), {static_cast<int>(i)}});
+        }
     }
-    std::sort(next.begin(), next.end(),
-              [](const Node& x, const Node& y) { return x.anchor < y.anchor; });
-    nodes_ = std::move(next);
-    rebuild_node_deps();
+    std::sort(next.begin(), next.end(), [](const Pending& x, const Pending& y) {
+        return x.node.anchor < y.node.anchor;
+    });
+
+    // Incremental update: node_dep_ is an OR over lane pairs of the fixed
+    // scalar closure, so a fused node's row/column is exactly the union
+    // of its sources' — fold the old matrix through the index map, no
+    // lane walks. (Same-source entries die on the diagonal: whether two
+    // fused lanes depended on each other is internal to the group.)
+    std::vector<size_t> to_new(nodes_.size(), 0);
+    for (size_t I = 0; I < next.size(); ++I) {
+        for (const int src : next[I].sources) {
+            to_new[static_cast<size_t>(src)] = I;
+        }
+    }
+    std::vector<std::vector<bool>> dep(
+        next.size(), std::vector<bool>(next.size(), false));
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const std::vector<bool>& row = node_dep_[i];
+        for (size_t j = 0; j < nodes_.size(); ++j) {
+            if (row[j] && to_new[i] != to_new[j]) {
+                dep[to_new[i]][to_new[j]] = true;
+            }
+        }
+    }
+    node_dep_ = std::move(dep);
+    nodes_.clear();
+    nodes_.reserve(next.size());
+    for (Pending& pending : next) nodes_.push_back(std::move(pending.node));
 }
 
 void PackedView::split_to_scalars(const std::vector<int>& nodes) {
@@ -155,24 +195,49 @@ void PackedView::split_to_scalars(const std::vector<int>& nodes) {
         SLPWLO_ASSERT(n >= 0 && n < size(), "split index out of range");
         split[static_cast<size_t>(n)] = true;
     }
-    std::vector<Node> next;
+    struct Pending {
+        Node node;
+        size_t source;    // pre-split index
+        bool from_split;  // one lane carved out of a split node
+    };
+    std::vector<Pending> next;
     next.reserve(nodes_.size());
     for (size_t i = 0; i < nodes_.size(); ++i) {
         if (!split[i]) {
-            next.push_back(std::move(nodes_[i]));
+            next.push_back(Pending{std::move(nodes_[i]), i, false});
             continue;
         }
         for (const OpId lane : nodes_[i].lanes) {
             Node scalar;
             scalar.lanes = {lane};
             scalar.anchor = position_of(lane);
-            next.push_back(std::move(scalar));
+            next.push_back(Pending{std::move(scalar), i, true});
         }
     }
-    std::sort(next.begin(), next.end(),
-              [](const Node& x, const Node& y) { return x.anchor < y.anchor; });
-    nodes_ = std::move(next);
-    rebuild_node_deps();
+    std::sort(next.begin(), next.end(), [](const Pending& x, const Pending& y) {
+        return x.node.anchor < y.node.anchor;
+    });
+
+    // Incremental update: pairs of surviving nodes keep their entries
+    // verbatim; only pairs touching a split-off scalar re-derive from the
+    // scalar closure (the old aggregated entry over-approximates a single
+    // lane, and two lanes of one former group may depend on each other).
+    std::vector<std::vector<bool>> dep(
+        next.size(), std::vector<bool>(next.size(), false));
+    for (size_t I = 0; I < next.size(); ++I) {
+        for (size_t J = 0; J < next.size(); ++J) {
+            if (I == J) continue;
+            if (!next[I].from_split && !next[J].from_split) {
+                dep[I][J] = node_dep_[next[I].source][next[J].source];
+            } else {
+                dep[I][J] = lanes_depend(next[I].node, next[J].node);
+            }
+        }
+    }
+    node_dep_ = std::move(dep);
+    nodes_.clear();
+    nodes_.reserve(next.size());
+    for (Pending& pending : next) nodes_.push_back(std::move(pending.node));
 }
 
 std::vector<SimdGroup> PackedView::groups() const {

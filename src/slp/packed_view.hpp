@@ -75,19 +75,32 @@ public:
     /// — a pair for classic pairwise fusion, k nodes for a run-seeded
     /// k-lane group entering the view in one step. Tuples must be
     /// disjoint; indices refer to the pre-fusion view. Node dependences
-    /// are rebuilt.
+    /// are updated incrementally: the matrix is an OR over lane pairs of
+    /// the (fixed) scalar closure, so a fused node's row and column are
+    /// exactly the union of its sources' — no lane walks, no O(n²·w²)
+    /// rebuild per extraction round.
     void fuse(const std::vector<std::vector<int>>& tuples);
 
     /// Undo fusion of the given nodes: each becomes one width-1 node per
     /// lane again (anchored at the lane's block position). Used to
     /// de-virtualize groups stranded at a width the target cannot
-    /// realize. Indices refer to the pre-split view.
+    /// realize. Indices refer to the pre-split view. Dependences update
+    /// incrementally: surviving pairs keep their entries, only rows and
+    /// columns touching a split-off scalar re-derive from the scalar
+    /// closure (the old aggregated entry over-approximates one lane).
     void split_to_scalars(const std::vector<int>& nodes);
 
     /// All groups formed so far (nodes with width >= 2), in anchor order.
     std::vector<SimdGroup> groups() const;
 
+    /// Full recomputation of the node dependence matrix from the scalar
+    /// closure — the reference the incremental fuse/split updates must
+    /// reproduce bit for bit. Differential-test hook; the hot path only
+    /// pays it once, at construction.
+    std::vector<std::vector<bool>> full_node_deps() const;
+
 private:
+    bool lanes_depend(const Node& a, const Node& b) const;
     void rebuild_node_deps();
 
     const Kernel* kernel_;

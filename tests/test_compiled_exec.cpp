@@ -1,0 +1,345 @@
+// Differential tests for the compile-and-execute backend (src/exec).
+//
+// The compiled artifact must be a bit-exact stand-in for the interpreted
+// simulators: raw fixed-point outputs and overflow counts identical to
+// SimTape::run_fixed (and the tree walker), reference traces identical to
+// run_double, and CompiledEvaluator's noise power identical to
+// SimulationEvaluator's — across the registry kernels, word-length presets
+// and quantization modes. Tests that need the host toolchain skip when no
+// compiler is usable (matching tests/test_codegen.cpp).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "accuracy/sim_backend.hpp"
+#include "accuracy/sim_evaluator.hpp"
+#include "exec/compiled_evaluator.hpp"
+#include "exec/compiled_kernel.hpp"
+#include "exec/jit_cache.hpp"
+#include "exec/measured_cost.hpp"
+#include "exec/toolchain.hpp"
+#include "flow/flow.hpp"
+#include "flow/report.hpp"
+#include "kernels/kernels.hpp"
+#include "sim/fixed_sim.hpp"
+#include "sim/sim_tape.hpp"
+#include "target/target_model.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t bits_of(double v) {
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+/// Scoped jit-cache directory so cache-counter tests are deterministic and
+/// the suite never litters the shared default directory.
+class TempJitDir {
+public:
+    TempJitDir() {
+        path_ = (fs::temp_directory_path() /
+                 ("slpwlo-jit-test-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(counter_++)))
+                    .string();
+        exec::set_jit_cache_directory(path_);
+    }
+    ~TempJitDir() {
+        exec::set_jit_cache_directory("");
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    static inline int counter_ = 0;
+    std::string path_;
+};
+
+bool toolchain_usable() { return exec::host_toolchain().usable; }
+
+/// The WL preset of tests/test_sim.cpp's differential matrix: non-uniform
+/// WLs and a deliberately tight IWL so saturation paths are exercised.
+FixedPointSpec preset_spec(const Kernel& kernel, int base_wl,
+                           QuantMode mode) {
+    FixedPointSpec spec(kernel);
+    spec.set_quant_mode(mode);
+    size_t i = 0;
+    for (const NodeRef node : spec.nodes()) {
+        const int wl = base_wl + static_cast<int>(i++ % 3);
+        spec.set_format(node, FixedFormat(4, wl - 4));
+    }
+    return spec;
+}
+
+/// Raw-integer view of a value-domain output trace (exact: every simulator
+/// output is an integer multiple of its store's step).
+long long raw_of(double value, double step) {
+    return std::llround(value / step);
+}
+
+TEST(CompiledExec, FixedMatchesTapeAndWalkerBitwiseAcrossRegistry) {
+    if (!toolchain_usable()) GTEST_SKIP() << "no host C compiler";
+    TempJitDir jit_dir;
+    for (const std::string& name : kernels::benchmark_kernel_names()) {
+        const kernels::BenchmarkKernel bk =
+            kernels::make_benchmark_kernel(name);
+        const SimTape tape(bk.kernel);
+        const Stimulus stimulus = make_stimulus(bk.kernel, 29);
+
+        for (const int base_wl : {8, 12, 16}) {
+            for (const QuantMode mode :
+                 {QuantMode::Truncate, QuantMode::Round}) {
+                const FixedPointSpec spec =
+                    preset_spec(bk.kernel, base_wl, mode);
+                const std::string what = name + " wl" +
+                                         std::to_string(base_wl) + " " +
+                                         to_string(mode);
+
+                std::string error;
+                const auto ck =
+                    exec::CompiledKernel::create(bk.kernel, spec, &error);
+                ASSERT_NE(ck, nullptr) << what << ": " << error;
+
+                std::vector<int64_t> in(ck->input_elems());
+                std::vector<int64_t> out(ck->output_count());
+                long long ovf = ck->param_overflow_count() +
+                                ck->pack_stimulus(stimulus, in.data());
+                ck->run_fixed_batch(in.data(), out.data(), &ovf, 1);
+
+                const FixedSimResult sim = run_fixed(tape, spec, stimulus);
+                ASSERT_EQ(sim.outputs.size(), out.size()) << what;
+                for (size_t i = 0; i < out.size(); ++i) {
+                    ASSERT_EQ(out[i],
+                              raw_of(sim.outputs[i], ck->output_step(i)))
+                        << what << " output " << i;
+                }
+                EXPECT_EQ(ovf, sim.overflow_count) << what;
+
+                if (base_wl == 12) {
+                    // Close the three-way loop through the tree walker.
+                    const FixedSimResult walker =
+                        run_fixed_walker(bk.kernel, spec, stimulus);
+                    ASSERT_EQ(walker.outputs.size(), out.size()) << what;
+                    for (size_t i = 0; i < out.size(); ++i) {
+                        ASSERT_EQ(out[i], raw_of(walker.outputs[i],
+                                                 ck->output_step(i)))
+                            << what << " output " << i;
+                    }
+                    EXPECT_EQ(ovf, walker.overflow_count) << what;
+                }
+            }
+        }
+    }
+}
+
+TEST(CompiledExec, RefBatchMatchesRunDoubleBitwiseAcrossRegistry) {
+    if (!toolchain_usable()) GTEST_SKIP() << "no host C compiler";
+    TempJitDir jit_dir;
+    for (const std::string& name : kernels::benchmark_kernel_names()) {
+        const kernels::BenchmarkKernel bk =
+            kernels::make_benchmark_kernel(name);
+        const SimTape tape(bk.kernel);
+        const FixedPointSpec spec =
+            preset_spec(bk.kernel, 12, QuantMode::Truncate);
+        std::string error;
+        const auto ck = exec::CompiledKernel::create(bk.kernel, spec, &error);
+        ASSERT_NE(ck, nullptr) << name << ": " << error;
+
+        // Two stimuli through one batched call.
+        const Stimulus s0 = make_stimulus(bk.kernel, 0x5E1F);
+        const Stimulus s1 = make_stimulus(bk.kernel, 0x5E1F + 1);
+        const size_t elems = ck->input_elems();
+        const size_t oc = ck->output_count();
+        std::vector<double> in(2 * elems);
+        std::vector<double> out(2 * oc);
+        ck->pack_stimulus_ref(s0, in.data());
+        ck->pack_stimulus_ref(s1, in.data() + elems);
+        ck->run_ref_batch(in.data(), out.data(), 2);
+
+        const std::vector<double> ref0 = run_double(tape, s0).outputs;
+        const std::vector<double> ref1 = run_double(tape, s1).outputs;
+        ASSERT_EQ(ref0.size(), oc) << name;
+        for (size_t i = 0; i < oc; ++i) {
+            ASSERT_EQ(bits_of(out[i]), bits_of(ref0[i]))
+                << name << " ref output " << i;
+            ASSERT_EQ(bits_of(out[oc + i]), bits_of(ref1[i]))
+                << name << " ref output " << i << " (second stimulus)";
+        }
+    }
+}
+
+TEST(CompiledExec, EvaluatorNoisePowerBitIdenticalToSimulation) {
+    if (!toolchain_usable()) GTEST_SKIP() << "no host C compiler";
+    TempJitDir jit_dir;
+    for (const std::string& name : kernels::benchmark_kernel_names()) {
+        const kernels::BenchmarkKernel bk =
+            kernels::make_benchmark_kernel(name);
+        const SimulationEvaluator sim_eval(bk.kernel);
+        const WalkerEvaluator walker_eval(bk.kernel);
+        const exec::CompiledEvaluator compiled_eval(bk.kernel);
+        for (const int base_wl : {10, 14}) {
+            const FixedPointSpec spec =
+                preset_spec(bk.kernel, base_wl, QuantMode::Truncate);
+            const double sim_power = sim_eval.noise_power(spec);
+            EXPECT_EQ(bits_of(compiled_eval.noise_power(spec)),
+                      bits_of(sim_power))
+                << name << " wl" << base_wl;
+            EXPECT_EQ(bits_of(walker_eval.noise_power(spec)),
+                      bits_of(sim_power))
+                << name << " wl" << base_wl;
+        }
+        EXPECT_FALSE(compiled_eval.degraded()) << name;
+    }
+}
+
+TEST(CompiledExec, JitCacheHitsAndRebuildsOnFingerprintChange) {
+    if (!toolchain_usable()) GTEST_SKIP() << "no host C compiler";
+    TempJitDir jit_dir;
+    const Kernel& kernel = ::slpwlo::testing::small_fir();
+    const FixedPointSpec spec = preset_spec(kernel, 12, QuantMode::Truncate);
+
+    exec::reset_jit_cache_stats();
+    std::string error;
+    ASSERT_NE(exec::CompiledKernel::create(kernel, spec, &error), nullptr)
+        << error;
+    exec::JitCacheStats stats = exec::jit_cache_stats();
+    EXPECT_EQ(stats.builds, 1);
+    EXPECT_EQ(stats.hits, 0);
+
+    // Same formats again: the object is served from disk.
+    ASSERT_NE(exec::CompiledKernel::create(kernel, spec, &error), nullptr);
+    stats = exec::jit_cache_stats();
+    EXPECT_EQ(stats.builds, 1);
+    EXPECT_EQ(stats.hits, 1);
+
+    // Any format change changes the fingerprint and forces a rebuild.
+    FixedPointSpec changed = spec;
+    changed.set_wl(changed.nodes().front(), 20);
+    EXPECT_NE(exec::spec_format_fingerprint(changed),
+              exec::spec_format_fingerprint(spec));
+    ASSERT_NE(exec::CompiledKernel::create(kernel, changed, &error), nullptr);
+    stats = exec::jit_cache_stats();
+    EXPECT_EQ(stats.builds, 2);
+    EXPECT_EQ(stats.hits, 1);
+
+    // Quantization mode is part of the key too.
+    FixedPointSpec rounded = spec;
+    rounded.set_quant_mode(QuantMode::Round);
+    ASSERT_NE(exec::CompiledKernel::create(kernel, rounded, &error), nullptr);
+    stats = exec::jit_cache_stats();
+    EXPECT_EQ(stats.builds, 3);
+}
+
+TEST(CompiledExec, StaleTempFilesAreSweptByAgeOnly) {
+    TempJitDir jit_dir;
+    fs::create_directories(jit_dir.path());
+    const fs::path stale = fs::path(jit_dir.path()) / "dead.so.tmp.999.0";
+    const fs::path fresh = fs::path(jit_dir.path()) / "live.so.tmp.1000.0";
+    const fs::path object = fs::path(jit_dir.path()) / "0123456789abcdef.so";
+    for (const fs::path& p : {stale, fresh, object}) {
+        std::ofstream(p) << "x";
+    }
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+
+    EXPECT_EQ(exec::jit_cleanup_stale(jit_dir.path(), 60000), 1);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh));   // young temp: a build may be running
+    EXPECT_TRUE(fs::exists(object));  // published objects are never swept
+    EXPECT_EQ(exec::jit_cleanup_stale("/nonexistent-dir", 1), 0);
+}
+
+TEST(CompiledExec, EvaluatorDegradesToTapeWhenBuildFails) {
+    // An unusable cache directory makes every build fail, which must leave
+    // the evaluator bit-identical to the tape backend instead of throwing.
+    exec::set_jit_cache_directory("/dev/null/unwritable");
+    const Kernel& kernel = ::slpwlo::testing::small_fir();
+    const exec::CompiledEvaluator compiled_eval(kernel);
+    const SimulationEvaluator sim_eval(kernel);
+    const FixedPointSpec spec = preset_spec(kernel, 12, QuantMode::Truncate);
+    EXPECT_EQ(bits_of(compiled_eval.noise_power(spec)),
+              bits_of(sim_eval.noise_power(spec)));
+    EXPECT_TRUE(compiled_eval.degraded());
+    exec::set_jit_cache_directory("");
+}
+
+TEST(CompiledExec, MeasuredCostReportsPlausibleTiming) {
+    TempJitDir jit_dir;
+    const Kernel& kernel = ::slpwlo::testing::small_fir();
+    const FixedPointSpec spec = preset_spec(kernel, 12, QuantMode::Truncate);
+    exec::MeasureOptions options;
+    options.reps = 3;
+    options.batch = 8;
+    options.calibrate_ns = 200000;
+    const long long ns = exec::measure_kernel_ns(kernel, spec, options);
+    if (!toolchain_usable()) {
+        EXPECT_EQ(ns, 0);
+    } else {
+        EXPECT_GT(ns, 0);
+        EXPECT_LT(ns, 1000000000LL);  // a 16-tap FIR is not a second
+    }
+}
+
+// The `--evaluator` axis must actually execute during a measured flow:
+// the post-flow hook verifies the final spec on the configured backend
+// (FlowResult::sim_noise_db) while the identity JSON stays byte-identical
+// across backends — including the degraded compiled-without-a-compiler
+// case, which falls back to the tape.
+TEST(CompiledExec, FlowMeasureRunsConfiguredEvaluator) {
+    TempJitDir jit_dir;
+    const KernelContext context(::slpwlo::testing::small_fir());
+    FlowOptions tape;
+    tape.accuracy_db = -25.0;
+    tape.measure = true;
+    tape.evaluator = SimBackend::Tape;
+    FlowOptions compiled = tape;
+    compiled.evaluator = SimBackend::Compiled;
+
+    const FlowResult a = run_wlo_slp_flow(context, targets::xentium(), tape);
+    const FlowResult b =
+        run_wlo_slp_flow(context, targets::xentium(), compiled);
+
+    EXPECT_NE(a.sim_noise_db, 0.0);
+    EXPECT_EQ(bits_of(a.sim_noise_db), bits_of(b.sim_noise_db));
+    EXPECT_EQ(to_json(a), to_json(b));
+
+    const std::string measured = to_json(a, /*include_measured=*/true);
+    EXPECT_NE(measured.find("\"sim_noise_db\":"), std::string::npos);
+    EXPECT_NE(measured.find("\"measured_ns\":"), std::string::npos);
+    if (toolchain_usable()) EXPECT_GT(b.measured_ns, 0);
+
+    FlowOptions unmeasured = tape;
+    unmeasured.measure = false;
+    const FlowResult c =
+        run_wlo_slp_flow(context, targets::xentium(), unmeasured);
+    EXPECT_EQ(c.sim_noise_db, 0.0);
+    EXPECT_EQ(c.measured_ns, 0);
+    EXPECT_EQ(to_json(c), to_json(a));
+}
+
+TEST(CompiledExec, FactoryCoversAllBackends) {
+    const Kernel& kernel = ::slpwlo::testing::small_fir();
+    EXPECT_NE(exec::make_noise_evaluator(kernel, SimBackend::Tape), nullptr);
+    EXPECT_NE(exec::make_noise_evaluator(kernel, SimBackend::Walker),
+              nullptr);
+    EXPECT_NE(exec::make_noise_evaluator(kernel, SimBackend::Compiled),
+              nullptr);
+    EXPECT_EQ(parse_sim_backend("tape"), SimBackend::Tape);
+    EXPECT_EQ(parse_sim_backend("walker"), SimBackend::Walker);
+    EXPECT_EQ(parse_sim_backend("compiled"), SimBackend::Compiled);
+    EXPECT_EQ(to_string(SimBackend::Compiled), "compiled");
+    EXPECT_THROW(parse_sim_backend("native"), Error);
+}
+
+}  // namespace
+}  // namespace slpwlo

@@ -158,7 +158,7 @@ TEST(ShardManifest, RoundTripsExactly) {
         const ShardManifest manifest =
             parse_shard_manifest(text, "<round-trip>");
 
-        EXPECT_EQ(manifest.version, 1);
+        EXPECT_EQ(manifest.version, 2);
         EXPECT_EQ(manifest.shard_index, plan.shard_index);
         EXPECT_EQ(manifest.shard_count, plan.shard_count);
         EXPECT_EQ(manifest.strategy, plan.strategy);
@@ -208,12 +208,22 @@ TEST(ShardManifest, RejectsMalformedInput) {
     EXPECT_NO_THROW(parse_shard_manifest(good));
 
     // Unsupported version (the versioning policy: readers reject what
-    // they do not know).
+    // they do not know — v1 and v2 parse, v3 does not exist yet).
     {
         std::string text = good;
-        const size_t pos = text.find("manifest_version = 1");
-        text.replace(pos, 20, "manifest_version = 2");
+        const size_t pos = text.find("manifest_version = 2");
+        ASSERT_NE(pos, std::string::npos);
+        text.replace(pos, 20, "manifest_version = 3");
         EXPECT_THROW(parse_shard_manifest(text), Error);
+    }
+    // A version-1 header still parses (pre-evaluator manifests remain
+    // readable).
+    {
+        std::string text = good;
+        const size_t pos = text.find("manifest_version = 2");
+        ASSERT_NE(pos, std::string::npos);
+        text.replace(pos, 20, "manifest_version = 1");
+        EXPECT_NO_THROW(parse_shard_manifest(text));
     }
     // Unterminated point block.
     {

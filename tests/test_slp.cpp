@@ -76,6 +76,71 @@ TEST(PackedView, SelfAccumulatorHasExternalUses) {
     }
 }
 
+TEST(PackedView, IncrementalDepsMatchFullRebuild) {
+    // fuse/split maintain the node dependence matrix incrementally; every
+    // intermediate state must match the from-scratch recomputation bit
+    // for bit.
+    const Kernel& k = small_fir();
+    PackedView view(k, hot_block(k));
+
+    const auto check = [&](const std::string& stage) {
+        const auto full = view.full_node_deps();
+        for (int i = 0; i < view.size(); ++i) {
+            for (int j = 0; j < view.size(); ++j) {
+                if (i == j) continue;
+                ASSERT_EQ(view.depends(i, j), full[i][j])
+                    << stage << ": nodes (" << i << ", " << j << ")";
+            }
+        }
+    };
+    check("initial");
+
+    // Greedy rounds of same-kind equal-width pair fusion: round 1 builds
+    // 2-lane groups, round 2 widens to 4, exercising multi-lane unions.
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::vector<int>> tuples;
+        std::vector<bool> used(static_cast<size_t>(view.size()), false);
+        for (int i = 0; i < view.size(); ++i) {
+            if (used[static_cast<size_t>(i)]) continue;
+            for (int j = i + 1; j < view.size(); ++j) {
+                if (used[static_cast<size_t>(j)]) continue;
+                if (view.kind(i) != view.kind(j)) continue;
+                if (view.width(i) != view.width(j)) continue;
+                if (!view.independent(i, j)) continue;
+                tuples.push_back({i, j});
+                used[static_cast<size_t>(i)] = true;
+                used[static_cast<size_t>(j)] = true;
+                break;
+            }
+        }
+        if (tuples.empty()) break;
+        view.fuse(tuples);
+        check("after fuse round " + std::to_string(round));
+    }
+    ASSERT_FALSE(view.groups().empty());
+
+    // Split half the groups (narrowing only the affected rows/columns),
+    // then the rest (back to the all-scalar view).
+    std::vector<int> wide;
+    for (int i = 0; i < view.size(); ++i) {
+        if (view.width(i) >= 2) wide.push_back(i);
+    }
+    std::vector<int> first_half(wide.begin(),
+                                wide.begin() + (wide.size() + 1) / 2);
+    view.split_to_scalars(first_half);
+    check("after partial split");
+
+    wide.clear();
+    for (int i = 0; i < view.size(); ++i) {
+        if (view.width(i) >= 2) wide.push_back(i);
+    }
+    view.split_to_scalars(wide);
+    check("after full split");
+    for (int i = 0; i < view.size(); ++i) {
+        EXPECT_EQ(view.width(i), 1);
+    }
+}
+
 // --- candidates -----------------------------------------------------------------
 
 TEST(Candidates, IsomorphismRules) {

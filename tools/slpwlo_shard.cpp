@@ -14,17 +14,30 @@
 //   slpwlo-shard plan  --shards N --out-prefix P --kernels A,B
 //                      --targets X,Y [--widths 0,64] [--flows F,G]
 //                      [--constraints -20,-30] [--strategy round-robin|
-//                      cost-balanced] [--target-file FILE]...
+//                      cost-balanced] [--measured-from RESULTS]...
+//                      [--target-file FILE]...
 //   slpwlo-shard run   --manifest FILE --out FILE [--threads N]
 //                      [--snapshot-in FILE] [--snapshot-out FILE]
 //                      [--cache-capacity N] [--json[=FILE]]
+//                      [--evaluator tape|walker|compiled] [--measure]
 //   slpwlo-shard serve --manifest FILE --dir DIR [--chunk-cost C]
 //                      [--chunk-slots N] [--ttl-ms T]
+//                      [--measured-from RESULTS]...
 //   slpwlo-shard work  --dir DIR [--worker ID] [--threads N]
 //                      [--snapshot-in FILE] [--snapshot-out FILE]
 //                      [--cache-capacity N] [--straggle-ms T]
+//                      [--evaluator tape|walker|compiled] [--measure]
 //   slpwlo-shard merge --out FILE (RESULTS... | --lease-dir DIR)
 //                      [--cache FILE]... [--cache-out FILE]
+//
+// The measured-cost loop: a first sweep's result files carry per-slot
+// wall-clock micros; `plan --measured-from` / `serve --measured-from`
+// re-balance the *same grid* from those measurements instead of the
+// estimate_point_cost heuristic. `--evaluator compiled` swaps the
+// noise-evaluation backend for the jit-compiled one (bit-identical
+// results, orders-of-magnitude faster on large stimulus sets) and
+// `--measure` adds a measured_ns column to the rows — neither changes a
+// single result byte, so mixed-backend farms still merge cleanly.
 //
 // A typical static 4-machine sweep (one command per line; see DESIGN.md
 // §7 for the shell version with line continuations):
@@ -53,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "accuracy/sim_backend.hpp"
 #include "dist/cache_snapshot.hpp"
 #include "dist/lease_coordinator.hpp"
 #include "dist/shard_manifest.hpp"
@@ -76,17 +90,25 @@ void usage(FILE* out) {
         "                     --targets X,Y [--widths 0,64] [--flows F,G]\n"
         "                     [--constraints -20,-30]\n"
         "                     [--strategy round-robin|cost-balanced]\n"
+        "                     [--measured-from RESULTS]...\n"
         "                     [--target-file FILE]...\n"
+        "                     --measured-from re-balances the same grid\n"
+        "                     from a previous run's per-slot wall-clocks\n"
         "  slpwlo-shard run   --manifest FILE --out FILE [--threads N]\n"
         "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
         "                     [--cache-capacity N] [--json[=FILE]]\n"
+        "                     [--evaluator tape|walker|compiled]\n"
+        "                     [--measure]\n"
         "  slpwlo-shard serve --manifest FILE --dir DIR [--chunk-cost C]\n"
         "                     [--chunk-slots N] [--ttl-ms T]\n"
+        "                     [--measured-from RESULTS]...\n"
         "                     initialize an elastic lease directory from a\n"
         "                     whole-grid manifest (plan --shards 1)\n"
         "  slpwlo-shard work  --dir DIR [--worker ID] [--threads N]\n"
         "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
         "                     [--cache-capacity N] [--straggle-ms T]\n"
+        "                     [--evaluator tape|walker|compiled]\n"
+        "                     [--measure]\n"
         "                     acquire, run and publish lease chunks until\n"
         "                     the directory drains (expired leases are\n"
         "                     stolen and re-issued)\n"
@@ -122,6 +144,26 @@ double double_flag(const std::string& flag, const std::string& value) {
     } catch (const std::exception&) {
         bad_usage(flag + ": not a number: `" + value + "`");
     }
+}
+
+SimBackend backend_flag(const std::string& flag, const std::string& value) {
+    try {
+        return parse_sim_backend(value);
+    } catch (const Error& e) {
+        bad_usage(flag + ": " + e.what());
+    }
+}
+
+/// Load the rows files behind --measured-from into per-slot costs,
+/// checked against the grid being planned.
+std::vector<double> load_measured_costs(const std::vector<std::string>& paths,
+                                        size_t total_slots, uint64_t grid_fp) {
+    std::vector<ShardResultsFile> files;
+    files.reserve(paths.size());
+    for (const std::string& path : paths) {
+        files.push_back(load_shard_results(path));
+    }
+    return measured_slot_costs(files, total_slots, grid_fp);
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -173,8 +215,10 @@ private:
 int cmd_plan(Args args) {
     int shards = 0;
     ShardStrategy strategy = ShardStrategy::RoundRobin;
+    bool has_strategy = false;
     std::string out_prefix;
     std::vector<std::string> kernels, target_names, flows{"WLO-SLP"};
+    std::vector<std::string> measured_from;
     std::vector<int> widths;
     bool has_widths = false;
     std::vector<double> constraints{-40.0};
@@ -186,6 +230,9 @@ int cmd_plan(Args args) {
             shards = int_flag(arg, args.value(arg));
         } else if (arg == "--strategy") {
             strategy = shard_strategy_from_string(args.value(arg));
+            has_strategy = true;
+        } else if (arg == "--measured-from") {
+            measured_from.push_back(args.value(arg));
         } else if (arg == "--out-prefix") {
             out_prefix = args.value(arg);
         } else if (arg == "--kernels") {
@@ -216,31 +263,51 @@ int cmd_plan(Args args) {
     if (out_prefix.empty()) bad_usage("plan needs --out-prefix");
     if (kernels.empty()) bad_usage("plan needs --kernels");
     if (target_names.empty()) bad_usage("plan needs --targets");
+    if (!measured_from.empty() && has_strategy &&
+        strategy == ShardStrategy::RoundRobin) {
+        bad_usage("--measured-from balances by cost; it cannot combine "
+                  "with --strategy round-robin");
+    }
     if (!has_constraints) {
         std::printf("using default constraint grid: -40 dB\n");
     }
 
-    const std::vector<SweepPoint> grid =
+    std::vector<SweepPoint> grid =
         has_widths ? SweepDriver::grid(kernels, target_names, widths, flows,
                                        constraints)
                    : SweepDriver::grid(kernels, target_names, flows,
                                        constraints);
-    const std::vector<ShardPlan> plans =
-        make_shard_plans(grid, shards, strategy);
+
+    std::vector<ShardPlan> plans;
+    std::vector<double> measured;
+    if (!measured_from.empty()) {
+        // The measurements must come from a run of this exact grid —
+        // measured_slot_costs checks the fingerprint, so we need the
+        // models embedded before the files are loaded.
+        embed_target_models(grid);
+        measured = load_measured_costs(measured_from, grid.size(),
+                                       grid_fingerprint(grid));
+        plans = make_shard_plans(grid, shards, measured);
+    } else {
+        plans = make_shard_plans(grid, shards, strategy);
+    }
 
     std::printf("grid: %zu points -> %d shards (%s)\n", grid.size(), shards,
-                to_string(strategy).c_str());
+                measured.empty() ? to_string(strategy).c_str()
+                                 : "cost-balanced, measured");
     for (const ShardPlan& plan : plans) {
         double cost = 0.0;
-        for (const SweepPoint& point : plan.points) {
-            cost += estimate_point_cost(point);
+        for (size_t i = 0; i < plan.points.size(); ++i) {
+            cost += measured.empty() ? estimate_point_cost(plan.points[i])
+                                     : measured[plan.slots[i]];
         }
         const std::string path = out_prefix + "." +
                                  std::to_string(plan.shard_index) +
                                  ".manifest";
         write_file(path, shard_manifest_text(plan));
-        std::printf("  %s: %zu points, est. cost %.1f\n", path.c_str(),
-                    plan.points.size(), cost);
+        std::printf("  %s: %zu points, %s cost %.1f\n", path.c_str(),
+                    plan.points.size(), measured.empty() ? "est." : "meas.",
+                    cost);
     }
     return 0;
 }
@@ -249,6 +316,9 @@ int cmd_run(Args args) {
     std::string manifest_path, out_path, snapshot_in, snapshot_out, json_path;
     ShardRunOptions options;
     options.threads = 0;
+    bool has_evaluator = false;
+    SimBackend evaluator = SimBackend::Tape;
+    bool measure = false;
 
     std::string arg;
     while (args.next(arg)) {
@@ -265,6 +335,11 @@ int cmd_run(Args args) {
         } else if (arg == "--cache-capacity") {
             options.cache_capacity =
                 static_cast<size_t>(int_flag(arg, args.value(arg)));
+        } else if (arg == "--evaluator") {
+            evaluator = backend_flag(arg, args.value(arg));
+            has_evaluator = true;
+        } else if (arg == "--measure") {
+            measure = true;
         } else if (arg == "--json") {
             json_path = "-";
         } else if (arg.rfind("--json=", 0) == 0) {
@@ -276,7 +351,12 @@ int cmd_run(Args args) {
     if (manifest_path.empty()) bad_usage("run needs --manifest");
     if (out_path.empty()) bad_usage("run needs --out");
 
-    const ShardManifest manifest = load_shard_manifest(manifest_path);
+    ShardManifest manifest = load_shard_manifest(manifest_path);
+    // Worker-local execution knobs: the evaluator backend and cycle
+    // measurement change how this process runs the manifest, never what
+    // the rows say — mixed-backend shards still merge byte-identically.
+    if (has_evaluator) manifest.defaults.evaluator = evaluator;
+    if (measure) manifest.defaults.measure = true;
     CacheSnapshot warm;
     if (!snapshot_in.empty()) {
         warm = load_cache_snapshot(snapshot_in);
@@ -305,6 +385,7 @@ int cmd_run(Args args) {
 
 int cmd_serve(Args args) {
     std::string manifest_path, dir;
+    std::vector<std::string> measured_from;
     LeaseOptions options;
 
     std::string arg;
@@ -320,6 +401,8 @@ int cmd_serve(Args args) {
                 static_cast<size_t>(int_flag(arg, args.value(arg)));
         } else if (arg == "--ttl-ms") {
             options.ttl_ms = int_flag(arg, args.value(arg));
+        } else if (arg == "--measured-from") {
+            measured_from.push_back(args.value(arg));
         } else {
             bad_usage("unknown serve flag `" + arg + "`");
         }
@@ -328,9 +411,15 @@ int cmd_serve(Args args) {
     if (dir.empty()) bad_usage("serve needs --dir");
 
     const ShardManifest manifest = load_shard_manifest(manifest_path);
+    if (!measured_from.empty()) {
+        options.measured_costs = load_measured_costs(
+            measured_from, manifest.total_slots, manifest.grid_fp);
+    }
     const size_t chunks = init_lease_dir(dir, manifest, options);
-    std::printf("lease directory %s: %zu slots in %zu chunks, ttl %lld ms\n",
-                dir.c_str(), manifest.total_slots, chunks, options.ttl_ms);
+    std::printf("lease directory %s: %zu slots in %zu chunks%s, ttl %lld ms\n",
+                dir.c_str(), manifest.total_slots, chunks,
+                measured_from.empty() ? "" : " (measured costs)",
+                options.ttl_ms);
     return 0;
 }
 
@@ -338,6 +427,9 @@ int cmd_work(Args args) {
     std::string dir, snapshot_in, snapshot_out;
     LeaseWorkerOptions worker;
     ExecOptions exec;
+    bool has_evaluator = false;
+    SimBackend evaluator = SimBackend::Tape;
+    bool measure = false;
 
     std::string arg;
     while (args.next(arg)) {
@@ -358,6 +450,11 @@ int cmd_work(Args args) {
             // Test hook: hold every lease this long before publishing, to
             // exercise expiry, steal and duplicate resolution end to end.
             worker.straggle_ms = int_flag(arg, args.value(arg));
+        } else if (arg == "--evaluator") {
+            evaluator = backend_flag(arg, args.value(arg));
+            has_evaluator = true;
+        } else if (arg == "--measure") {
+            measure = true;
         } else {
             bad_usage("unknown work flag `" + arg + "`");
         }
@@ -366,6 +463,10 @@ int cmd_work(Args args) {
 
     LeaseWorkSource source(dir, worker);
     exec.flow_options = source.manifest().defaults;
+    // Per-worker execution knobs: results stay byte-identical across
+    // backends, so workers on one farm may mix evaluators freely.
+    if (has_evaluator) exec.flow_options.evaluator = evaluator;
+    if (measure) exec.flow_options.measure = true;
     SweepService service(exec);
     if (!snapshot_in.empty()) {
         const CacheSnapshot warm = load_cache_snapshot(snapshot_in);
