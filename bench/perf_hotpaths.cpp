@@ -19,6 +19,11 @@
 //      SimulationEvaluator on the same stimuli; gated on bit-identical
 //      noise powers across a spread of specs. Skipped (reported as
 //      available:false) when the host has no usable C compiler.
+//   5. Exact solver — SLP-Optimal per kernel at the default node
+//      budget: nodes expanded, time to the incumbent, and the gap
+//      closed over the greedy heuristic. Gated on every solve running,
+//      proving optimality, and never regressing below its heuristic
+//      seed.
 //
 // Emits a JSON report (--json / --json=FILE). Exits non-zero when any
 // bit-identity check fails — walker/tape divergence, delta/full
@@ -350,6 +355,65 @@ struct SweepReport {
     bool bytes_identical = true;
 };
 
+struct SolverKernelReport {
+    std::string kernel;
+    long long nodes = 0;   ///< B&B nodes expanded (all solves summed)
+    long long solves = 0;  ///< exact solves (one per extraction round)
+    bool proven = false;   ///< search space exhausted within budget
+    double gap = 0.0;      ///< objective improvement over the heuristic
+    /// Wall time of the whole exact flow point — by construction the
+    /// time to its final incumbent (the solver is anytime: the answer
+    /// it returns is the incumbent standing when the search ends).
+    double incumbent_ms = 0.0;
+};
+
+struct SolverReport {
+    std::vector<SolverKernelReport> kernels;
+    bool ran_everywhere = true;
+    bool all_proven = true;
+    bool gaps_nonnegative = true;
+};
+
+/// The exact-flow hot path: SLP-Optimal (B&B pack selection seeded by
+/// the greedy incumbent) per kernel at the default node budget, at the
+/// acceptance constraint every kernel is known to prove within budget.
+/// Reported per kernel: nodes expanded, time to the incumbent, and the
+/// gap the exact search closed over the heuristic.
+SolverReport bench_solver(const std::vector<std::string>& kernel_names,
+                          int threads) {
+    SolverReport report;
+
+    SweepOptions options;
+    options.threads = threads;
+    options.flow_options.solver.optimizer = Optimizer::Optimal;
+    SweepDriver driver(options);
+
+    std::vector<SweepPoint> points;
+    for (const std::string& name : kernel_names) {
+        points.push_back(SweepPoint{name, "XENTIUM", "WLO-SLP", -30.0});
+    }
+    std::vector<long long> micros;
+    const std::vector<SweepResult> results =
+        driver.run_timed(points, &micros);
+
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SolverStats& stats = results[i].flow.solver_stats;
+        SolverKernelReport kr;
+        kr.kernel = results[i].flow.kernel_name;
+        kr.nodes = stats.nodes;
+        kr.solves = stats.solves;
+        kr.proven = stats.proven_optimal;
+        kr.gap = stats.gap;
+        kr.incumbent_ms = static_cast<double>(micros[i]) / 1000.0;
+        report.kernels.push_back(kr);
+
+        if (!stats.ran) report.ran_everywhere = false;
+        if (!stats.proven_optimal) report.all_proven = false;
+        if (stats.gap < 0.0) report.gaps_nonnegative = false;
+    }
+    return report;
+}
+
 SweepReport bench_sweep(const std::vector<SweepPoint>& grid, int threads) {
     SweepReport report;
     report.points = grid.size();
@@ -389,7 +453,8 @@ double tabu_speedup_geomean(const std::vector<TabuReport>& reports) {
 std::string report_json(const std::vector<TabuReport>& tabu,
                         const NoiseReport& noise,
                         const CompiledReport& compiled,
-                        const SweepReport& sweep) {
+                        const SweepReport& sweep,
+                        const SolverReport& solver) {
     const bool tabu_identical =
         std::all_of(tabu.begin(), tabu.end(),
                     [](const TabuReport& r) { return r.bit_identical; });
@@ -428,7 +493,20 @@ std::string report_json(const std::vector<TabuReport>& tabu,
        << ",\"speedup\":" << json_number(sweep.speedup)
        << ",\"stage_hits\":" << sweep.stage_hits
        << ",\"bytes_identical\":" << (sweep.bytes_identical ? "true" : "false")
-       << "}}\n";
+       << "},\"solver\":{\"kernels\":[";
+    for (size_t i = 0; i < solver.kernels.size(); ++i) {
+        const SolverKernelReport& r = solver.kernels[i];
+        os << (i == 0 ? "" : ",") << "{\"kernel\":\"" << r.kernel
+           << "\",\"nodes\":" << r.nodes << ",\"solves\":" << r.solves
+           << ",\"proven_optimal\":" << (r.proven ? "true" : "false")
+           << ",\"gap\":" << json_number(r.gap)
+           << ",\"incumbent_ms\":" << json_number(r.incumbent_ms) << "}";
+    }
+    os << "],\"ran_everywhere\":"
+       << (solver.ran_everywhere ? "true" : "false")
+       << ",\"all_proven\":" << (solver.all_proven ? "true" : "false")
+       << ",\"gaps_nonnegative\":"
+       << (solver.gaps_nonnegative ? "true" : "false") << "}}\n";
     return os.str();
 }
 
@@ -515,14 +593,33 @@ int main(int argc, char** argv) {
     std::printf("  speedup        : %12.2fx   report bytes identical: %s\n",
                 sweep.speedup, sweep.bytes_identical ? "yes" : "NO");
 
-    const std::string json = report_json(tabu, noise, compiled, sweep);
+    const SolverReport solver = bench_solver(
+        options.smoke ? std::vector<std::string>{"FIR", "DOT"}
+                      : kernels::benchmark_kernel_names(),
+        options.threads);
+    std::printf("\nexact solver (SLP-Optimal @ -30 dB, default budget)\n");
+    for (const SolverKernelReport& r : solver.kernels) {
+        std::printf(
+            "  %-8s %9lld nodes  %3lld solves  incumbent %9.1f ms  "
+            "gap %10.2f  proven: %s\n",
+            r.kernel.c_str(), r.nodes, r.solves, r.incumbent_ms, r.gap,
+            r.proven ? "yes" : "NO");
+    }
+    std::printf("  ran everywhere: %s   all proven: %s   gaps >= 0: %s\n",
+                solver.ran_everywhere ? "yes" : "NO",
+                solver.all_proven ? "yes" : "NO",
+                solver.gaps_nonnegative ? "yes" : "NO");
+
+    const std::string json =
+        report_json(tabu, noise, compiled, sweep, solver);
     if (options.json_path.has_value()) {
         bench::emit_json_to(*options.json_path, json, 3);
     }
 
     const bool ok = tabu_identical && noise.bit_identical &&
                     compiled.bit_identical && sweep.bytes_identical &&
-                    sweep.stage_hits > 0;
+                    sweep.stage_hits > 0 && solver.ran_everywhere &&
+                    solver.all_proven && solver.gaps_nonnegative;
     if (!ok) {
         std::printf("\nFAIL: divergence between fast and reference paths\n");
         return 1;

@@ -74,6 +74,58 @@ std::vector<SimdGroup> accuracy_aware_slp(PackedView& view,
         return true;
     };
 
+    // `SLP-Optimal`: exact per-round selection. fix/unfix bracket the
+    // equation-(1) commitment revertibly for the branch-and-bound search;
+    // the winning selection is then replayed through the regular selection
+    // hook. Noise is monotone in every WL, so a set that was feasible
+    // inside the search is feasible at every replay prefix — the replay
+    // cannot veto.
+    std::vector<FixedPointSpec::Checkpoint> fix_stack;
+    if (config.exact_selection) {
+        hooks.select_round = [&](std::vector<Candidate> candidates,
+                                 const ConflictSet& conflicts, int* rejected) {
+            solver::PackSelectOptions options;
+            options.benefit_mode = config.slp.benefit_mode;
+            options.min_benefit = config.slp.min_benefit;
+            options.budget = config.solver_budget;
+            const solver::PackFix fix = [&](const Candidate& c) {
+                const auto cp = spec.checkpoint();
+                apply_eq1(c);
+                if (config.strict_feasibility && eval->violates(constraint)) {
+                    spec.revert(cp);
+                    return false;
+                }
+                fix_stack.push_back(cp);
+                return true;
+            };
+            const solver::PackUnfix unfix = [&](const Candidate&) {
+                SLPWLO_ASSERT(!fix_stack.empty(),
+                              "solver unfix without a matching fix");
+                spec.revert(fix_stack.back());
+                fix_stack.pop_back();
+            };
+            const solver::PackSelectResult result =
+                solver::select_packs_exact(view, candidates, conflicts,
+                                           target, options, fix, unfix,
+                                           rejected);
+            if (config.solver_stats != nullptr) {
+                config.solver_stats->nodes += result.solve.nodes;
+                config.solver_stats->solves++;
+                config.solver_stats->proven_optimal &=
+                    result.solve.proven_optimal;
+                config.solver_stats->heuristic_objective +=
+                    result.greedy_objective;
+                config.solver_stats->best_objective +=
+                    result.solve.best_objective;
+            }
+            for (const Candidate& c : result.selected) {
+                SLPWLO_CHECK(hooks.try_select(c),
+                             "exact selection failed its feasibility replay");
+            }
+            return result.selected;
+        };
+    }
+
     // Stranded-load demotion. Greedy selection can commit a load-group
     // widening (and its equation-(1) WL drop on the arrays) before the
     // consuming arithmetic widening gets rejected by the cumulative

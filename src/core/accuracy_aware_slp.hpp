@@ -18,6 +18,7 @@
 
 #include "accuracy/evaluator.hpp"
 #include "slp/plain_extractor.hpp"
+#include "solver/pack_select.hpp"
 
 namespace slpwlo {
 
@@ -29,6 +30,16 @@ struct AccuracySlpConfig {
     /// Re-check feasibility at selection time (see header comment).
     bool strict_feasibility = true;
     SlpOptions slp;
+    /// `SLP-Optimal`: replace the greedy per-round selection with the
+    /// exact solver (solver/pack_select.hpp) under `solver_budget`,
+    /// seeded with the greedy answer. Cumulative accuracy feasibility is
+    /// enforced inside the search through the same equation-(1)
+    /// machinery the greedy hooks use.
+    bool exact_selection = false;
+    solver::SolveBudget solver_budget;
+    /// When non-null, exact-selection statistics accumulate here (one
+    /// solve per round).
+    solver::PackSelectStats* solver_stats = nullptr;
 };
 
 /// Equation (1): reduce the WL of every node carrying a lane of `lanes` to

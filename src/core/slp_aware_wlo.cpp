@@ -48,6 +48,11 @@ WloSlpResult run_slp_aware_wlo(const Kernel& kernel, FixedPointSpec& spec,
     slp_config.slp = options.slp;
 
     WloSlpResult result;
+    slp_config.exact_selection = options.exact_selection;
+    slp_config.solver_budget = options.solver_budget;
+    if (options.exact_selection) {
+        slp_config.solver_stats = &result.solver_stats;
+    }
     // Fig. 1a line 4: visit blocks in priority order so the accuracy
     // budget is spent on the hottest code first.
     for (const BlockId block : blocks_by_priority(kernel)) {

@@ -32,6 +32,10 @@ struct WloSlpOptions {
     /// Strict per-selection feasibility recheck (off for ablation A2).
     bool strict_feasibility = true;
     SlpOptions slp;
+    /// `SLP-Optimal`: exact per-round pack selection (see
+    /// AccuracySlpConfig::exact_selection).
+    bool exact_selection = false;
+    solver::SolveBudget solver_budget;
 };
 
 struct BlockGroups {
@@ -43,6 +47,9 @@ struct WloSlpResult {
     std::vector<BlockGroups> block_groups;
     SlpStats slp_stats;
     ScalingStats scaling_stats;
+    /// Exact-selection statistics, populated when
+    /// WloSlpOptions::exact_selection is on (zero solves otherwise).
+    solver::PackSelectStats solver_stats;
 
     /// Total number of SIMD groups selected.
     int group_count() const;

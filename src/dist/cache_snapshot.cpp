@@ -115,6 +115,14 @@ void write_stage_entry(std::ostream& os, const EvalCache::StageEntry& e) {
        << fingerprint_hex(double_to_bits(t.best_cost)) << " "
        << (t.feasible ? 1 : 0);
     os << " " << e.group_count;
+    // Solver statistics (snapshot_version >= 3), appended after the v2
+    // token stream so a v2 line is exactly a v3 line minus this suffix.
+    const SolverStats& v = e.solver_stats;
+    os << " " << (v.ran ? 1 : 0) << " " << v.nodes << " " << v.solves << " "
+       << (v.proven_optimal ? 1 : 0) << " "
+       << fingerprint_hex(double_to_bits(v.heuristic_objective)) << " "
+       << fingerprint_hex(double_to_bits(v.best_objective)) << " "
+       << fingerprint_hex(double_to_bits(v.gap));
 }
 
 /// Token-stream reader over one stage_entry line; every extraction failure
@@ -170,7 +178,8 @@ private:
 };
 
 std::pair<uint64_t, EvalCache::StageEntry> parse_stage_entry(
-    const std::string& value, const std::string& source, int line) {
+    const std::string& value, int version, const std::string& source,
+    int line) {
     StageFieldReader in(value, source, line);
     const uint64_t key = in.next_bits("stage key");
     EvalCache::StageEntry e;
@@ -217,6 +226,20 @@ std::pair<uint64_t, EvalCache::StageEntry> parse_stage_entry(
     t.best_cost = bits_to_double(in.next_bits("tabu best cost bits"));
     t.feasible = in.next_int("tabu feasible") != 0;
     e.group_count = in.next_int("group count total");
+    // Version-gated suffix: v2 lines end here, v3 carries the solver
+    // statistics. A v2 snapshot deserializes with zero (ran == false)
+    // solver stats — correct, since v2 caches predate the exact flows.
+    if (version >= 3) {
+        SolverStats& v = e.solver_stats;
+        v.ran = in.next_int("solver ran") != 0;
+        v.nodes = in.next_ll("solver nodes");
+        v.solves = in.next_ll("solver solves");
+        v.proven_optimal = in.next_int("solver proven") != 0;
+        v.heuristic_objective =
+            bits_to_double(in.next_bits("solver heuristic bits"));
+        v.best_objective = bits_to_double(in.next_bits("solver best bits"));
+        v.gap = bits_to_double(in.next_bits("solver gap bits"));
+    }
     in.finish();
     return {key, std::move(e)};
 }
@@ -226,7 +249,7 @@ std::pair<uint64_t, EvalCache::StageEntry> parse_stage_entry(
 std::string cache_snapshot_text(const CacheSnapshot& snapshot) {
     std::ostringstream os;
     os << "# slpwlo evalcache snapshot\n"
-       << "snapshot_version = 2\n"
+       << "snapshot_version = 3\n"
        << "entries = " << snapshot.entries.size() << "\n";
     for (const auto& [key, entry] : snapshot.entries) {
         os << "entry = " << fingerprint_hex(key) << " " << entry.scalar_cycles
@@ -263,9 +286,9 @@ CacheSnapshot parse_cache_snapshot(const std::string& text,
         if (line.key == "snapshot_version") {
             snapshot.version =
                 kv::to_int(source, line.line, line.key, line.value);
-            if (snapshot.version != 1 && snapshot.version != 2) {
+            if (snapshot.version < 1 || snapshot.version > 3) {
                 reader.fail_here("unsupported snapshot_version " + line.value +
-                                 " (this reader knows 1 and 2)");
+                                 " (this reader knows 1 to 3)");
             }
             saw_version = true;
         } else if (line.key == "entries") {
@@ -274,8 +297,13 @@ CacheSnapshot parse_cache_snapshot(const std::string& text,
             declared_stages =
                 kv::to_ll(source, line.line, line.key, line.value);
         } else if (line.key == "stage_entry") {
-            auto [key, entry] =
-                parse_stage_entry(line.value, source, line.line);
+            if (!saw_version) {
+                reader.fail_here(
+                    "stage_entry before snapshot_version (the entry "
+                    "format is versioned)");
+            }
+            auto [key, entry] = parse_stage_entry(line.value, snapshot.version,
+                                                  source, line.line);
             if (!snapshot.stage_entries.empty() &&
                 key <= snapshot.stage_entries.back().first) {
                 reader.fail_here(

@@ -12,7 +12,7 @@
 // Format (versioned, fingerprint-keyed, line-oriented):
 //
 //   # slpwlo evalcache snapshot
-//   snapshot_version = 2
+//   snapshot_version = 3
 //   entries = 2
 //   entry = <key:16 hex> <scalar cycles> <simd cycles> <noise bits:16 hex>
 //   entry = ...
@@ -34,8 +34,10 @@
 // a snapshot's bytes are a pure function of the cache contents.
 //
 // Versioning policy mirrors the manifest: readers reject versions they do
-// not know (this reader knows 1 and 2; a version-1 file simply has no
-// stage lines); any incompatible change bumps `snapshot_version`.
+// not know (this reader knows 1 to 3; a version-1 file simply has no
+// stage lines, a version-2 stage line lacks the version-3 solver-stats
+// suffix and deserializes with zeroed solver stats); any incompatible
+// change bumps `snapshot_version`.
 #pragma once
 
 #include <string>
@@ -46,7 +48,7 @@
 namespace slpwlo::dist {
 
 struct CacheSnapshot {
-    int version = 2;
+    int version = 3;
     /// Entries sorted by key, each key unique.
     std::vector<std::pair<uint64_t, EvalCache::Entry>> entries;
     /// Stage-memo entries sorted by key, each key unique (empty when the

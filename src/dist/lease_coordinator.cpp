@@ -248,6 +248,23 @@ std::set<size_t> chunks_with_results(const fs::path& dir) {
     return done;
 }
 
+/// Chunk ids present in `chunks/` — discovered by listing, never taken
+/// from the config: workers splitting an oversized chunk (acquire's
+/// `max_slots`) publish brand-new chunk files after init, so the
+/// config's count is only the initial floor. Half-published temp files
+/// (`.chunk.tmp.<pid>.<seq>`) fail the suffix test and are skipped.
+std::set<size_t> list_chunks(const fs::path& dir) {
+    std::set<size_t> chunks;
+    for (const auto& entry : fs::directory_iterator(dir / "chunks")) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() < 6 || name.substr(name.size() - 6) != ".chunk") {
+            continue;
+        }
+        if (const auto chunk = chunk_of_filename(name)) chunks.insert(*chunk);
+    }
+    return chunks;
+}
+
 }  // namespace
 
 // --- coordinator side ----------------------------------------------------------
@@ -350,11 +367,13 @@ size_t init_lease_dir(const std::string& dir, const ShardManifest& manifest,
 
 LeaseDirStatus lease_dir_status(const std::string& dir) {
     const fs::path root(dir);
-    const LeaseConfig config =
-        parse_lease_config(read_text(root / "config"),
-                           (root / "config").string());
+    // Parsed only to verify the directory is initialized — the live
+    // chunk count comes from listing chunks/, which grows when workers
+    // split oversized chunks.
+    parse_lease_config(read_text(root / "config"),
+                       (root / "config").string());
     LeaseDirStatus status;
-    status.chunks = config.chunks;
+    status.chunks = list_chunks(root).size();
     status.completed = chunks_with_results(root).size();
     for (const auto& entry : fs::directory_iterator(root / "leases")) {
         if (entry.is_directory()) status.claimed++;
@@ -397,9 +416,13 @@ std::string collect_lease_results(const std::string& dir) {
         }
     }
 
+    // Completeness is judged against the chunks that exist now — splits
+    // grow the set past the config's initial count, and every split-off
+    // chunk must publish its own results before the merge is whole.
+    const std::set<size_t> chunks = list_chunks(root);
     std::string missing;
     int listed = 0;
-    for (size_t chunk = 0; chunk < config.chunks; ++chunk) {
+    for (const size_t chunk : chunks) {
         if (by_chunk.count(chunk) != 0) continue;
         if (listed < 8) {
             if (!missing.empty()) missing += ", ";
@@ -410,7 +433,7 @@ std::string collect_lease_results(const std::string& dir) {
     if (listed != 0) {
         throw Error("lease directory `" + dir + "`: " +
                     std::to_string(listed) + " of " +
-                    std::to_string(config.chunks) +
+                    std::to_string(chunks.size()) +
                     " chunks have no published results yet (first: " +
                     missing + ")");
     }
@@ -451,9 +474,11 @@ struct LeaseWorkSource::Impl {
     }
 
     /// One results/ listing refreshes the (monotonic) done set for a
-    /// whole acquire pass — never one listing per chunk.
-    void refresh_done() {
-        if (done.size() == config.chunks) return;
+    /// whole acquire pass — never one listing per chunk. `total_chunks`
+    /// is the pass's discovered chunk count (splits grow it past the
+    /// config), used only to skip the listing once everything is done.
+    void refresh_done(size_t total_chunks) {
+        if (done.size() >= total_chunks) return;
         for (const size_t chunk : chunks_with_results(root)) {
             done.insert(chunk);
         }
@@ -549,6 +574,63 @@ struct LeaseWorkSource::Impl {
         fs::remove_all(path, ec);
     }
 
+    /// Re-chop an oversized chunk we hold the claim on: keep the first
+    /// `max_slots` slots in `lease`, publish the remainder as a brand-new
+    /// claimable chunk. Ordering is the crash-safety argument — the tail
+    /// chunk file is published BEFORE the head chunk shrinks, so dying
+    /// in between duplicates the tail (the old full chunk and the new
+    /// tail chunk both eventually run, and the merge's AllowIdentical
+    /// policy absorbs the byte-identical rows) rather than losing it.
+    ///
+    /// The fresh id is reserved with the same mkdir primitive try_claim
+    /// uses, on the id's lease directory, so two concurrent splitters can
+    /// never pick the same id. mkdir alone is not enough: a completed
+    /// split-off chunk releases its lease directory, so a stale-watermark
+    /// reserver could mkdir an id that already names a real chunk — the
+    /// exists() check after a successful mkdir closes that (while we hold
+    /// leases/<id>.lease, nobody else can create chunks/<id>.chunk).
+    void split(size_t chunk, Lease& lease, size_t max_slots) {
+        const std::vector<size_t> head(lease.slots.begin(),
+                                       lease.slots.begin() +
+                                           static_cast<long>(max_slots));
+        const std::vector<size_t> tail(lease.slots.begin() +
+                                           static_cast<long>(max_slots),
+                                       lease.slots.end());
+
+        size_t fresh = chunk + 1;
+        for (const size_t known : list_chunks(root)) {
+            fresh = std::max(fresh, known + 1);
+        }
+        for (;;) {
+            std::error_code ec;
+            if (fs::create_directory(lease_path(fresh), ec) && !ec) {
+                if (!fs::exists(root / "chunks" /
+                                (std::to_string(fresh) + ".chunk"))) {
+                    break;
+                }
+                fs::remove_all(lease_path(fresh), ec);
+            }
+            ++fresh;
+        }
+        Claim claim;
+        claim.worker = options.worker_id;
+        claim.nonce = next_nonce();
+        claim.deadline_ms = now_ms() + config.ttl_ms;
+        publish_text(lease_path(fresh) / "claim", claim_text(claim));
+        held[fresh] = claim.nonce;
+
+        // chunk_count is informational (parse ignores it); the fresh id
+        // is the best watermark either file can state.
+        publish_text(root / "chunks" / (std::to_string(fresh) + ".chunk"),
+                     chunk_text(fresh, fresh + 1, tail));
+        publish_text(root / "chunks" / (std::to_string(chunk) + ".chunk"),
+                     chunk_text(chunk, fresh + 1, head));
+        release(fresh);  // the tail is on disk — let anyone claim it
+
+        lease.slots = head;
+        lease.points.resize(head.size());
+    }
+
     Lease lease_for(size_t chunk) {
         const std::vector<size_t> slots = parse_chunk_slots(
             read_text(root / "chunks" / (std::to_string(chunk) + ".chunk")),
@@ -613,12 +695,15 @@ const ShardManifest& LeaseWorkSource::manifest() const {
 size_t LeaseWorkSource::steals() const { return impl_->steals; }
 
 Lease LeaseWorkSource::acquire(size_t max_slots) {
-    (void)max_slots;  // chunks are the granularity (pre-sized by cost)
     const long long start = now_ms();
     for (;;) {
-        impl_->refresh_done();
+        // Chunks are discovered per pass, not read from the config:
+        // any worker may have split an oversized chunk since the last
+        // pass, publishing new chunk files past the initial count.
+        const std::set<size_t> chunks = list_chunks(impl_->root);
+        impl_->refresh_done(chunks.size());
         bool all_done = true;
-        for (size_t chunk = 0; chunk < impl_->config.chunks; ++chunk) {
+        for (const size_t chunk : chunks) {
             if (impl_->done.count(chunk) != 0) {
                 impl_->cleanup_stale_claim(chunk);
                 continue;
@@ -629,12 +714,16 @@ Lease LeaseWorkSource::acquire(size_t max_slots) {
                 // released) after this pass's refresh_done — a large
                 // farm walks many claim reads between the refresh and
                 // here. One re-check saves re-running a whole chunk.
-                impl_->refresh_done();
+                impl_->refresh_done(chunks.size());
                 if (impl_->done.count(chunk) != 0) {
                     impl_->release(chunk);
                     continue;
                 }
-                return impl_->lease_for(chunk);
+                Lease lease = impl_->lease_for(chunk);
+                if (max_slots > 0 && lease.slots.size() > max_slots) {
+                    impl_->split(chunk, lease, max_slots);
+                }
+                return lease;
             }
         }
         if (all_done) return Lease{};
@@ -662,6 +751,9 @@ void LeaseWorkSource::complete(const Lease& lease, std::vector<WorkRow> rows) {
 
     ShardResultsFile file;
     file.shard_index = static_cast<int>(lease.id);
+    // Informational in the results format (the merge keys on grid
+    // fingerprint and slots, not index/count) — a split-off chunk's id
+    // may legitimately exceed the config's initial chunk count.
     file.shard_count = static_cast<int>(impl_->config.chunks);
     file.total_slots = impl_->config.total_slots;
     file.grid_fp = impl_->config.grid_fp;

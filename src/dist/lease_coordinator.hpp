@@ -83,7 +83,9 @@ size_t init_lease_dir(const std::string& dir, const ShardManifest& manifest,
                       const LeaseOptions& options = {});
 
 struct LeaseDirStatus {
-    size_t chunks = 0;     ///< chunk count from the config
+    /// Chunks discovered in chunks/ — the config's count plus any
+    /// split-off chunks workers have published since init.
+    size_t chunks = 0;
     size_t completed = 0;  ///< chunks with at least one published rows file
     size_t claimed = 0;    ///< live claim directories present
     size_t reissued = 0;   ///< chunks whose claim was stolen at least once
@@ -124,7 +126,12 @@ public:
     size_t total_slots() const override;
     /// Blocks (polling) while undone chunks are all claimed by live
     /// leases; returns an empty lease only when every chunk has published
-    /// results. `max_slots` is advisory — chunks are the granularity.
+    /// results. A positive `max_slots` re-chops an oversized chunk on
+    /// claim: the worker keeps the first `max_slots` slots and publishes
+    /// the remainder as a brand-new claimable chunk (tail first, then the
+    /// shrunk head — a crash in between only duplicates work, never loses
+    /// it), so a small machine can take a bite of a chunk sized for a big
+    /// one.
     Lease acquire(size_t max_slots) override;
     void complete(const Lease& lease, std::vector<WorkRow> rows) override;
     void abandon(const Lease& lease) override;

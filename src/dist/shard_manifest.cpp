@@ -88,6 +88,13 @@ std::string flow_options_kv(const FlowOptions& options,
     // compiled on every shard.
     emit("evaluator", to_string(options.evaluator));
     emit_bool("measure", options.measure);
+    // Solver fields (manifest_version >= 3). Unlike evaluator/measure the
+    // optimizer axis changes outcomes, so a worker that dropped it would
+    // produce different result bytes than the launcher's local run.
+    emit("solver.optimizer", to_string(options.solver.optimizer));
+    emit("solver.max_nodes", std::to_string(options.solver.budget.max_nodes));
+    emit("solver.max_millis",
+         std::to_string(options.solver.budget.max_millis));
     return os.str();
 }
 
@@ -140,6 +147,18 @@ void apply_flow_option(FlowOptions& options, const std::string& key,
         }
     } else if (key == "measure") {
         options.measure = kv::to_bool(source, line, key, value);
+    } else if (key == "solver.optimizer") {
+        try {
+            options.solver.optimizer = optimizer_from_string(value);
+        } catch (const Error& e) {
+            kv::fail(source, line, e.what());
+        }
+    } else if (key == "solver.max_nodes") {
+        options.solver.budget.max_nodes =
+            kv::to_ll(source, line, key, value);
+    } else if (key == "solver.max_millis") {
+        options.solver.budget.max_millis =
+            kv::to_ll(source, line, key, value);
     } else {
         kv::fail(source, line, "unknown option key `" + key + "`");
     }
@@ -151,7 +170,7 @@ std::string shard_manifest_text(const ShardPlan& plan,
                  "shard plan slots/points size mismatch");
     std::ostringstream os;
     os << "# slpwlo shard manifest\n"
-       << "manifest_version = 2\n"
+       << "manifest_version = 3\n"
        << "shard_index = " << plan.shard_index << "\n"
        << "shard_count = " << plan.shard_count << "\n"
        << "strategy = " << to_string(plan.strategy) << "\n"
@@ -340,9 +359,9 @@ ShardManifest parse_shard_manifest(const std::string& text,
         if (kvline.key == "manifest_version") {
             manifest.version =
                 kv::to_int(source, kvline.line, kvline.key, kvline.value);
-            if (manifest.version != 1 && manifest.version != 2) {
+            if (manifest.version < 1 || manifest.version > 3) {
                 reader.fail_here("unsupported manifest_version " +
-                                 kvline.value + " (this reader knows 1-2)");
+                                 kvline.value + " (this reader knows 1-3)");
             }
             saw_version = true;
         } else if (kvline.key == "shard_index") {

@@ -47,8 +47,12 @@
 //   1  the original format above;
 //   2  adds the execution-strategy options `option.evaluator`
 //      (tape/walker/compiled noise backend) and `option.measure`
-//      (compiled-body timing) to defaults and per-point blocks.
-// This reader accepts versions 1 and 2; the writer emits 2.
+//      (compiled-body timing) to defaults and per-point blocks;
+//   3  adds the exact-search options `option.solver.optimizer`
+//      (heuristic/optimal flow resolution) and
+//      `option.solver.max_nodes` / `option.solver.max_millis`
+//      (branch-and-bound budget).
+// This reader accepts versions 1 to 3; the writer emits 3.
 #pragma once
 
 #include <string>

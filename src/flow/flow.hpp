@@ -33,6 +33,61 @@
 
 namespace slpwlo {
 
+/// The `--optimizer` sweep axis: run each point's flow as registered
+/// (`Heuristic`), or substitute the exact branch-and-bound counterpart
+/// (`Optimal`) at flow-resolution time — "WLO-SLP" runs as "SLP-Optimal"
+/// and "WLO-First" as "WLO-Optimal" (see optimal_flow_for). Unlike the
+/// `--evaluator` axis this changes *outcomes*, so it is part of every
+/// identity: memo keys, manifests, report bytes.
+enum class Optimizer { Heuristic, Optimal };
+
+/// Parse "heuristic" / "optimal"; an unknown spelling throws Error
+/// listing the valid values sorted (the shard_strategy_from_string /
+/// targets::by_name convention).
+Optimizer optimizer_from_string(const std::string& text);
+std::string to_string(Optimizer optimizer);
+
+/// The exact counterpart a flow resolves to under Optimizer::Optimal:
+/// "WLO-SLP" -> "SLP-Optimal", "WLO-First" -> "WLO-Optimal"; flows
+/// without an exact counterpart (Float, WLO-First+Scaling, the optimal
+/// flows themselves) resolve to themselves.
+std::string optimal_flow_for(const std::string& flow_name);
+
+/// Exact-search knobs of the optimal flows. The budget changes which
+/// incumbent an out-of-budget search returns, so — unlike the evaluator
+/// backend — every field here is mixed into stage memo keys and
+/// serialized into shard manifests.
+struct SolverOptions {
+    Optimizer optimizer = Optimizer::Heuristic;
+    solver::SolveBudget budget;
+};
+
+/// Exact-search outcome of one flow run (zero / `ran == false` for the
+/// heuristic flows). Deterministic under the default node budget, but —
+/// like measured_ns — excluded from identity bytes: default to_json
+/// omits it, so a wall-clock budget (which makes node counts machine-
+/// dependent) can never change report identity.
+struct SolverStats {
+    bool ran = false;
+    /// Branch-and-bound nodes expanded, summed over all solves.
+    long long nodes = 0;
+    /// Number of exact solves (one for WLO-Optimal; one per extraction
+    /// round per block for SLP-Optimal).
+    long long solves = 0;
+    /// Every solve exhausted its search space within budget.
+    bool proven_optimal = false;
+    /// Objective of the heuristic incumbent(s) the search started from
+    /// (Tabu cost, or summed greedy pack benefit).
+    double heuristic_objective = 0.0;
+    /// Objective of the returned solution; never worse than
+    /// heuristic_objective.
+    double best_objective = 0.0;
+    /// Improvement of the exact answer over the heuristic, in objective
+    /// units, >= 0 (cost reduction for WLO-Optimal, benefit increase for
+    /// SLP-Optimal).
+    double gap = 0.0;
+};
+
 struct FlowOptions {
     /// Accuracy constraint in dB.
     double accuracy_db = -40.0;
@@ -51,6 +106,9 @@ struct FlowOptions {
     /// measured_ns). Observational, like `evaluator`: excluded from memo
     /// keys and default report bytes.
     bool measure = false;
+    /// Exact-search configuration (outcome-changing: memoized and
+    /// serialized, unlike `evaluator`/`measure`).
+    SolverOptions solver;
 };
 
 class KernelContext {
@@ -116,7 +174,8 @@ struct FlowResult {
 
     SlpStats slp_stats;
     ScalingStats scaling_stats;  ///< WLO-SLP only
-    TabuStats tabu_stats;        ///< WLO-First only
+    TabuStats tabu_stats;        ///< WLO-First / WLO-Optimal only
+    SolverStats solver_stats;    ///< WLO-Optimal / SLP-Optimal only
     int group_count = 0;
 
     /// Median wall time of one compiled kernel execution in nanoseconds

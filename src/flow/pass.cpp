@@ -6,6 +6,7 @@
 #include "core/slp_aware_wlo.hpp"
 #include "core/tabu_wlo.hpp"
 #include "core/wlo_first.hpp"
+#include "solver/wlo_exact.hpp"
 #include "exec/compiled_evaluator.hpp"
 #include "exec/measured_cost.hpp"
 #include "support/diagnostics.hpp"
@@ -79,11 +80,20 @@ bool EvalCache::StageEntry::operator==(const StageEntry& other) const {
     }
     const TabuStats& t = tabu_stats;
     const TabuStats& ot = other.tabu_stats;
-    return t.iterations == ot.iterations &&
-           t.improvements == ot.improvements &&
-           double_bits(t.initial_cost) == double_bits(ot.initial_cost) &&
-           double_bits(t.best_cost) == double_bits(ot.best_cost) &&
-           t.feasible == ot.feasible;
+    if (t.iterations != ot.iterations || t.improvements != ot.improvements ||
+        double_bits(t.initial_cost) != double_bits(ot.initial_cost) ||
+        double_bits(t.best_cost) != double_bits(ot.best_cost) ||
+        t.feasible != ot.feasible) {
+        return false;
+    }
+    const SolverStats& v = solver_stats;
+    const SolverStats& ov = other.solver_stats;
+    return v.ran == ov.ran && v.nodes == ov.nodes && v.solves == ov.solves &&
+           v.proven_optimal == ov.proven_optimal &&
+           double_bits(v.heuristic_objective) ==
+               double_bits(ov.heuristic_objective) &&
+           double_bits(v.best_objective) == double_bits(ov.best_objective) &&
+           double_bits(v.gap) == double_bits(ov.gap);
 }
 
 std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t key) const {
@@ -341,6 +351,16 @@ uint64_t stage_memo_key(const KernelContext& context,
                static_cast<int64_t>(wf.tabu.stagnation_limit)));
     mix_double(wf.tabu.infeasibility_penalty);
     mix_slp(wf.slp);
+
+    // The solver axis changes outcomes (an exact flow under a different
+    // budget can return a different incumbent), so unlike the evaluator
+    // axis it is part of the key. The optimizer enum is mixed even though
+    // flow resolution already folds it into flow_name, so a directly-run
+    // exact flow and one reached through `--optimizer optimal` share
+    // entries only when the whole configuration agrees.
+    mix(h, static_cast<uint64_t>(options.solver.optimizer));
+    mix(h, static_cast<uint64_t>(options.solver.budget.max_nodes));
+    mix(h, static_cast<uint64_t>(options.solver.budget.max_millis));
     // options.evaluator and options.measure are deliberately NOT mixed:
     // they pick an execution strategy (and an observational timing), not
     // an outcome, so switching them must keep hitting the same entries.
@@ -375,10 +395,16 @@ public:
 
 class SlpAwareWloPass final : public Pass {
 public:
-    const char* name() const override { return "slp-aware-wlo"; }
+    explicit SlpAwareWloPass(bool exact_selection)
+        : exact_selection_(exact_selection) {}
+    const char* name() const override {
+        return exact_selection_ ? "slp-aware-wlo-exact" : "slp-aware-wlo";
+    }
     void run(PassContext& ctx) const override {
         WloSlpOptions wlo = ctx.options.wlo_slp;
         wlo.accuracy_db = ctx.options.accuracy_db;
+        wlo.exact_selection = exact_selection_;
+        wlo.solver_budget = ctx.options.solver.budget;
         ctx.context.ensure_evaluator();
         const WloSlpResult out =
             run_slp_aware_wlo(ctx.context.kernel(), ctx.result.spec,
@@ -387,6 +413,46 @@ public:
         ctx.result.slp_stats = out.slp_stats;
         ctx.result.scaling_stats = out.scaling_stats;
         ctx.result.group_count = count_groups(ctx.result.groups);
+        if (exact_selection_) {
+            const solver::PackSelectStats& ps = out.solver_stats;
+            SolverStats& st = ctx.result.solver_stats;
+            st.ran = true;
+            st.nodes = ps.nodes;
+            st.solves = ps.solves;
+            st.proven_optimal = ps.proven_optimal;
+            st.heuristic_objective = ps.heuristic_objective;
+            st.best_objective = ps.best_objective;
+            // Maximization: the exact selection's summed pack benefit is
+            // never below the greedy incumbent's.
+            st.gap = ps.best_objective - ps.heuristic_objective;
+        }
+    }
+
+private:
+    bool exact_selection_;
+};
+
+class WloExactPass final : public Pass {
+public:
+    const char* name() const override { return "wlo-exact"; }
+    void run(PassContext& ctx) const override {
+        ctx.context.ensure_evaluator();
+        solver::WloExactOptions options;
+        options.tabu = ctx.options.wlo_first.tabu;
+        options.budget = ctx.options.solver.budget;
+        const solver::WloExactResult out = solver::run_wlo_exact(
+            ctx.result.spec, ctx.context.evaluator(), ctx.target,
+            ctx.options.accuracy_db, options);
+        ctx.result.tabu_stats = out.tabu;
+        SolverStats& st = ctx.result.solver_stats;
+        st.ran = true;
+        st.nodes = out.solve.nodes;
+        st.solves = 1;
+        st.proven_optimal = out.solve.proven_optimal;
+        st.heuristic_objective = out.heuristic_cost;
+        st.best_objective = out.best_cost;
+        // Minimization: the exact cost is never above the Tabu incumbent's.
+        st.gap = out.heuristic_cost - out.best_cost;
     }
 };
 
@@ -517,10 +583,11 @@ PassRef make_range_analysis_pass() {
 PassRef make_iwl_determination_pass() {
     return std::make_shared<IwlDeterminationPass>();
 }
-PassRef make_slp_aware_wlo_pass() {
-    return std::make_shared<SlpAwareWloPass>();
+PassRef make_slp_aware_wlo_pass(bool exact_selection) {
+    return std::make_shared<SlpAwareWloPass>(exact_selection);
 }
 PassRef make_tabu_wlo_pass() { return std::make_shared<TabuWloPass>(); }
+PassRef make_wlo_exact_pass() { return std::make_shared<WloExactPass>(); }
 PassRef make_plain_slp_pass(bool retain_views) {
     return std::make_shared<PlainSlpPass>(retain_views);
 }
@@ -550,7 +617,8 @@ namespace {
 bool is_stage_pass(const char* name) {
     static constexpr const char* kStagePasses[] = {
         "range-analysis", "iwl-determination", "slp-aware-wlo",
-        "tabu-wlo",       "plain-slp",         "scaling-optim"};
+        "tabu-wlo",       "plain-slp",         "scaling-optim",
+        "wlo-exact",      "slp-aware-wlo-exact"};
     for (const char* stage : kStagePasses) {
         if (std::strcmp(name, stage) == 0) return true;
     }
@@ -600,6 +668,7 @@ FlowResult FlowPipeline::run(const KernelContext& context,
             ctx.result.slp_stats = entry->slp_stats;
             ctx.result.scaling_stats = entry->scaling_stats;
             ctx.result.tabu_stats = entry->tabu_stats;
+            ctx.result.solver_stats = entry->solver_stats;
             ctx.result.group_count = entry->group_count;
             ctx.stage_restored = true;
         }
@@ -621,6 +690,7 @@ FlowResult FlowPipeline::run(const KernelContext& context,
         entry.slp_stats = ctx.result.slp_stats;
         entry.scaling_stats = ctx.result.scaling_stats;
         entry.tabu_stats = ctx.result.tabu_stats;
+        entry.solver_stats = ctx.result.solver_stats;
         entry.group_count = ctx.result.group_count;
         cache->store_stage(*ctx.stage_key, entry);
     }
@@ -666,6 +736,20 @@ FlowRegistry::FlowRegistry() {
                       make_scaling_optim_pass(), lower, cycles}));
     flows_.emplace("Float", FlowPipeline("Float", {make_float_lowering_pass(),
                                                    cycles}));
+    // The exact counterparts (src/solver): branch-and-bound WLO seeded by
+    // Tabu, and SLP extraction with exact per-round pack selection. Also
+    // reachable from the heuristic flows via `--optimizer optimal` (see
+    // optimal_flow_for).
+    flows_.emplace(
+        "WLO-Optimal",
+        FlowPipeline("WLO-Optimal", {range, iwl, make_wlo_exact_pass(),
+                                     make_plain_slp_pass(), lower, cycles}));
+    flows_.emplace(
+        "SLP-Optimal",
+        FlowPipeline("SLP-Optimal",
+                     {range, iwl,
+                      make_slp_aware_wlo_pass(/*exact_selection=*/true),
+                      lower, cycles}));
 }
 
 FlowRegistry& FlowRegistry::instance() {

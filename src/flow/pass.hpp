@@ -21,6 +21,8 @@
 //   "WLO-First"          Fig. 5   range, iwl, tabu, plain-slp, lower, cycles
 //   "WLO-First+Scaling"  variant  ... plain-slp, scaling-optim, lower, cycles
 //   "Float"              Fig. 6   float-lower, cycles
+//   "WLO-Optimal"        exact    range, iwl, wlo-exact, plain-slp, ...
+//   "SLP-Optimal"        exact    range, iwl, slp-aware-wlo-exact, ...
 //
 // Cycle evaluation is memoized: an EvalCache shared across sweep points
 // keys {scalar cycles, SIMD cycles, analytic noise} by a content hash of
@@ -81,6 +83,11 @@ public:
         SlpStats slp_stats;
         ScalingStats scaling_stats;
         TabuStats tabu_stats;
+        /// Exact-search outcome (WLO-Optimal / SLP-Optimal). Memoized like
+        /// the other stage statistics so a warm optimal run reports the
+        /// same solver numbers as the cold one; excluded from report
+        /// identity bytes regardless (see FlowOptions::SolverStats).
+        SolverStats solver_stats;
         int group_count = 0;
 
         /// Bit-exact comparison (doubles compared by representation).
@@ -222,8 +229,14 @@ using PassRef = std::shared_ptr<const Pass>;
 // --- concrete pass factories ---------------------------------------------------
 PassRef make_range_analysis_pass();
 PassRef make_iwl_determination_pass();
-PassRef make_slp_aware_wlo_pass();
+/// `exact_selection` replaces the greedy per-round pack selection with the
+/// branch-and-bound solver (solver/pack_select.hpp) — the "SLP-Optimal"
+/// flow; the budget comes from FlowOptions::solver.
+PassRef make_slp_aware_wlo_pass(bool exact_selection = false);
 PassRef make_tabu_wlo_pass();
+/// Exact WLO (solver/wlo_exact.hpp): Tabu incumbent + branch-and-bound
+/// over per-node word lengths — the WLO stage of "WLO-Optimal".
+PassRef make_wlo_exact_pass();
 /// `retain_views` keeps each block's final PackedView in the PassContext
 /// for a downstream scaling-optimization pass; leave it off in pipelines
 /// that never read them (the views are not small).

@@ -134,6 +134,19 @@ std::string to_json(const FlowResult& result, bool include_measured) {
     if (include_measured) {
         os << ",\"measured_ns\":" << result.measured_ns
            << ",\"sim_noise_db\":" << json_number(result.sim_noise_db);
+        // Solver statistics live in the measured-extras region: like
+        // measured_ns they are diagnostics, not identity — a wall-clock
+        // solver budget would otherwise make report bytes machine-dependent.
+        if (result.solver_stats.ran) {
+            const SolverStats& sv = result.solver_stats;
+            os << ",\"solver\":{\"nodes\":" << sv.nodes
+               << ",\"solves\":" << sv.solves << ",\"proven_optimal\":"
+               << (sv.proven_optimal ? "true" : "false")
+               << ",\"heuristic_objective\":"
+               << json_number(sv.heuristic_objective)
+               << ",\"best_objective\":" << json_number(sv.best_objective)
+               << ",\"gap\":" << json_number(sv.gap) << "}";
+        }
     }
     os << "}";
     return os.str();

@@ -48,8 +48,9 @@ std::string json_number(double value);
 /// the constraint, cycle counts, analytic noise, group count, the WL
 /// histogram, and the per-flow optimizer statistics.
 ///
-/// `include_measured` additionally emits "measured_ns" and
-/// "sim_noise_db". It defaults off so
+/// `include_measured` additionally emits "measured_ns", "sim_noise_db",
+/// and — for the exact flows — the "solver" statistics object (nodes,
+/// proven_optimal, heuristic-vs-optimal gap). It defaults off so
 /// default report bytes — and everything fingerprinted from them — stay
 /// independent of wall-clock measurements (same discipline as per-slot
 /// micros in shard result rows).

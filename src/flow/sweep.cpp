@@ -117,9 +117,17 @@ std::vector<SweepResult> SweepDriver::run_timed(
         } else {
             job.target = targets::by_name(point.target);
         }
-        job.pipeline = &FlowRegistry::instance().flow(point.flow);
         job.options = point.options.value_or(options_.flow_options);
         job.options.accuracy_db = point.accuracy_db;
+        // The `--optimizer` axis resolves here: under Optimizer::Optimal a
+        // heuristic flow name runs as its exact counterpart (WLO-SLP ->
+        // SLP-Optimal, WLO-First -> WLO-Optimal). The pipeline stamps its
+        // own name into the result, so rows are byte-identical whether the
+        // point named the exact flow directly or reached it via the axis.
+        job.pipeline = &FlowRegistry::instance().flow(
+            job.options.solver.optimizer == Optimizer::Optimal
+                ? optimal_flow_for(point.flow)
+                : point.flow);
         jobs.push_back(std::move(job));
     }
 
@@ -223,7 +231,11 @@ std::string options_to_json(const FlowOptions& options) {
        << ",\"stagnation_limit\":" << options.wlo_first.tabu.stagnation_limit
        << ",\"infeasibility_penalty\":"
        << json_number(options.wlo_first.tabu.infeasibility_penalty)
-       << "}}}";
+       << "}}"
+       << ",\"solver\":{\"optimizer\":\""
+       << to_string(options.solver.optimizer)
+       << "\",\"max_nodes\":" << options.solver.budget.max_nodes
+       << ",\"max_millis\":" << options.solver.budget.max_millis << "}}";
     return os.str();
 }
 

@@ -40,7 +40,10 @@ class ThreadPool;
 
 /// One point of a sweep grid. `kernel` names a benchmark-registry kernel,
 /// `target` a TargetRegistry model (targets::by_name), `flow` a
-/// FlowRegistry pipeline.
+/// FlowRegistry pipeline. When the effective FlowOptions carry
+/// Optimizer::Optimal the flow name resolves through optimal_flow_for at
+/// run time — the grid (and its fingerprint) is unchanged; only the
+/// pipeline that executes, and the flow name the result reports, differ.
 struct SweepPoint {
     std::string kernel;
     std::string target;

@@ -51,10 +51,14 @@ std::vector<SimdGroup> extract_slp(PackedView& view, const TargetModel& target,
             }
         }
 
-        std::vector<Candidate> selected = select_candidates(
-            view, std::move(candidates), conflicts, target,
-            options.benefit_mode, options.min_benefit, hooks.try_select,
-            &local.rejected_at_select);
+        std::vector<Candidate> selected =
+            hooks.select_round
+                ? hooks.select_round(std::move(candidates), conflicts,
+                                     &local.rejected_at_select)
+                : select_candidates(view, std::move(candidates), conflicts,
+                                    target, options.benefit_mode,
+                                    options.min_benefit, hooks.try_select,
+                                    &local.rejected_at_select);
         if (hooks.round_finish) {
             selected = hooks.round_finish(std::move(selected));
         }

@@ -43,6 +43,15 @@ struct SlpHooks {
     /// Fig. 1c line 34 (+ strict feasibility): commit the candidate's WL
     /// reduction; returning false drops it.
     std::function<bool(const Candidate&)> try_select;
+    /// When set, replaces the greedy per-round selection entirely (the
+    /// `SLP-Optimal` flow plugs the exact solver in here): receives the
+    /// round's valid candidates and the full conflict set (structural +
+    /// extra) and returns the selected subset with every selection's WL
+    /// commitment already applied. The int* accumulates selection-time
+    /// rejections, like select_candidates' rejected_count.
+    std::function<std::vector<Candidate>(std::vector<Candidate>,
+                                         const ConflictSet&, int*)>
+        select_round;
     /// Called when a round starts (spec checkpointing).
     std::function<void()> round_begin;
     /// Called with the round's selection before fusing; may filter it

@@ -1,0 +1,87 @@
+// Exact SLP pack selection (the `SLP-Optimal` flow's per-round selector).
+//
+// goSLP showed that pairwise pack selection can be posed as an ILP and
+// solved to optimality at practical cost. This module does the same over
+// our existing round structures: one 0/1 variable per candidate, one
+// `x_i + x_j <= 1` constraint per conflicting pair (structural and
+// accuracy conflicts alike — the engine merged both into the ConflictSet
+// before selection), objective = sum of selected benefits, solved with
+// solver/bnb.hpp.
+//
+// The greedy selector's benefit is pool-dependent: a candidate is scored
+// against whatever it could still coexist with at that point of the
+// iteration, so "total greedy benefit" is not a well-defined objective.
+// The exact model adopts a fixed-weight convention instead: every
+// candidate is scored ONCE, against the round-start pool (all candidates
+// it does not conflict with) — exactly the pool the greedy loop uses for
+// its first pick. Candidates whose round-start benefit falls below the
+// profitability floor are excluded outright, mirroring the greedy stop
+// rule. Optimality claims are therefore *per round, under the
+// round-start weights* — the honest goSLP-style statement, documented in
+// DESIGN.md §13.
+//
+// The greedy selection (run with the same feasibility hook) seeds the
+// incumbent, so the exact answer is never worse than the heuristic on
+// this objective — the invariant the gap report and the CI gap-smoke
+// job assert.
+//
+// Accuracy coupling that the linear model cannot express (cumulative
+// equation-1 feasibility) enters through the fix/unfix callbacks: `fix`
+// applies a candidate's WL commitment revertibly and may veto, `unfix`
+// undoes it (strict LIFO, see BnbHooks). The returned selection is NOT
+// committed — the caller replays it through its usual selection hook.
+#pragma once
+
+#include "slp/benefit.hpp"
+#include "solver/bnb.hpp"
+
+namespace slpwlo::solver {
+
+struct PackSelectOptions {
+    BenefitMode benefit_mode = BenefitMode::ReuseOverCost;
+    /// Profitability floor, same meaning as SlpOptions::min_benefit:
+    /// candidates scoring below it (at round-start weights) never enter
+    /// the model.
+    double min_benefit = 0.75;
+    SolveBudget budget;
+    double eps = 1e-9;
+};
+
+/// Exact-selection statistics accumulated across rounds and blocks (one
+/// `SLP-Optimal` flow runs one solve per extraction round per block).
+struct PackSelectStats {
+    long long nodes = 0;
+    long long solves = 0;
+    /// AND over all solves: every round was solved to proven optimality.
+    bool proven_optimal = true;
+    /// Summed fixed-weight objective of the greedy incumbents.
+    double heuristic_objective = 0.0;
+    /// Summed fixed-weight objective of the exact selections
+    /// (>= heuristic_objective by construction).
+    double best_objective = 0.0;
+};
+
+struct PackSelectResult {
+    /// The exact selection, in candidate-index order, not yet committed.
+    std::vector<Candidate> selected;
+    SolveStats solve;
+    /// Fixed-weight objective of the greedy incumbent for this round.
+    double greedy_objective = 0.0;
+};
+
+/// Revertible accuracy coupling (both optional): `fix` applies the
+/// candidate's selection effects and may veto by returning false; `unfix`
+/// undoes the most recent successful fix (LIFO).
+using PackFix = std::function<bool(const Candidate&)>;
+using PackUnfix = std::function<void(const Candidate&)>;
+
+/// Select the benefit-maximal conflict-free subset of `candidates`.
+/// `rejected_count`, when given, accumulates the greedy incumbent pass's
+/// feasibility vetoes (the same stat the greedy selector reports).
+PackSelectResult select_packs_exact(
+    const PackedView& view, const std::vector<Candidate>& candidates,
+    const ConflictSet& conflicts, const TargetModel& target,
+    const PackSelectOptions& options, const PackFix& fix = {},
+    const PackUnfix& unfix = {}, int* rejected_count = nullptr);
+
+}  // namespace slpwlo::solver

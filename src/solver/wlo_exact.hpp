@@ -1,0 +1,66 @@
+// Exact word-length optimization by branch and bound (the `WLO-Optimal`
+// flow's optimizer).
+//
+// Same problem as core/tabu_wlo.hpp — one WL per node from the target's
+// supported scalar set, minimize the WlCostModel proxy subject to the
+// accuracy constraint — solved exactly instead of by Tabu search. Two
+// structural facts make the exact search affordable:
+//
+//  * the cost model is separable per node (an op is charged at the WL of
+//    the one node it reads), so the maximum cost saving every unassigned
+//    node could still contribute is a constant computed once at the root
+//    with preview_move probes, and the bound of a partial assignment is
+//    current cost minus the sum of those remaining savings;
+//  * noise is monotone in every node's WL (more fraction bits at a node
+//    never add noise), so evaluating a partial assignment with all
+//    unassigned nodes at the maximum WL yields the noise of its *best*
+//    completion — if that already violates the constraint, the whole
+//    subtree is infeasible.
+//
+// Each partial-assignment evaluation is one incremental-session query
+// (PR 6's delta machinery), bit-identical to a full recompute, so the
+// bounds are exact by construction, not modeled. The Tabu result seeds
+// the incumbent: the search can only improve on the heuristic, which is
+// what the gap report measures.
+//
+// Deterministic by construction: fixed branch order (largest potential
+// saving first), fixed value order (cheapest WL first), node-count
+// budget. See solver/bnb.hpp for the budget contract.
+#pragma once
+
+#include "core/tabu_wlo.hpp"
+#include "solver/bnb.hpp"
+
+namespace slpwlo::solver {
+
+struct WloExactOptions {
+    /// The heuristic run that seeds the incumbent.
+    TabuOptions tabu;
+    SolveBudget budget;
+    /// Incumbent-pruning slack: a subtree survives only if its bound
+    /// beats the incumbent by more than eps (see BnbOptions::eps).
+    double eps = 1e-9;
+};
+
+struct WloExactResult {
+    /// Stats of the seeding Tabu run (reported as the flow's tabu stats,
+    /// exactly as `WLO-First` reports them).
+    TabuStats tabu;
+    /// Stats of the exact search proper.
+    SolveStats solve;
+    /// Cost of the Tabu incumbent (the heuristic objective).
+    double heuristic_cost = 0.0;
+    /// Cost of the best assignment found (== the optimum when
+    /// solve.proven_optimal); never worse than heuristic_cost.
+    double best_cost = 0.0;
+};
+
+/// Optimizes `spec` in place: runs Tabu first for the incumbent, then
+/// branch and bound over the full per-node WL space, and leaves `spec`
+/// at the best feasible assignment found.
+WloExactResult run_wlo_exact(FixedPointSpec& spec,
+                             const AccuracyEvaluator& evaluator,
+                             const TargetModel& target, double accuracy_db,
+                             const WloExactOptions& options = {});
+
+}  // namespace slpwlo::solver

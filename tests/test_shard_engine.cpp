@@ -158,7 +158,7 @@ TEST(ShardManifest, RoundTripsExactly) {
         const ShardManifest manifest =
             parse_shard_manifest(text, "<round-trip>");
 
-        EXPECT_EQ(manifest.version, 2);
+        EXPECT_EQ(manifest.version, 3);
         EXPECT_EQ(manifest.shard_index, plan.shard_index);
         EXPECT_EQ(manifest.shard_count, plan.shard_count);
         EXPECT_EQ(manifest.strategy, plan.strategy);
@@ -208,19 +208,19 @@ TEST(ShardManifest, RejectsMalformedInput) {
     EXPECT_NO_THROW(parse_shard_manifest(good));
 
     // Unsupported version (the versioning policy: readers reject what
-    // they do not know — v1 and v2 parse, v3 does not exist yet).
+    // they do not know — v1 to v3 parse, v4 does not exist yet).
     {
         std::string text = good;
-        const size_t pos = text.find("manifest_version = 2");
+        const size_t pos = text.find("manifest_version = 3");
         ASSERT_NE(pos, std::string::npos);
-        text.replace(pos, 20, "manifest_version = 3");
+        text.replace(pos, 20, "manifest_version = 4");
         EXPECT_THROW(parse_shard_manifest(text), Error);
     }
     // A version-1 header still parses (pre-evaluator manifests remain
     // readable).
     {
         std::string text = good;
-        const size_t pos = text.find("manifest_version = 2");
+        const size_t pos = text.find("manifest_version = 3");
         ASSERT_NE(pos, std::string::npos);
         text.replace(pos, 20, "manifest_version = 1");
         EXPECT_NO_THROW(parse_shard_manifest(text));
@@ -273,6 +273,15 @@ EvalCache::StageEntry synthetic_stage_entry() {
     stage.tabu_stats.initial_cost = 19.75;
     stage.tabu_stats.best_cost = -std::numeric_limits<double>::infinity();
     stage.tabu_stats.feasible = true;
+    // Solver stats (snapshot_version 3): a warm-started exact flow must
+    // reproduce the cold run's solver block byte for byte.
+    stage.solver_stats.ran = true;
+    stage.solver_stats.nodes = 137;
+    stage.solver_stats.solves = 1;
+    stage.solver_stats.proven_optimal = true;
+    stage.solver_stats.heuristic_objective = 64.0;
+    stage.solver_stats.best_objective = 61.5;
+    stage.solver_stats.gap = 2.5;
     stage.group_count = 1;
     return stage;
 }
@@ -441,6 +450,15 @@ TEST(CacheSnapshot, RejectsMalformedInput) {
     EXPECT_THROW(parse_cache_snapshot("snapshot_version = 2\n"
                                       "stage_entries = 3\n"),
                  Error);
+    // A version-2 header cannot smuggle the version-3 solver suffix: the
+    // writer's own v3 stage lines have trailing fields under a v2 reader.
+    {
+        std::string text = good;
+        const size_t pos = text.find("snapshot_version = 3");
+        ASSERT_NE(pos, std::string::npos);
+        text.replace(pos, 20, "snapshot_version = 2");
+        EXPECT_THROW(parse_cache_snapshot(text), Error);
+    }
 }
 
 TEST(CacheSnapshot, StageEntriesMergeAndDetectConflicts) {

@@ -1,0 +1,378 @@
+// Tests for the exact-optimization subsystem (src/solver): the 0/1 ILP
+// branch-and-bound core against brute force, exact word-length
+// optimization against an exhaustive oracle, the optimal flows
+// (WLO-Optimal, SLP-Optimal) and their gap invariants, and the
+// heuristic/optimal sweep axis (spelling errors, memo isolation,
+// resolution to the exact flows).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "accuracy/analytic_evaluator.hpp"
+#include "core/wl_cost_model.hpp"
+#include "flow/flow.hpp"
+#include "flow/pass.hpp"
+#include "flow/report.hpp"
+#include "flow/sweep.hpp"
+#include "solver/bnb.hpp"
+#include "solver/wlo_exact.hpp"
+#include "support/diagnostics.hpp"
+#include "target/target_model.hpp"
+#include "test_util.hpp"
+
+namespace slpwlo {
+namespace {
+
+using namespace slpwlo::solver;
+using ::slpwlo::testing::cached_evaluator;
+using ::slpwlo::testing::initial_spec;
+using ::slpwlo::testing::small_fir;
+
+// --- branch-and-bound core -----------------------------------------------------
+
+TEST(Bnb, SolvesPairwiseExclusionModelExactly) {
+    // The shape every solver model in this repo has: pairwise exclusions.
+    // Optimum: pick 5 over 4, 3 over 2, and the free 1.
+    BnbProblem problem;
+    problem.weights = {5.0, 4.0, 3.0, 2.0, 1.0};
+    problem.constraints.push_back(BnbConstraint{{{0, 1.0}, {1, 1.0}}, 1.0});
+    problem.constraints.push_back(BnbConstraint{{{2, 1.0}, {3, 1.0}}, 1.0});
+    const BnbResult result = solve_bnb(problem);
+    EXPECT_TRUE(result.stats.proven_optimal);
+    ASSERT_TRUE(result.stats.has_incumbent);
+    EXPECT_DOUBLE_EQ(result.stats.best_objective, 9.0);
+    EXPECT_EQ(result.assignment, (std::vector<char>{1, 0, 1, 0, 1}));
+}
+
+TEST(Bnb, MinimizeSenseSelectsNegativeWeights) {
+    BnbProblem problem;
+    problem.sense = BnbProblem::Sense::Minimize;
+    problem.weights = {2.0, -3.0, 1.0, -0.5};
+    const BnbResult result = solve_bnb(problem);
+    EXPECT_TRUE(result.stats.proven_optimal);
+    EXPECT_DOUBLE_EQ(result.stats.best_objective, -3.5);
+    EXPECT_EQ(result.assignment, (std::vector<char>{0, 1, 0, 1}));
+}
+
+/// Exhaustive reference: best objective over all 2^n assignments that
+/// satisfy every constraint.
+double brute_force(const BnbProblem& problem) {
+    const size_t n = problem.weights.size();
+    const bool maximize = problem.sense == BnbProblem::Sense::Maximize;
+    double best = maximize ? -std::numeric_limits<double>::infinity()
+                           : std::numeric_limits<double>::infinity();
+    for (size_t mask = 0; mask < (size_t(1) << n); ++mask) {
+        bool feasible = true;
+        for (const BnbConstraint& c : problem.constraints) {
+            double lhs = 0.0;
+            for (const auto& [var, coeff] : c.terms) {
+                if ((mask >> var) & 1) lhs += coeff;
+            }
+            if (lhs > c.rhs + 1e-12) {
+                feasible = false;
+                break;
+            }
+        }
+        if (!feasible) continue;
+        double value = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if ((mask >> i) & 1) value += problem.weights[i];
+        }
+        best = maximize ? std::max(best, value) : std::min(best, value);
+    }
+    return best;
+}
+
+TEST(Bnb, MatchesBruteForceOnMixedSignInstances) {
+    // Deterministic pseudo-random instances (fixed LCG): mixed-sign
+    // weights, random pairwise exclusions, both senses.
+    uint64_t state = 0x5eed;
+    const auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (int trial = 0; trial < 24; ++trial) {
+        const size_t n = 2 + next() % 9;  // 2..10 variables
+        BnbProblem problem;
+        problem.sense = (trial % 2 == 0) ? BnbProblem::Sense::Maximize
+                                         : BnbProblem::Sense::Minimize;
+        for (size_t i = 0; i < n; ++i) {
+            problem.weights.push_back(
+                (static_cast<double>(next() % 41) - 20.0) / 4.0);
+        }
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = i + 1; j < n; ++j) {
+                if (next() % 3 == 0) {
+                    problem.constraints.push_back(BnbConstraint{
+                        {{static_cast<int>(i), 1.0},
+                         {static_cast<int>(j), 1.0}},
+                        1.0});
+                }
+            }
+        }
+        const BnbResult result = solve_bnb(problem);
+        EXPECT_TRUE(result.stats.proven_optimal) << "trial " << trial;
+        ASSERT_TRUE(result.stats.has_incumbent) << "trial " << trial;
+        EXPECT_NEAR(result.stats.best_objective, brute_force(problem), 1e-9)
+            << "trial " << trial;
+
+        // Determinism: the same problem expands the same tree.
+        const BnbResult replay = solve_bnb(problem);
+        EXPECT_EQ(replay.stats.nodes, result.stats.nodes);
+        EXPECT_EQ(replay.assignment, result.assignment);
+    }
+}
+
+TEST(Bnb, BudgetExhaustionKeepsSeededIncumbentUnproven) {
+    BnbProblem problem;
+    for (int i = 0; i < 24; ++i) {
+        problem.weights.push_back(1.0 + 0.01 * i);
+    }
+    BnbOptions options;
+    options.budget.max_nodes = 3;
+    std::vector<char> seed(24, 0);
+    seed[0] = 1;
+    const BnbResult result = solve_bnb(problem, options, {}, &seed);
+    EXPECT_FALSE(result.stats.proven_optimal);
+    ASSERT_TRUE(result.stats.has_incumbent);
+    // Anytime contract: never worse than the seed, never past the budget.
+    EXPECT_GE(result.stats.best_objective, 1.0 - 1e-12);
+    EXPECT_LE(result.stats.nodes, 3);
+}
+
+TEST(Bnb, HookVetoExcludesBranchAndUnfixNestsLifo) {
+    BnbProblem problem;
+    problem.weights = {5.0, 3.0, 2.0};
+    std::vector<int> stack;
+    BnbHooks hooks;
+    hooks.on_fix = [&stack](int var) {
+        if (var == 0) return false;  // veto the heaviest variable outright
+        stack.push_back(var);
+        return true;
+    };
+    hooks.on_unfix = [&stack](int var) {
+        ASSERT_FALSE(stack.empty());
+        EXPECT_EQ(stack.back(), var);
+        stack.pop_back();
+    };
+    const BnbResult result = solve_bnb(problem, {}, hooks);
+    // Exact with respect to the hook: optimal over admitted solutions.
+    EXPECT_TRUE(result.stats.proven_optimal);
+    EXPECT_DOUBLE_EQ(result.stats.best_objective, 5.0);
+    EXPECT_EQ(result.assignment, (std::vector<char>{0, 1, 1}));
+    EXPECT_TRUE(stack.empty());  // every fix was unwound
+}
+
+// --- exact word-length optimization --------------------------------------------
+
+TEST(WloExact, NeverWorseThanTabuAndMeetsConstraint) {
+    const Kernel& k = small_fir();
+    FixedPointSpec spec = initial_spec(k);
+    const TargetModel target = targets::xentium();
+    const WloExactResult out =
+        run_wlo_exact(spec, cached_evaluator(k), target, -30.0);
+    EXPECT_EQ(out.heuristic_cost, out.tabu.best_cost);  // tabu seeds
+    EXPECT_LE(out.best_cost, out.heuristic_cost + 1e-9);
+    EXPECT_LE(cached_evaluator(k).noise_power_db(spec), -30.0 + 1e-9);
+    // The spec left behind is the incumbent the stats describe.
+    EXPECT_DOUBLE_EQ(WlCostModel(k, target).cost(spec), out.best_cost);
+}
+
+TEST(WloExact, MatchesExhaustiveOracleOnTinyKernel) {
+    const Kernel k = ::slpwlo::testing::make_two_tap();
+    const AnalyticEvaluator evaluator(k);
+    // Two supported WLs keep the full space enumerable: 2^nodes specs.
+    TargetModel target = targets::xentium();
+    target.scalar_wls = {32, 16};
+    const double accuracy = -25.0;
+
+    FixedPointSpec spec = initial_spec(k);
+    const WloExactResult out = run_wlo_exact(spec, evaluator, target, accuracy);
+    ASSERT_TRUE(out.solve.proven_optimal);
+
+    const WlCostModel model(k, target);
+    FixedPointSpec probe = initial_spec(k);
+    const std::vector<NodeRef> nodes = probe.nodes();
+    ASSERT_LE(nodes.size(), 16u) << "oracle enumeration would be too large";
+    double oracle = std::numeric_limits<double>::infinity();
+    for (size_t mask = 0; mask < (size_t(1) << nodes.size()); ++mask) {
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            probe.set_wl(nodes[i], ((mask >> i) & 1) != 0 ? 16 : 32);
+        }
+        if (evaluator.noise_power_db(probe) > accuracy) continue;
+        oracle = std::min(oracle, model.cost(probe));
+    }
+    ASSERT_TRUE(std::isfinite(oracle));
+    EXPECT_NEAR(out.best_cost, oracle, 1e-9);
+    EXPECT_DOUBLE_EQ(model.cost(spec), out.best_cost);
+}
+
+// --- the optimal flows ---------------------------------------------------------
+
+TEST(OptimalFlows, RegisteredAndResolvedFromOptimizerAxis) {
+    FlowRegistry& registry = FlowRegistry::instance();
+    EXPECT_TRUE(registry.contains("WLO-Optimal"));
+    EXPECT_TRUE(registry.contains("SLP-Optimal"));
+    EXPECT_EQ(optimal_flow_for("WLO-SLP"), "SLP-Optimal");
+    EXPECT_EQ(optimal_flow_for("WLO-First"), "WLO-Optimal");
+    // Flows with no exact counterpart resolve to themselves.
+    EXPECT_EQ(optimal_flow_for("Float"), "Float");
+    EXPECT_EQ(optimal_flow_for("WLO-Optimal"), "WLO-Optimal");
+}
+
+TEST(OptimalFlows, OptimizerSpellingErrorsListValidValues) {
+    EXPECT_EQ(to_string(optimizer_from_string("heuristic")), "heuristic");
+    EXPECT_EQ(to_string(optimizer_from_string("optimal")), "optimal");
+    try {
+        optimizer_from_string("optimla");
+        FAIL() << "expected Error for unknown optimizer";
+    } catch (const Error& e) {
+        const std::string message = e.what();
+        // The misspelling is echoed and the valid values are listed, in
+        // sorted order, so the fix is visible in the error itself.
+        EXPECT_NE(message.find("optimla"), std::string::npos) << message;
+        const size_t heuristic = message.find("heuristic");
+        const size_t optimal = message.find("optimal");
+        ASSERT_NE(heuristic, std::string::npos) << message;
+        ASSERT_NE(optimal, std::string::npos) << message;
+        EXPECT_LT(heuristic, optimal) << message;
+    }
+}
+
+TEST(OptimalFlows, WloOptimalNeverWorseThanWloFirst) {
+    FlowOptions options;
+    options.accuracy_db = -30.0;
+    const KernelContext context(small_fir());
+    const TargetModel target = targets::xentium();
+    const FlowResult exact =
+        FlowRegistry::instance().flow("WLO-Optimal").run(context, target,
+                                                         options);
+    const FlowResult heuristic =
+        FlowRegistry::instance().flow("WLO-First").run(context, target,
+                                                       options);
+    ASSERT_TRUE(exact.solver_stats.ran);
+    EXPECT_FALSE(heuristic.solver_stats.ran);
+    // The heuristic objective is exactly the Tabu incumbent WLO-First
+    // reports, and the exact search can only improve on it.
+    EXPECT_EQ(exact.solver_stats.heuristic_objective,
+              heuristic.tabu_stats.best_cost);
+    EXPECT_LE(exact.solver_stats.best_objective,
+              exact.solver_stats.heuristic_objective + 1e-9);
+    EXPECT_GE(exact.solver_stats.gap, -1e-9);
+    EXPECT_LE(exact.analytic_noise_db, -30.0 + 1e-9);
+}
+
+TEST(OptimalFlows, SlpOptimalProvesOptimalityOnRegistryKernels) {
+    // The acceptance bar: SLP-Optimal proves per-round optimality on all
+    // four registry kernels for a shipped target within default budget.
+    SweepOptions sweep_options;
+    sweep_options.threads = 2;
+    SweepDriver driver(sweep_options);
+    const std::vector<SweepResult> results = driver.run(
+        SweepDriver::grid({"FIR", "IIR", "CONV", "DOT"}, {"XENTIUM"},
+                          {"SLP-Optimal"}, {-30.0}));
+    ASSERT_EQ(results.size(), 4u);
+    for (const SweepResult& result : results) {
+        const SolverStats& stats = result.flow.solver_stats;
+        EXPECT_TRUE(stats.ran) << result.point.kernel;
+        EXPECT_TRUE(stats.proven_optimal) << result.point.kernel;
+        EXPECT_GE(stats.best_objective, stats.heuristic_objective - 1e-9)
+            << result.point.kernel;
+        EXPECT_GE(stats.gap, -1e-9) << result.point.kernel;
+        EXPECT_LE(result.flow.analytic_noise_db, -30.0 + 1e-9)
+            << result.point.kernel;
+    }
+}
+
+// --- the heuristic/optimal sweep axis ------------------------------------------
+
+TEST(OptimalFlows, OptimizerAxisResolvesToExactFlows) {
+    // `--optimizer optimal` over the heuristic flow names must produce
+    // the same rows as naming the exact flows directly.
+    SweepOptions axis_options;
+    axis_options.threads = 1;
+    axis_options.flow_options.solver.optimizer = Optimizer::Optimal;
+    SweepDriver axis(axis_options);
+    const std::vector<SweepResult> via_axis = axis.run(
+        SweepDriver::grid({"FIR"}, {"XENTIUM"}, {"WLO-First"}, {-25.0}));
+
+    SweepOptions direct_options;
+    direct_options.threads = 1;
+    SweepDriver direct(direct_options);
+    const std::vector<SweepResult> named = direct.run(
+        SweepDriver::grid({"FIR"}, {"XENTIUM"}, {"WLO-Optimal"}, {-25.0}));
+
+    ASSERT_EQ(via_axis.size(), 1u);
+    ASSERT_EQ(named.size(), 1u);
+    EXPECT_EQ(via_axis[0].flow.flow_name, "WLO-Optimal");
+    EXPECT_EQ(to_json(via_axis[0].flow), to_json(named[0].flow));
+    EXPECT_TRUE(via_axis[0].flow.solver_stats.ran);
+}
+
+TEST(OptimalFlows, StageMemoKeyIsolatesOptimizerChoice) {
+    const KernelContext context(small_fir());
+    const TargetModel target = targets::xentium();
+    FlowOptions heuristic;
+    FlowOptions optimal;
+    optimal.solver.optimizer = Optimizer::Optimal;
+    // A heuristic sweep must never serve a memoized optimal stage (or
+    // vice versa), and the budget is part of the identity too: a bigger
+    // budget can change the incumbent.
+    EXPECT_NE(stage_memo_key(context, target, "WLO-SLP", heuristic),
+              stage_memo_key(context, target, "WLO-SLP", optimal));
+    FlowOptions bigger = optimal;
+    bigger.solver.budget.max_nodes += 1;
+    EXPECT_NE(stage_memo_key(context, target, "WLO-SLP", optimal),
+              stage_memo_key(context, target, "WLO-SLP", bigger));
+    FlowOptions longer = optimal;
+    longer.solver.budget.max_millis = 1000;
+    EXPECT_NE(stage_memo_key(context, target, "WLO-SLP", optimal),
+              stage_memo_key(context, target, "WLO-SLP", longer));
+}
+
+TEST(OptimalFlows, MemoizedOptimalSweepReproducesSolverStats) {
+    const std::vector<SweepPoint> points = SweepDriver::grid(
+        {"FIR"}, {"XENTIUM"}, {"SLP-Optimal"}, {-25.0});
+    SweepOptions options;
+    options.threads = 1;
+    SweepDriver driver(options);
+    const std::vector<SweepResult> cold = driver.run(points);
+    const std::vector<SweepResult> warm = driver.run(points);
+    ASSERT_EQ(cold.size(), 1u);
+    ASSERT_EQ(warm.size(), 1u);
+    EXPECT_GT(driver.cache_stats().eval_hits, 0u);
+    ASSERT_TRUE(cold[0].flow.solver_stats.ran);
+    ASSERT_TRUE(warm[0].flow.solver_stats.ran);
+    // The memoized run reports the cold run's solver stats bit for bit
+    // (they are part of the stage entry, not recomputed).
+    const SolverStats& a = cold[0].flow.solver_stats;
+    const SolverStats& b = warm[0].flow.solver_stats;
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.solves, b.solves);
+    EXPECT_EQ(a.proven_optimal, b.proven_optimal);
+    EXPECT_EQ(a.heuristic_objective, b.heuristic_objective);
+    EXPECT_EQ(a.best_objective, b.best_objective);
+    EXPECT_EQ(a.gap, b.gap);
+    EXPECT_EQ(to_json(cold[0].flow), to_json(warm[0].flow));
+}
+
+TEST(OptimalFlows, SolverStatsLandInMeasuredReportsOnly) {
+    FlowOptions options;
+    options.accuracy_db = -25.0;
+    const KernelContext context(small_fir());
+    FlowResult result = FlowRegistry::instance()
+                            .flow("WLO-Optimal")
+                            .run(context, targets::xentium(), options);
+    ASSERT_TRUE(result.solver_stats.ran);
+    // Identity bytes (the cross-shard byte-compare surface) exclude the
+    // solver block; the measured report carries it.
+    EXPECT_EQ(to_json(result).find("\"solver\""), std::string::npos);
+    const std::string measured = to_json(result, /*include_measured=*/true);
+    EXPECT_NE(measured.find("\"solver\":{\"nodes\":"), std::string::npos);
+    EXPECT_NE(measured.find("\"proven_optimal\":"), std::string::npos);
+    EXPECT_NE(measured.find("\"gap\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slpwlo

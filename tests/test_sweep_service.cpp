@@ -311,6 +311,60 @@ TEST(LeaseDir, ExpiryReissueAndDuplicateRowsMerge) {
     EXPECT_EQ(collect_lease_results(dir), reference_json(grid));
 }
 
+TEST(LeaseDir, BoundedAcquireSplitsOversizedChunks) {
+    // One big chunk, workers that only want one slot at a time: acquire
+    // re-chops on claim, publishing the remainder as new claimable
+    // chunks, and the merged bytes still match the reference exactly.
+    const std::vector<SweepPoint> grid = SweepDriver::grid(
+        {"FIR"}, {"XENTIUM"}, {"WLO-SLP"}, {-20.0, -30.0, -40.0});
+    const ShardManifest manifest = whole_grid_manifest(grid);
+    const std::string reference = reference_json(grid);
+    TempDir tmp;
+    const std::string dir = tmp.sub("farm");
+
+    LeaseOptions options;
+    options.chunk_cost = 1e12;  // everything lands in one chunk
+    ASSERT_EQ(init_lease_dir(dir, manifest, options), 1u);
+
+    LeaseWorkerOptions small_opts;
+    small_opts.worker_id = "small";
+    LeaseWorkSource small(dir, small_opts);
+
+    // The bounded acquire keeps the first slot and splits the rest off.
+    Lease head = small.acquire(1);
+    ASSERT_EQ(head.slots, (std::vector<size_t>{0}));
+    ASSERT_EQ(head.points.size(), 1u);
+    EXPECT_EQ(lease_dir_status(dir).chunks, 2u);
+
+    // The split-off tail is immediately claimable by a second worker
+    // while the head is still held — and that worker's own bound splits
+    // it again (fresh-id allocation past an existing split chunk).
+    LeaseWorkerOptions peer_opts;
+    peer_opts.worker_id = "peer";
+    LeaseWorkSource peer(dir, peer_opts);
+    Lease mid = peer.acquire(1);
+    ASSERT_EQ(mid.slots, (std::vector<size_t>{1}));
+    const LeaseDirStatus in_flight = lease_dir_status(dir);
+    EXPECT_EQ(in_flight.chunks, 3u);
+    EXPECT_EQ(in_flight.claimed, 2u);
+
+    SweepDriver driver;
+    small.complete(head, run_lease(driver, head));
+    peer.complete(mid, run_lease(driver, mid));
+
+    // The last tail ([2]) fits the bound — claimed whole, no new split.
+    Lease last = small.acquire(1);
+    ASSERT_EQ(last.slots, (std::vector<size_t>{2}));
+    EXPECT_EQ(lease_dir_status(dir).chunks, 3u);
+    small.complete(last, run_lease(driver, last));
+    EXPECT_TRUE(small.acquire(1).empty());
+
+    const LeaseDirStatus status = lease_dir_status(dir);
+    EXPECT_EQ(status.completed, 3u);
+    EXPECT_EQ(status.claimed, 0u);
+    EXPECT_EQ(collect_lease_results(dir), reference);
+}
+
 TEST(LeaseDir, InProcessElasticMatchesReferenceAtOneAndNWorkers) {
     const std::vector<SweepPoint> grid = tiny_grid();
     const ShardManifest manifest = whole_grid_manifest(grid);

@@ -90,6 +90,7 @@ void usage(FILE* out) {
         "                     --targets X,Y [--widths 0,64] [--flows F,G]\n"
         "                     [--constraints -20,-30]\n"
         "                     [--strategy round-robin|cost-balanced]\n"
+        "                     [--optimizer heuristic|optimal]\n"
         "                     [--measured-from RESULTS]...\n"
         "                     [--target-file FILE]...\n"
         "                     --measured-from re-balances the same grid\n"
@@ -98,7 +99,7 @@ void usage(FILE* out) {
         "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
         "                     [--cache-capacity N] [--json[=FILE]]\n"
         "                     [--evaluator tape|walker|compiled]\n"
-        "                     [--measure]\n"
+        "                     [--optimizer heuristic|optimal] [--measure]\n"
         "  slpwlo-shard serve --manifest FILE --dir DIR [--chunk-cost C]\n"
         "                     [--chunk-slots N] [--ttl-ms T]\n"
         "                     [--measured-from RESULTS]...\n"
@@ -108,10 +109,12 @@ void usage(FILE* out) {
         "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
         "                     [--cache-capacity N] [--straggle-ms T]\n"
         "                     [--evaluator tape|walker|compiled]\n"
-        "                     [--measure]\n"
+        "                     [--optimizer heuristic|optimal] [--measure]\n"
+        "                     [--max-slots N]\n"
         "                     acquire, run and publish lease chunks until\n"
         "                     the directory drains (expired leases are\n"
-        "                     stolen and re-issued)\n"
+        "                     stolen and re-issued); --max-slots caps one\n"
+        "                     acquisition, splitting bigger chunks\n"
         "  slpwlo-shard merge --out FILE (RESULTS... | --lease-dir DIR)\n"
         "                     [--cache FILE]... [--cache-out FILE]\n");
 }
@@ -149,6 +152,14 @@ double double_flag(const std::string& flag, const std::string& value) {
 SimBackend backend_flag(const std::string& flag, const std::string& value) {
     try {
         return parse_sim_backend(value);
+    } catch (const Error& e) {
+        bad_usage(flag + ": " + e.what());
+    }
+}
+
+Optimizer optimizer_flag(const std::string& flag, const std::string& value) {
+    try {
+        return optimizer_from_string(value);
     } catch (const Error& e) {
         bad_usage(flag + ": " + e.what());
     }
@@ -223,6 +234,7 @@ int cmd_plan(Args args) {
     bool has_widths = false;
     std::vector<double> constraints{-40.0};
     bool has_constraints = false;
+    FlowOptions defaults;
 
     std::string arg;
     while (args.next(arg)) {
@@ -252,6 +264,8 @@ int cmd_plan(Args args) {
             for (const std::string& c : split_list(args.value(arg))) {
                 constraints.push_back(double_flag(arg, c));
             }
+        } else if (arg == "--optimizer") {
+            defaults.solver.optimizer = optimizer_flag(arg, args.value(arg));
         } else if (arg == "--target-file") {
             TargetRegistry::instance().add(
                 load_target_description(args.value(arg)));
@@ -304,7 +318,7 @@ int cmd_plan(Args args) {
         const std::string path = out_prefix + "." +
                                  std::to_string(plan.shard_index) +
                                  ".manifest";
-        write_file(path, shard_manifest_text(plan));
+        write_file(path, shard_manifest_text(plan, defaults));
         std::printf("  %s: %zu points, %s cost %.1f\n", path.c_str(),
                     plan.points.size(), measured.empty() ? "est." : "meas.",
                     cost);
@@ -319,6 +333,8 @@ int cmd_run(Args args) {
     bool has_evaluator = false;
     SimBackend evaluator = SimBackend::Tape;
     bool measure = false;
+    bool has_optimizer = false;
+    Optimizer optimizer = Optimizer::Heuristic;
 
     std::string arg;
     while (args.next(arg)) {
@@ -340,6 +356,9 @@ int cmd_run(Args args) {
             has_evaluator = true;
         } else if (arg == "--measure") {
             measure = true;
+        } else if (arg == "--optimizer") {
+            optimizer = optimizer_flag(arg, args.value(arg));
+            has_optimizer = true;
         } else if (arg == "--json") {
             json_path = "-";
         } else if (arg.rfind("--json=", 0) == 0) {
@@ -357,6 +376,11 @@ int cmd_run(Args args) {
     // the rows say — mixed-backend shards still merge byte-identically.
     if (has_evaluator) manifest.defaults.evaluator = evaluator;
     if (measure) manifest.defaults.measure = true;
+    // Unlike the knobs above, the optimizer axis *does* change row bytes
+    // (heuristic flows resolve to their exact counterparts) — every shard
+    // of one sweep must run with the same setting or the merge will
+    // refuse the mismatched rows.
+    if (has_optimizer) manifest.defaults.solver.optimizer = optimizer;
     CacheSnapshot warm;
     if (!snapshot_in.empty()) {
         warm = load_cache_snapshot(snapshot_in);
@@ -430,6 +454,9 @@ int cmd_work(Args args) {
     bool has_evaluator = false;
     SimBackend evaluator = SimBackend::Tape;
     bool measure = false;
+    bool has_optimizer = false;
+    Optimizer optimizer = Optimizer::Heuristic;
+    size_t max_slots = 0;
 
     std::string arg;
     while (args.next(arg)) {
@@ -455,6 +482,13 @@ int cmd_work(Args args) {
             has_evaluator = true;
         } else if (arg == "--measure") {
             measure = true;
+        } else if (arg == "--optimizer") {
+            optimizer = optimizer_flag(arg, args.value(arg));
+            has_optimizer = true;
+        } else if (arg == "--max-slots") {
+            // Cap one acquisition: chunks bigger than this are split in
+            // the lease directory, the remainder published for any worker.
+            max_slots = static_cast<size_t>(int_flag(arg, args.value(arg)));
         } else {
             bad_usage("unknown work flag `" + arg + "`");
         }
@@ -467,13 +501,16 @@ int cmd_work(Args args) {
     // backends, so workers on one farm may mix evaluators freely.
     if (has_evaluator) exec.flow_options.evaluator = evaluator;
     if (measure) exec.flow_options.measure = true;
+    // The optimizer axis changes row bytes; a farm must agree on it (the
+    // merge refuses mismatched rows).
+    if (has_optimizer) exec.flow_options.solver.optimizer = optimizer;
     SweepService service(exec);
     if (!snapshot_in.empty()) {
         const CacheSnapshot warm = load_cache_snapshot(snapshot_in);
         preload_cache(service.driver().eval_cache(), warm);
     }
 
-    const size_t executed = service.drain(source);
+    const size_t executed = service.drain(source, max_slots);
     const SweepCacheStats stats = service.driver().cache_stats();
     std::printf("worker drained %s: %zu of %zu slots run here, %zu leases "
                 "stolen from stragglers (eval cache: %zu hits / %zu misses, "
