@@ -41,6 +41,11 @@ struct BenchOptions {
     int threads = 4;
     bool smoke = false;
     std::vector<std::string> target_files;
+    /// `.slp` files given via --kernel-file (harnesses register these
+    /// through frontend/kernel_file.hpp and may add them to kernel axes).
+    std::vector<std::string> kernel_files;
+    /// Directories given via --corpus (every *.slp inside, sorted).
+    std::vector<std::string> corpus_dirs;
     /// Set when --json was given; "-" means stdout.
     std::optional<std::string> json_path;
 };
@@ -51,6 +56,7 @@ struct BenchArgSpec {
     bool threads = true;
     bool smoke = false;
     bool target_files = false;
+    bool kernel_files = false;
     bool json = true;
     std::vector<BenchFlag> extra;
 };
@@ -62,6 +68,9 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
         if (spec.threads) std::fprintf(out, " [--threads N]");
         if (spec.smoke) std::fprintf(out, " [--smoke]");
         if (spec.target_files) std::fprintf(out, " [--target-file FILE]...");
+        if (spec.kernel_files) {
+            std::fprintf(out, " [--kernel-file FILE]... [--corpus DIR]...");
+        }
         if (spec.json) std::fprintf(out, " [--json[=FILE]]");
         for (const BenchFlag& flag : spec.extra) {
             std::fprintf(out, " [%s%s]", flag.name,
@@ -92,6 +101,10 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
             options.smoke = true;
         } else if (spec.target_files && arg == "--target-file") {
             options.target_files.push_back(value());
+        } else if (spec.kernel_files && arg == "--kernel-file") {
+            options.kernel_files.push_back(value());
+        } else if (spec.kernel_files && arg == "--corpus") {
+            options.corpus_dirs.push_back(value());
         } else if (spec.json && arg == "--json") {
             options.json_path = "-";
         } else if (spec.json && arg.rfind("--json=", 0) == 0) {

@@ -9,11 +9,13 @@
 // unless the results are bit-identical.
 //
 //   $ ./sweep_targets [--threads N] [--smoke] [--target-file FILE]...
-//                     [--json[=FILE]]
+//                     [--kernel-file FILE]... [--json[=FILE]]
 //
 // --target-file loads and registers a textual target description (see
-// targets/*.target for the format) and adds it to the ISA axis; --smoke
-// shrinks the grid to one kernel and one constraint for CI.
+// targets/*.target for the format) and adds it to the ISA axis;
+// --kernel-file does the same on the kernel axis with a `.slp` DSL file
+// (kernels/*.slp for examples); --smoke shrinks the grid to one kernel
+// and one constraint for CI.
 #include <algorithm>
 #include <cctype>
 #include <map>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "frontend/kernel_file.hpp"
 #include "target/target_desc.hpp"
 #include "target/target_registry.hpp"
 
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
     BenchArgSpec spec;
     spec.smoke = true;
     spec.target_files = true;
+    spec.kernel_files = true;
     const BenchOptions args = parse_bench_args(argc, argv, spec);
     const int parallel_threads = args.threads;
     const bool smoke = args.smoke;
@@ -91,9 +95,23 @@ int main(int argc, char** argv) {
         if (!listed) isas.push_back(model.name);
     }
 
-    const std::vector<std::string> kernels =
+    std::vector<std::string> kernels =
         smoke ? std::vector<std::string>{"FIR"}
               : std::vector<std::string>{"FIR", "DOT"};
+    // File-based kernels join the axis exactly like --target-file models
+    // join the ISA axis (and like corpus directories, sorted by filename).
+    for (const std::string& path : args.kernel_files) {
+        kernels.push_back(frontend::register_kernel_file(path));
+        std::printf("loaded kernel `%s` from %s\n", kernels.back().c_str(),
+                    path.c_str());
+    }
+    for (const std::string& dir : args.corpus_dirs) {
+        for (std::string& name : frontend::load_kernel_corpus(dir)) {
+            std::printf("loaded kernel `%s` from corpus %s\n", name.c_str(),
+                        dir.c_str());
+            kernels.push_back(std::move(name));
+        }
+    }
     const std::vector<double> constraints =
         smoke ? std::vector<double>{-30.0} : accuracy_grid(-20.0, -60.0, 10.0);
     const std::vector<int> width_menu{0, 32, 64, 128};

@@ -3,6 +3,7 @@
 // run the joint optimization, and print the optimized fixed-point C.
 //
 //   $ ./dsl_frontend            (built-in 8-tap highpass example)
+//   $ ./dsl_frontend FILE.slp   (any kernel file, e.g. kernels/fir8.slp)
 #include <cstdio>
 
 #include "slpwlo.hpp"
@@ -26,12 +27,19 @@ kernel hp8 {
 }
 )";
 
-int main() {
-    // Parse + lower + unroll + verify.
-    const Kernel kernel = compile_kernel_source(kSource);
-    std::printf("compiled kernel IR:\n%s\n", print_kernel(kernel).c_str());
+int main(int argc, char** argv) {
+    // A `.slp` path on the command line goes through the same ingestion
+    // the sweep tools use (load_kernel_file: parse + lower + unroll +
+    // verify, with the `range` annotation mapped onto RangeOptions and
+    // `path:line:col:` diagnostics); no argument compiles the embedded
+    // example.
+    kernels::BenchmarkKernel bench =
+        argc > 1 ? frontend::load_kernel_file(argv[1])
+                 : frontend::compile_benchmark_source(kSource, "<built-in>");
+    std::printf("compiled kernel IR:\n%s\n",
+                print_kernel(bench.kernel).c_str());
 
-    KernelContext context(kernel);
+    KernelContext context(std::move(bench.kernel), bench.range_options);
     const TargetModel target = targets::vex4();
     FlowOptions options;
     options.accuracy_db = -30.0;

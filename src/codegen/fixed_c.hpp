@@ -45,6 +45,18 @@ struct FixedCResult {
     std::string function_name;  ///< entry point
 };
 
+/// True when every node format of `spec` fits the generated C's raw
+/// integer domain: 1 <= wl <= 63 (the saturation limits are built with
+/// `1 << (wl - 1)` over int64_t). Specs straight out of range analysis can
+/// carry degenerate formats (wl <= 0 before WLO assigns word lengths);
+/// emitting those would be undefined behavior in the generated C, so
+/// callers that cannot fail (the compiled noise evaluator) test this first
+/// and fall back to the tape. Writes a diagnostic into `why` when provided.
+bool spec_fits_c_domain(const FixedPointSpec& spec,
+                        std::string* why = nullptr);
+
+/// Throws Error when `spec` has formats outside the C raw-integer domain
+/// (see spec_fits_c_domain).
 FixedCResult emit_fixed_c(const Kernel& kernel, const FixedPointSpec& spec,
                           const FixedCOptions& options);
 

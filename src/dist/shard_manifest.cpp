@@ -170,7 +170,7 @@ std::string shard_manifest_text(const ShardPlan& plan,
                  "shard plan slots/points size mismatch");
     std::ostringstream os;
     os << "# slpwlo shard manifest\n"
-       << "manifest_version = 3\n"
+       << "manifest_version = 4\n"
        << "shard_index = " << plan.shard_index << "\n"
        << "shard_count = " << plan.shard_count << "\n"
        << "strategy = " << to_string(plan.strategy) << "\n"
@@ -207,6 +207,46 @@ std::string shard_manifest_text(const ShardPlan& plan,
         model_ids.emplace(std::move(desc), id);
     }
 
+    // Embedded kernel sources, deduplicated the same way (keyed on the
+    // exact source text — the bytes the point fingerprint mixes). Only
+    // file-based kernels carry one; built-in points emit nothing here, so
+    // built-in-only manifests keep their historical shape.
+    std::map<std::string, std::string> kernel_ids;
+    std::vector<std::string> point_kernel_src(plan.points.size());
+    for (size_t i = 0; i < plan.points.size(); ++i) {
+        const SweepPoint& point = plan.points[i];
+        if (!point.kernel_source.has_value()) continue;
+        const std::string& src = *point.kernel_source;
+        const auto it = kernel_ids.find(src);
+        if (it != kernel_ids.end()) {
+            point_kernel_src[i] = it->second;
+            continue;
+        }
+        // The block is parsed back line-by-line through the kv container
+        // format; a blank or comment-only line would silently vanish and
+        // the re-read source (and its point fingerprint) would drift.
+        // canonical_kernel_source (frontend/kernel_file.hpp) produces the
+        // safe form; anything else is a caller bug, not a data error.
+        size_t pos = 0;
+        while (pos < src.size()) {
+            size_t end = src.find('\n', pos);
+            SLPWLO_CHECK(end != std::string::npos,
+                         "kernel source lines must be newline-terminated "
+                         "(canonical_kernel_source)");
+            std::string check = src.substr(pos, end - pos);
+            const size_t comment = check.find('#');
+            if (comment != std::string::npos) check.resize(comment);
+            SLPWLO_CHECK(!kv::trim(check).empty(),
+                         "kernel source must not contain blank or "
+                         "comment-only lines (canonical_kernel_source)");
+            pos = end + 1;
+        }
+        const std::string id = "k" + std::to_string(kernel_ids.size());
+        point_kernel_src[i] = id;
+        os << "\nbegin_kernel " << id << "\n" << src << "end_kernel\n";
+        kernel_ids.emplace(src, id);
+    }
+
     for (size_t i = 0; i < plan.points.size(); ++i) {
         const SweepPoint& point = plan.points[i];
         check_serializable("kernel name", point.kernel);
@@ -219,6 +259,9 @@ std::string shard_manifest_text(const ShardPlan& plan,
            << "flow = " << point.flow << "\n"
            << "accuracy_db = " << kv::exact_double(point.accuracy_db) << "\n"
            << "model = " << point_model[i] << "\n";
+        if (!point_kernel_src[i].empty()) {
+            os << "kernel_source = " << point_kernel_src[i] << "\n";
+        }
         if (point.options.has_value()) {
             os << flow_options_kv(*point.options, "option.");
         }
@@ -237,6 +280,7 @@ ShardManifest parse_shard_manifest(const std::string& text,
     bool saw_defaults = false;
     long long declared_points = -1;
     std::map<std::string, TargetModel> models;
+    std::map<std::string, std::string> kernel_sources;
     std::set<std::string> header_seen;
 
     while (reader.next(kvline)) {
@@ -280,6 +324,28 @@ ShardManifest parse_shard_manifest(const std::string& text,
                 if (!closed) reader.fail_here("unterminated begin_target");
                 models.emplace(
                     id, parse_target_description(desc, source + ":" + id));
+            } else if (marker.rfind("begin_kernel ", 0) == 0) {
+                const std::string id = kv::trim(marker.substr(13));
+                if (id.empty()) reader.fail_here("begin_kernel needs an id");
+                if (kernel_sources.count(id) != 0) {
+                    reader.fail_here("duplicate kernel id `" + id + "`");
+                }
+                // Accumulate the embedded DSL source verbatim; it is
+                // compiled (and so validated) when a worker registers it,
+                // not here — parsing a manifest must not require the
+                // frontend.
+                std::string src;
+                bool closed = false;
+                while (reader.next(kvline)) {
+                    if (kvline.key.empty() && kvline.value == "end_kernel") {
+                        closed = true;
+                        break;
+                    }
+                    src += kvline.raw;
+                    src += "\n";
+                }
+                if (!closed) reader.fail_here("unterminated begin_kernel");
+                kernel_sources.emplace(id, std::move(src));
             } else if (marker == "begin_point") {
                 SweepPoint point;
                 long long slot = -1;
@@ -325,6 +391,13 @@ ShardManifest parse_shard_manifest(const std::string& text,
                         }
                         point.target_model = it->second;
                         has_model = true;
+                    } else if (kvline.key == "kernel_source") {
+                        const auto kit = kernel_sources.find(kvline.value);
+                        if (kit == kernel_sources.end()) {
+                            reader.fail_here("unknown kernel id `" +
+                                             kvline.value + "`");
+                        }
+                        point.kernel_source = kit->second;
                     } else if (kvline.key.rfind("option.", 0) == 0) {
                         apply_flow_option(point_options,
                                           kvline.key.substr(7), kvline.value,
@@ -359,9 +432,9 @@ ShardManifest parse_shard_manifest(const std::string& text,
         if (kvline.key == "manifest_version") {
             manifest.version =
                 kv::to_int(source, kvline.line, kvline.key, kvline.value);
-            if (manifest.version < 1 || manifest.version > 3) {
+            if (manifest.version < 1 || manifest.version > 4) {
                 reader.fail_here("unsupported manifest_version " +
-                                 kvline.value + " (this reader knows 1-3)");
+                                 kvline.value + " (this reader knows 1-4)");
             }
             saw_version = true;
         } else if (kvline.key == "shard_index") {

@@ -30,6 +30,12 @@
 //   ...
 //   end_target
 //
+//   begin_kernel k0                 # each distinct DSL source once,
+//   kernel dotprod {                # verbatim (canonical_kernel_source
+//   ...                             # form: no blank/comment-only lines)
+//   }
+//   end_kernel
+//
 //   begin_point
 //   slot = 0                        # position in the full grid
 //   kernel = FIR
@@ -37,6 +43,7 @@
 //   flow = WLO-SLP
 //   accuracy_db = -20
 //   model = t0                      # embedded model reference
+//   kernel_source = k0              # file-based kernels only
 //   option.quant_mode = round       # optional per-point override block
 //   end_point
 //
@@ -51,8 +58,13 @@
 //   3  adds the exact-search options `option.solver.optimizer`
 //      (heuristic/optimal flow resolution) and
 //      `option.solver.max_nodes` / `option.solver.max_millis`
-//      (branch-and-bound budget).
-// This reader accepts versions 1 to 3; the writer emits 3.
+//      (branch-and-bound budget);
+//   4  adds `begin_kernel k<N>` blocks embedding the deduplicated DSL
+//      source of file-based kernels (frontend/kernel_file.hpp) and the
+//      per-point `kernel_source = k<N>` reference, so workers
+//      reconstruct such kernels by content the way they reconstruct
+//      target models. Built-in-kernel manifests carry no kernel blocks.
+// This reader accepts versions 1 to 4; the writer emits 4.
 #pragma once
 
 #include <string>

@@ -9,6 +9,7 @@
 #include "dist/shard_merger.hpp"
 #include "flow/pass.hpp"
 #include "flow/report.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "support/diagnostics.hpp"
 #include "target/target_model.hpp"
 
@@ -69,6 +70,19 @@ void embed_target_models(std::vector<SweepPoint>& points) {
     }
 }
 
+void embed_kernel_sources(std::vector<SweepPoint>& points) {
+    for (SweepPoint& point : points) {
+        if (point.kernel_source.has_value()) continue;
+        // Resolving here also surfaces unknown kernel names at plan time
+        // (the same moment unknown targets surface), not on a worker.
+        const kernels::KernelEntry entry =
+            kernels::KernelRegistry::instance().entry(point.kernel);
+        if (!entry.dsl_source.empty()) {
+            point.kernel_source = entry.dsl_source;
+        }
+    }
+}
+
 namespace {
 
 constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
@@ -109,6 +123,15 @@ uint64_t point_fingerprint(const SweepPoint& point) {
         // so two points whose options differ anywhere get distinct
         // fingerprints.
         mix_string(h, flow_options_kv(*point.options, ""));
+    }
+    if (point.kernel_source.has_value()) {
+        // File-based kernels: the name alone does not identify the kernel
+        // across processes — mix the embedded DSL source so same-name
+        // kernels with different bodies never alias. Built-in points mix
+        // nothing here, keeping their fingerprints stable across the
+        // introduction of this field.
+        mix(h, 0x6b65726eull);  // "kern" tag keeps absent/present distinct
+        mix_string(h, *point.kernel_source);
     }
     // Both the name-free content fingerprint and the name: the name
     // lands in FlowResult.target_name (and so in the report bytes), so
@@ -182,6 +205,7 @@ std::vector<ShardPlan> make_shard_plans(std::vector<SweepPoint> grid,
                                         ShardStrategy strategy) {
     SLPWLO_CHECK(shard_count >= 1, "shard count must be >= 1");
     embed_target_models(grid);
+    embed_kernel_sources(grid);
     const uint64_t grid_fp = grid_fingerprint(grid);
 
     std::vector<int> shard_of;
@@ -210,6 +234,7 @@ std::vector<ShardPlan> make_shard_plans(
                      std::to_string(slot_costs.size()) + " costs, " +
                      std::to_string(grid.size()) + " slots)");
     embed_target_models(grid);
+    embed_kernel_sources(grid);
     const uint64_t grid_fp = grid_fingerprint(grid);
     return plans_from_assignment(std::move(grid), shard_count,
                                  ShardStrategy::CostBalanced, grid_fp,

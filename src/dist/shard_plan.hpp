@@ -59,11 +59,22 @@ double estimate_point_cost(const SweepPoint& point);
 /// self-contained (serializable without a registry on the other side).
 void embed_target_models(std::vector<SweepPoint>& points);
 
+/// The kernel-side analogue of embed_target_models: points naming a
+/// file-based registry kernel (one registered with DSL source —
+/// frontend/kernel_file.hpp) get that source embedded as
+/// `point.kernel_source`, so manifests carry it and workers re-register
+/// the kernel by content. Built-in and builder-made kernels embed
+/// nothing (workers resolve those names themselves, bit-identically).
+/// Points that already carry a source are left untouched.
+void embed_kernel_sources(std::vector<SweepPoint>& points);
+
 /// Content hash of one grid point: kernel/flow identity, the constraint,
-/// the per-point options (when present) and the embedded target model's
-/// content fingerprint. The point must carry an embedded model
-/// (embed_target_models). Used to tag shard result rows so the merger can
-/// tell a true conflict from a benign duplicate.
+/// the per-point options (when present), the embedded kernel source
+/// (when present — same-name kernels with different sources must not
+/// alias) and the embedded target model's content fingerprint. The point
+/// must carry an embedded model (embed_target_models). Used to tag shard
+/// result rows so the merger can tell a true conflict from a benign
+/// duplicate.
 uint64_t point_fingerprint(const SweepPoint& point);
 
 /// Content hash of a whole grid in slot order. Identical for any shard

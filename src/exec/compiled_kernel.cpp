@@ -118,6 +118,16 @@ uint64_t spec_format_fingerprint(const FixedPointSpec& spec) {
 
 std::unique_ptr<CompiledKernel> CompiledKernel::create(
     const Kernel& kernel, const FixedPointSpec& spec, std::string* error) {
+    // Degenerate formats (wl outside [1, 63] — e.g. a spec straight out
+    // of range analysis, before WLO assigns word lengths) cannot be
+    // represented in the generated C's raw integer domain; refuse before
+    // touching the toolchain so the evaluator degrades to the tape, whose
+    // double-domain clamping handles them bit-identically to the walker.
+    std::string why;
+    if (!spec_fits_c_domain(spec, &why)) {
+        if (error != nullptr) *error = why;
+        return nullptr;
+    }
     const Toolchain& toolchain = host_toolchain();
     if (!toolchain.usable) {
         if (error != nullptr) *error = "no usable C compiler";

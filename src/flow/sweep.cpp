@@ -7,6 +7,7 @@
 
 #include "exec/jit_cache.hpp"
 #include "flow/report.hpp"
+#include "frontend/kernel_file.hpp"
 #include "flow/work_source.hpp"
 #include "support/diagnostics.hpp"
 #include "support/thread_pool.hpp"
@@ -110,6 +111,13 @@ std::vector<SweepResult> SweepDriver::run_timed(
     jobs.reserve(points.size());
     for (const SweepPoint& point : points) {
         Job job;
+        // A point carrying its kernel's DSL source (a manifest point for
+        // a file-based kernel) registers it before the name resolves —
+        // idempotent for identical content, an error for a name clash.
+        if (point.kernel_source.has_value()) {
+            frontend::register_kernel_source(*point.kernel_source,
+                                             "<point " + point.kernel + ">");
+        }
         job.context = &context(point.kernel);
         if (point.target_model.has_value()) {
             point.target_model->validate();

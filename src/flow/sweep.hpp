@@ -58,6 +58,14 @@ struct SweepPoint {
     /// never its name, so same-name points with different models cannot
     /// share cache entries — and a renamed copy of a model still hits.
     std::optional<TargetModel> target_model;
+    /// DSL source of a file-based kernel, the kernel-side analogue of
+    /// `target_model`: when present the driver registers it (idempotent
+    /// by content) before resolving `kernel` through the KernelRegistry,
+    /// so a manifest point runs on a worker that never loaded the `.slp`
+    /// file. Built-in kernels leave it empty. Populated by
+    /// dist::embed_kernel_sources; point fingerprints mix it in, so
+    /// same-name kernels with different sources can never alias.
+    std::optional<std::string> kernel_source;
 };
 
 /// Execution options shared by every sweep entry point — the in-process

@@ -1,0 +1,143 @@
+#include "frontend/kernel_file.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "frontend/lower_ast.hpp"
+#include "ir/unroll.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "support/diagnostics.hpp"
+
+namespace slpwlo::frontend {
+
+namespace {
+
+RangeMethod range_method_from_annotation(const std::string& spelling,
+                                         int line, int column) {
+    if (spelling.empty() || spelling == "auto") return RangeMethod::Auto;
+    if (spelling == "interval") return RangeMethod::Interval;
+    if (spelling == "simulation") return RangeMethod::Simulation;
+    throw ParseError("unknown range method `" + spelling +
+                         "` (expected auto, interval or simulation)",
+                     line, column);
+}
+
+/// Re-throw a ParseError with the source name spliced into the position
+/// prefix, so a failing corpus file reports `path:line:col: message`.
+[[noreturn]] void rethrow_located(const ParseError& e,
+                                  const std::string& source_name) {
+    throw Error(source_name + ":" + std::to_string(e.line()) + ":" +
+                std::to_string(e.column()) + ": " + e.what());
+}
+
+}  // namespace
+
+std::string canonical_kernel_source(const std::string& source) {
+    std::string out;
+    out.reserve(source.size());
+    size_t offset = 0;
+    while (offset <= source.size()) {
+        size_t end = source.find('\n', offset);
+        if (end == std::string::npos) {
+            if (offset == source.size()) break;
+            end = source.size();
+        }
+        std::string line = source.substr(offset, end - offset);
+        offset = end + 1;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        // Keep only lines the kv container format would hand back: a line
+        // that is blank (or nothing but a comment) after '#'-stripping
+        // vanishes in a begin_kernel block, so it must not count here.
+        std::string significant = line;
+        const size_t comment = significant.find('#');
+        if (comment != std::string::npos) significant.resize(comment);
+        bool blank = true;
+        for (const char c : significant) {
+            if (c != ' ' && c != '\t') { blank = false; break; }
+        }
+        if (blank) continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+kernels::BenchmarkKernel compile_benchmark_source(
+    const std::string& source, const std::string& source_name) {
+    try {
+        const ast::KernelAst parsed = ast::parse(source);
+        const RangeMethod method = range_method_from_annotation(
+            parsed.range_method, parsed.range_line, parsed.range_column);
+        Kernel kernel = unroll_kernel(lower_ast(parsed));
+        verify_kernel(kernel);
+        RangeOptions range_options;
+        range_options.method = method;
+        return kernels::BenchmarkKernel{kernel.name(), std::move(kernel),
+                                        range_options};
+    } catch (const ParseError& e) {
+        rethrow_located(e, source_name);
+    }
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot read kernel file `" + path + "`");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+}  // namespace
+
+kernels::BenchmarkKernel load_kernel_file(const std::string& path) {
+    return compile_benchmark_source(read_file(path), path);
+}
+
+std::string register_kernel_source(const std::string& source,
+                                   const std::string& source_name) {
+    kernels::BenchmarkKernel bench =
+        compile_benchmark_source(source, source_name);
+    std::string name = bench.name;
+    // Store the canonical form: manifests embed registry sources verbatim,
+    // and only the comment-free form survives the kv container format
+    // byte-for-byte (point fingerprints mix these bytes, so the planner
+    // and a worker re-reading the manifest must agree exactly).
+    kernels::KernelRegistry::instance().add(std::move(bench),
+                                            canonical_kernel_source(source));
+    return name;
+}
+
+std::string register_kernel_file(const std::string& path) {
+    return register_kernel_source(read_file(path), path);
+}
+
+std::vector<std::string> load_kernel_corpus(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        throw Error("kernel corpus `" + dir + "` is not a directory");
+    }
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".slp") {
+            files.push_back(entry.path());
+        }
+    }
+    if (ec) throw Error("cannot list kernel corpus `" + dir + "`");
+    // Directory iteration order is filesystem-dependent; sort by filename
+    // so registration order (and any name-clash error) is deterministic.
+    std::sort(files.begin(), files.end());
+    std::vector<std::string> names;
+    names.reserve(files.size());
+    for (const fs::path& file : files) {
+        names.push_back(register_kernel_file(file.string()));
+    }
+    return names;
+}
+
+}  // namespace slpwlo::frontend

@@ -1,0 +1,161 @@
+#include "frontend/kernel_gen.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "frontend/kernel_file.hpp"
+#include "support/kv_format.hpp"
+#include "support/rng.hpp"
+
+namespace slpwlo::frontend {
+
+namespace {
+
+/// Coefficients away from zero (a tap of exactly 0.0 would be legal but
+/// wastes the multiplier it feeds), rendered in round-trip form.
+std::string coeff(Rng& rng) {
+    double c = rng.uniform(-1.0, 1.0);
+    if (c >= 0.0 && c < 0.05) c += 0.05;
+    if (c < 0.0 && c > -0.05) c -= 0.05;
+    return kv::exact_double(c);
+}
+
+std::string coeff_list(Rng& rng, int count) {
+    std::ostringstream os;
+    for (int i = 0; i < count; ++i) {
+        if (i > 0) os << ", ";
+        os << coeff(rng);
+    }
+    return os.str();
+}
+
+/// Optional kernel-level range annotation. Generated kernels are
+/// feed-forward, so both the default (auto) and an explicit interval or
+/// simulation method are valid — emitting each sometimes keeps the
+/// annotation path fuzzed along with everything else.
+std::string range_annotation(Rng& rng) {
+    switch (rng.uniform_int(0, 3)) {
+        case 0: return "  range interval;\n";
+        case 1: return "  range simulation;\n";
+        default: return "";  // auto
+    }
+}
+
+/// FIR-style sliding reduction: acc += c[k] * x[n + k] over an unrolled
+/// tap loop.
+void gen_reduction(Rng& rng, std::ostringstream& os) {
+    const int unroll = 1 << rng.uniform_int(0, 2);        // 1, 2, 4
+    const int taps = unroll * rng.uniform_int(2, 4);      // <= 16
+    const int samples = 4 * rng.uniform_int(2, 6);        // 8..24
+    os << "  input  x[" << (samples + taps - 1)
+       << "] range(-1.0, 1.0);\n"
+       << "  param  c[" << taps << "] = { " << coeff_list(rng, taps)
+       << " };\n"
+       << "  output y[" << samples << "];\n"
+       << "  var acc;\n"
+       << "  loop n = 0.." << samples << " {\n"
+       << "    acc = 0.0;\n"
+       << "    loop k = 0.." << taps << " unroll " << unroll << " {\n"
+       << "      acc = acc + c[k] * x[n + k];\n"
+       << "    }\n"
+       << "    y[n] = acc;\n"
+       << "  }\n";
+}
+
+/// Elementwise 1-D stencil with the *outer* loop unrolled: y[i] is a
+/// width-W weighted window of x.
+void gen_stencil(Rng& rng, std::ostringstream& os) {
+    const int unroll = 1 << rng.uniform_int(0, 2);        // 1, 2, 4
+    const int width = rng.uniform_int(2, 5);
+    const int points = unroll * rng.uniform_int(3, 6);    // <= 24
+    os << "  input  x[" << (points + width - 1)
+       << "] range(-1.0, 1.0);\n"
+       << "  param  c[" << width << "] = { " << coeff_list(rng, width)
+       << " };\n"
+       << "  output y[" << points << "];\n"
+       << "  loop i = 0.." << points << " unroll " << unroll << " {\n"
+       << "    y[i] = ";
+    for (int w = 0; w < width; ++w) {
+        if (w > 0) os << " + ";
+        os << "c[" << w << "] * x[i";
+        if (w > 0) os << " + " << w;
+        os << "]";
+    }
+    os << ";\n"
+       << "  }\n";
+}
+
+/// Two serial accumulation chains over a pair of inputs (the dual-dot
+/// shape: isomorphic chains the SLP extractor can pack).
+void gen_dual_reduction(Rng& rng, std::ostringstream& os) {
+    const int unroll = 1 << rng.uniform_int(0, 2);        // 1, 2, 4
+    const int length = unroll * rng.uniform_int(3, 8);    // <= 32
+    const std::string w0 = coeff(rng);
+    const std::string w1 = coeff(rng);
+    os << "  input  a[" << length << "] range(-1.0, 1.0);\n"
+       << "  input  b[" << length << "] range(-1.0, 1.0);\n"
+       << "  output y[2];\n"
+       << "  var s0, s1;\n"
+       << "  s0 = 0.0;\n"
+       << "  s1 = 0.0;\n"
+       << "  loop k = 0.." << length << " unroll " << unroll << " {\n"
+       << "    s0 = s0 + " << w0 << " * a[k] * b[k];\n"
+       << "    s1 = s1 + " << w1 << " * (a[k] - b[k]);\n"
+       << "  }\n"
+       << "  y[0] = s0;\n"
+       << "  y[1] = s1;\n";
+}
+
+/// Small matmul with row-major flattened (affine) addressing:
+/// C[i*N + j] = sum_k A[i*K + k] * B[k*N + j], inner loop unrolled.
+void gen_matmul(Rng& rng, std::ostringstream& os) {
+    const int m = rng.uniform_int(2, 4);
+    const int n = rng.uniform_int(2, 4);
+    const int unroll = 1 << rng.uniform_int(0, 1);        // 1, 2
+    const int k_dim = unroll * rng.uniform_int(1, 3);     // <= 6
+    os << "  input  a[" << (m * k_dim) << "] range(-1.0, 1.0);\n"
+       << "  param  b[" << (k_dim * n) << "] = { "
+       << coeff_list(rng, k_dim * n) << " };\n"
+       << "  output p[" << (m * n) << "];\n"
+       << "  var acc;\n"
+       << "  loop i = 0.." << m << " {\n"
+       << "    loop j = 0.." << n << " {\n"
+       << "      acc = 0.0;\n"
+       << "      loop k = 0.." << k_dim << " unroll " << unroll << " {\n"
+       << "        acc = acc + a[i * " << k_dim << " + k] * b[k * " << n
+       << " + j];\n"
+       << "      }\n"
+       << "      p[i * " << n << " + j] = acc;\n"
+       << "    }\n"
+       << "  }\n";
+}
+
+}  // namespace
+
+GeneratedKernel generate_kernel_source(uint64_t seed) {
+    Rng rng(seed, "kernel_gen");
+    GeneratedKernel out;
+    out.name = "gen_" + std::to_string(seed);
+    std::ostringstream os;
+    os << "# generated kernel (seed " << seed << ")\n"
+       << "kernel " << out.name << " {\n"
+       << range_annotation(rng);
+    switch (rng.uniform_int(0, 3)) {
+        case 0: gen_reduction(rng, os); break;
+        case 1: gen_stencil(rng, os); break;
+        case 2: gen_dual_reduction(rng, os); break;
+        default: gen_matmul(rng, os); break;
+    }
+    os << "}\n";
+    out.source = os.str();
+    return out;
+}
+
+kernels::BenchmarkKernel generate_kernel(uint64_t seed) {
+    const GeneratedKernel gen = generate_kernel_source(seed);
+    return compile_benchmark_source(gen.source,
+                                    "<generated seed " +
+                                        std::to_string(seed) + ">");
+}
+
+}  // namespace slpwlo::frontend

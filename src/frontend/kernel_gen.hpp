@@ -1,0 +1,39 @@
+// Seeded random-kernel generator: deterministic DSL sources for the
+// differential robustness harness (bench/corpus_differential.cpp).
+//
+// generate_kernel_source(seed) produces the *text* of a valid affine
+// loop-nest kernel — reductions, elementwise stencils, dual accumulators,
+// flattened small matmuls — with randomized shapes, trip counts, unroll
+// factors and coefficients. Generating source (not IR) means every
+// generated kernel also exercises the lexer/parser/lowering path, and
+// determinism is byte-level: the same seed yields the same bytes on every
+// platform (all draws come from the named Rng stream "kernel_gen"; floats
+// render through kv::exact_double's %.17g round-trip form).
+//
+// Validity by construction: loop ranges are non-empty, unroll factors
+// divide their trip counts, every array subscript is affine in the
+// enclosing loop variables, and input sizes cover the maximum index.
+// Generated kernels are feed-forward, so interval range analysis always
+// converges on them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kernels/kernels.hpp"
+
+namespace slpwlo::frontend {
+
+struct GeneratedKernel {
+    std::string name;    ///< "gen_<seed>" — the DSL kernel name
+    std::string source;  ///< complete DSL text (byte-deterministic per seed)
+};
+
+/// Deterministic DSL source for `seed`; same seed, same bytes.
+GeneratedKernel generate_kernel_source(uint64_t seed);
+
+/// generate_kernel_source compiled through the ingestion path
+/// (kernel_file.hpp's compile_benchmark_source).
+kernels::BenchmarkKernel generate_kernel(uint64_t seed);
+
+}  // namespace slpwlo::frontend

@@ -14,6 +14,12 @@ public:
         expect(TokKind::KwKernel);
         kernel.name = expect(TokKind::Identifier).text;
         expect(TokKind::LBrace);
+        // Kernel-level annotations precede the declarations. `range` is
+        // unambiguous here: as a decl suffix it only ever follows an
+        // input's `]`, never starts a line at declaration position.
+        while (at(TokKind::KwRange)) {
+            parse_range_annotation(kernel);
+        }
         while (is_decl_start()) {
             parse_decl(kernel);
         }
@@ -79,6 +85,19 @@ private:
             default:
                 return false;
         }
+    }
+
+    void parse_range_annotation(KernelAst& kernel) {
+        const Token kw = expect(TokKind::KwRange);
+        if (!kernel.range_method.empty()) {
+            throw ParseError("duplicate `range` annotation", kw.line,
+                             kw.column);
+        }
+        const Token method = expect(TokKind::Identifier);
+        kernel.range_method = method.text;
+        kernel.range_line = method.line;
+        kernel.range_column = method.column;
+        expect(TokKind::Semicolon);
     }
 
     void parse_decl(KernelAst& kernel) {
@@ -174,6 +193,11 @@ private:
             auto node = std::make_unique<Expr>();
             node->kind = Expr::Kind::Binary;
             node->op = op;
+            // An operator node starts where its left operand starts, so
+            // diagnostics raised on the whole expression (e.g. the affine
+            // index check in lowering) point at real source.
+            node->line = lhs->line;
+            node->column = lhs->column;
             node->lhs = std::move(lhs);
             node->rhs = parse_term();
             lhs = std::move(node);
@@ -189,6 +213,8 @@ private:
             auto node = std::make_unique<Expr>();
             node->kind = Expr::Kind::Binary;
             node->op = op;
+            node->line = lhs->line;
+            node->column = lhs->column;
             node->lhs = std::move(lhs);
             node->rhs = parse_unary();
             lhs = std::move(node);
@@ -197,10 +223,14 @@ private:
     }
 
     ExprPtr parse_unary() {
-        if (accept(TokKind::Minus)) {
+        if (at(TokKind::Minus)) {
+            const Token minus = peek();
+            pos_++;
             auto node = std::make_unique<Expr>();
             node->kind = Expr::Kind::Unary;
             node->op = '-';
+            node->line = minus.line;
+            node->column = minus.column;
             node->lhs = parse_unary();
             return node;
         }

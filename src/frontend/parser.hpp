@@ -1,7 +1,9 @@
 // Parser + AST for the kernel DSL.
 //
 // Grammar (EBNF):
-//   kernel     := "kernel" ident "{" decl* stmt* "}"
+//   kernel     := "kernel" ident "{" annot* decl* stmt* "}"
+//   annot      := "range" ident ";"            // range-analysis method:
+//                                              // auto|interval|simulation
 //   decl       := ("input" ident "[" int "]" "range" "(" num "," num ")" ";")
 //               | ("param" ident "[" int "]" "=" "{" num ("," num)* "}" ";")
 //               | ("output"|"buffer") ident "[" int "]" ";"
@@ -66,6 +68,12 @@ struct Decl {
 
 struct KernelAst {
     std::string name;
+    /// The `range <method>;` annotation, verbatim ("" when absent). The
+    /// parser records the spelling; mapping it onto a RangeMethod — and
+    /// rejecting unknown spellings — is the frontend's job
+    /// (frontend/kernel_file.hpp), so the AST stays fixpoint-free.
+    std::string range_method;
+    int range_line = 0, range_column = 0;
     std::vector<Decl> decls;
     std::vector<StmtPtr> body;
 };

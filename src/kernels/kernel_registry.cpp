@@ -1,0 +1,160 @@
+#include "kernels/kernel_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "ir/printer.hpp"
+#include "support/diagnostics.hpp"
+#include "support/text.hpp"
+
+namespace slpwlo::kernels {
+
+namespace {
+
+std::string canonical(const std::string& name) {
+    std::string upper = name;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return upper;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(uint64_t& h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+void mix_string(uint64_t& h, const std::string& s) {
+    mix(h, s.size());
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+}
+
+}  // namespace
+
+uint64_t benchmark_kernel_fingerprint(const BenchmarkKernel& bench) {
+    // The printed structure covers declarations (including param values
+    // and input ranges), the loop nest and every op — the same content
+    // notion KernelContext::fingerprint uses for memo keys. The name is
+    // part of the print header, but two kernels whose bodies match while
+    // only the name differs should fingerprint the same (a renamed copy
+    // is the same kernel), so hash the print of an anonymized view.
+    uint64_t h = kFnvOffset;
+    std::string printed = print_kernel(bench.kernel);
+    const std::string header = "kernel " + bench.kernel.name();
+    if (printed.rfind(header, 0) == 0) {
+        printed.erase(0, header.size());
+    }
+    mix_string(h, printed);
+    mix(h, static_cast<uint64_t>(bench.range_options.method));
+    mix(h, static_cast<uint64_t>(bench.range_options.max_interval_passes));
+    mix(h, static_cast<uint64_t>(bench.range_options.simulation_runs));
+    mix(h, bench.range_options.seed);
+    uint64_t margin_bits;
+    static_assert(sizeof(margin_bits) ==
+                  sizeof(bench.range_options.simulation_margin));
+    std::memcpy(&margin_bits, &bench.range_options.simulation_margin,
+                sizeof(margin_bits));
+    mix(h, margin_bits);
+    return h;
+}
+
+KernelRegistry::KernelRegistry() {
+    // The paper's three workloads plus the DOT scenario register
+    // themselves exactly as the historical if-chain built them, so
+    // resolving a built-in through the registry is bit-identical to the
+    // pre-registry make_benchmark_kernel.
+    const auto builtin = [&](const std::string& name, Kernel kernel,
+                             RangeMethod method) {
+        RangeOptions range_options;
+        range_options.method = method;
+        KernelEntry entry(BenchmarkKernel{name, std::move(kernel),
+                                          range_options});
+        entry.fingerprint = benchmark_kernel_fingerprint(entry.bench);
+        entries_.emplace(canonical(name), std::move(entry));
+    };
+    builtin("FIR", make_fir64(), RangeMethod::Interval);
+    // Interval iteration diverges through the IIR feedback taps; use
+    // simulated ranges with a safety margin (DESIGN.md section 4).
+    builtin("IIR", make_iir10(), RangeMethod::Simulation);
+    builtin("CONV", make_conv3x3(), RangeMethod::Interval);
+    // Feed-forward reduction: interval propagation converges exactly.
+    builtin("DOT", make_dot(), RangeMethod::Interval);
+}
+
+KernelRegistry& KernelRegistry::instance() {
+    static KernelRegistry registry;
+    return registry;
+}
+
+void KernelRegistry::add(BenchmarkKernel bench, std::string dsl_source) {
+    SLPWLO_CHECK(!bench.name.empty(), "kernel name cannot be empty");
+    KernelEntry entry(std::move(bench));
+    entry.fingerprint = benchmark_kernel_fingerprint(entry.bench);
+    entry.dsl_source = std::move(dsl_source);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string key = canonical(entry.bench.name);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Same content under the same name is an idempotent re-register
+        // (every worker of a farm registers the manifest's kernels);
+        // different content would make the name ambiguous for the rest
+        // of the process — refuse instead of silently replacing.
+        if (it->second.fingerprint == entry.fingerprint) return;
+        throw Error("kernel `" + entry.bench.name +
+                    "` is already registered with different content; "
+                    "rename the kernel (names identify kernels in sweep "
+                    "grids and reports)");
+    }
+    entries_.emplace(key, std::move(entry));
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(canonical(name)) != 0;
+}
+
+KernelEntry KernelRegistry::entry(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(canonical(name));
+    if (it == entries_.end()) {
+        std::vector<std::string> known;
+        known.reserve(entries_.size());
+        for (const auto& [key, e] : entries_) {
+            (void)key;
+            known.push_back(e.bench.name);
+        }
+        std::sort(known.begin(), known.end());
+        throw Error("unknown benchmark kernel `" + name +
+                    "`; registered: " + join(known, ", "));
+    }
+    return it->second;
+}
+
+BenchmarkKernel KernelRegistry::get(const std::string& name) const {
+    return entry(name).bench;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) {
+        (void)key;
+        out.push_back(e.bench.name);
+    }
+    // The map iterates in canonical (upper-cased) key order, which is not
+    // byte order for the registered casings — sort what we return.
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace slpwlo::kernels

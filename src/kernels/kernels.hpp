@@ -1,11 +1,20 @@
-// Built-in benchmark kernels: the three workloads of the paper's evaluation
-// (Section V.C), plus their filter designers.
+// Built-in benchmark kernels — the four workloads every flow and bench can
+// resolve by name — plus their filter designers:
 //
 //  * FIR-64: 64-tap low-pass FIR, inner tap loop unrolled by 4 with four
 //    partial accumulators (the unrolling the paper applies "to expose SLP");
 //  * IIR-10: 10th-order direct-form-I IIR (stable pole-placed design), both
 //    tap loops zero-padded to 12 and unrolled by 4;
-//  * CONV-3x3: 2-D 3x3 image convolution, fully unrolled stencil.
+//  * CONV-3x3: 2-D 3x3 image convolution, fully unrolled stencil;
+//  * DOT-256: dot product of two vectors, unrolled by 4 with one partial
+//    accumulator per lane (the goSLP-style scenario; not in the paper's
+//    evaluation — see paper_kernel_names for the original three).
+//
+// All four register themselves in the KernelRegistry
+// (kernels/kernel_registry.hpp), the process-wide name -> kernel map that
+// also serves `.slp` kernel files loaded at run time
+// (frontend/kernel_file.hpp); make_benchmark_kernel below is a thin
+// lookup wrapper over it.
 //
 // Inputs are declared in [-1, 1] as in the paper ("the input samples are
 // pre-normalized to [-1,1]").

@@ -1,5 +1,5 @@
+#include "kernels/kernel_registry.hpp"
 #include "kernels/kernels.hpp"
-#include "support/diagnostics.hpp"
 
 namespace slpwlo::kernels {
 
@@ -14,28 +14,10 @@ const std::vector<std::string>& paper_kernel_names() {
 }
 
 BenchmarkKernel make_benchmark_kernel(const std::string& name) {
-    RangeOptions range_options;
-    if (name == "FIR") {
-        range_options.method = RangeMethod::Interval;
-        return BenchmarkKernel{name, make_fir64(), range_options};
-    }
-    if (name == "IIR") {
-        // Interval iteration diverges through the feedback taps; use
-        // simulated ranges with a safety margin (DESIGN.md section 4).
-        range_options.method = RangeMethod::Simulation;
-        return BenchmarkKernel{name, make_iir10(), range_options};
-    }
-    if (name == "CONV") {
-        range_options.method = RangeMethod::Interval;
-        return BenchmarkKernel{name, make_conv3x3(), range_options};
-    }
-    if (name == "DOT") {
-        // Feed-forward reduction: interval propagation converges exactly.
-        range_options.method = RangeMethod::Interval;
-        return BenchmarkKernel{name, make_dot(), range_options};
-    }
-    throw Error("unknown benchmark kernel `" + name +
-                "`; known: FIR, IIR, CONV, DOT");
+    // Thin wrapper over the registry: the built-ins register themselves on
+    // first access, and an unknown name lists every registered kernel
+    // (sorted) — including any `.slp` kernels loaded at run time.
+    return KernelRegistry::instance().get(name);
 }
 
 }  // namespace slpwlo::kernels

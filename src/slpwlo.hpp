@@ -27,11 +27,14 @@
 #include "flow/pass.hpp"
 #include "flow/report.hpp"
 #include "flow/sweep.hpp"
+#include "frontend/kernel_file.hpp"
+#include "frontend/kernel_gen.hpp"
 #include "frontend/lower_ast.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
 #include "ir/unroll.hpp"
 #include "ir/verifier.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "kernels/kernels.hpp"
 #include "target/target_desc.hpp"
 #include "target/target_model.hpp"

@@ -18,6 +18,7 @@
 
 #include "accuracy/sim_backend.hpp"
 #include "accuracy/sim_evaluator.hpp"
+#include "codegen/fixed_c.hpp"
 #include "exec/compiled_evaluator.hpp"
 #include "exec/compiled_kernel.hpp"
 #include "exec/jit_cache.hpp"
@@ -271,6 +272,36 @@ TEST(CompiledExec, EvaluatorDegradesToTapeWhenBuildFails) {
               bits_of(sim_eval.noise_power(spec)));
     EXPECT_TRUE(compiled_eval.degraded());
     exec::set_jit_cache_directory("");
+}
+
+TEST(CompiledExec, DegenerateFormatsDegradeToTapeBitIdentically) {
+    // A spec straight out of range analysis can carry wl <= 0 formats
+    // (fwl stays 0 until WLO runs); those cannot be represented in the
+    // generated C's raw integer domain. The evaluator must refuse to
+    // compile — before invoking any toolchain — and replay the tape,
+    // staying bit-identical to the simulation backend instead of
+    // executing undefined-behavior shifts (caught by the corpus
+    // differential harness on kernels with sub-unit value ranges).
+    TempJitDir jit_dir;
+    const Kernel& kernel = ::slpwlo::testing::small_fir();
+    FixedPointSpec spec = preset_spec(kernel, 12, QuantMode::Truncate);
+    spec.set_wl(spec.nodes().front(), 0);
+    ASSERT_FALSE(spec_fits_c_domain(spec));
+    std::string why;
+    EXPECT_EQ(exec::CompiledKernel::create(kernel, spec, &why), nullptr);
+    EXPECT_NE(why.find("raw integer domain"), std::string::npos) << why;
+    EXPECT_THROW(emit_fixed_c(kernel, spec), Error);
+
+    const exec::CompiledEvaluator compiled_eval(kernel);
+    const SimulationEvaluator sim_eval(kernel);
+    EXPECT_EQ(bits_of(compiled_eval.noise_power(spec)),
+              bits_of(sim_eval.noise_power(spec)));
+    EXPECT_TRUE(compiled_eval.degraded());
+
+    // A well-formed spec on the same evaluator still compiles.
+    const FixedPointSpec good = preset_spec(kernel, 12, QuantMode::Truncate);
+    EXPECT_EQ(bits_of(compiled_eval.noise_power(good)),
+              bits_of(sim_eval.noise_power(good)));
 }
 
 TEST(CompiledExec, MeasuredCostReportsPlausibleTiming) {

@@ -14,6 +14,8 @@
 #include "dist/shard_plan.hpp"
 #include "dist/shard_runner.hpp"
 #include "flow/pass.hpp"
+#include "frontend/kernel_file.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "support/diagnostics.hpp"
 #include "target/target_model.hpp"
 
@@ -158,7 +160,7 @@ TEST(ShardManifest, RoundTripsExactly) {
         const ShardManifest manifest =
             parse_shard_manifest(text, "<round-trip>");
 
-        EXPECT_EQ(manifest.version, 3);
+        EXPECT_EQ(manifest.version, 4);
         EXPECT_EQ(manifest.shard_index, plan.shard_index);
         EXPECT_EQ(manifest.shard_count, plan.shard_count);
         EXPECT_EQ(manifest.strategy, plan.strategy);
@@ -187,8 +189,8 @@ TEST(ShardManifest, KeepsNamesOfRenamedIdenticalModels) {
     ASSERT_NE(base.name, renamed.name);
 
     std::vector<SweepPoint> grid{
-        SweepPoint{"FIR", base.name, "WLO-SLP", -20.0, {}, base},
-        SweepPoint{"FIR", renamed.name, "WLO-SLP", -20.0, {}, renamed}};
+        SweepPoint{"FIR", base.name, "WLO-SLP", -20.0, {}, base, {}},
+        SweepPoint{"FIR", renamed.name, "WLO-SLP", -20.0, {}, renamed, {}}};
     const std::vector<ShardPlan> plans =
         make_shard_plans(grid, 1, ShardStrategy::RoundRobin);
     const ShardManifest manifest =
@@ -201,6 +203,48 @@ TEST(ShardManifest, KeepsNamesOfRenamedIdenticalModels) {
               point_fingerprint(plans[0].points[1]));
 }
 
+TEST(ShardManifest, EmbedsFileKernelSourceAndRoundTrips) {
+    // A DSL-registered kernel must travel inside the manifest: the worker
+    // has no .slp file, only the bytes the planner embedded. The embedded
+    // form is the canonical source, so writer and reader agree byte for
+    // byte and the point fingerprints match across the wire.
+    frontend::register_kernel_source(
+        "# shipped with the manifest\n"
+        "kernel manifest_trip {\n"
+        "  input x[6] range(-1.0, 1.0);\n"
+        "  output y[4];\n"
+        "  loop n = 0..4 unroll 2 { y[n] = x[n] * 0.5 + x[n + 2] * 0.25; }\n"
+        "}\n");
+    const std::vector<SweepPoint> grid = SweepDriver::grid(
+        {"manifest_trip", "FIR"}, {"XENTIUM"}, {"WLO-SLP"}, {-20.0});
+    const std::vector<ShardPlan> plans =
+        make_shard_plans(grid, 1, ShardStrategy::RoundRobin);
+    ASSERT_EQ(plans[0].points.size(), 2u);
+
+    // Planning embedded the canonical source for the DSL kernel only.
+    const kernels::KernelEntry entry =
+        kernels::KernelRegistry::instance().entry("manifest_trip");
+    ASSERT_TRUE(plans[0].points[0].kernel_source.has_value());
+    EXPECT_EQ(*plans[0].points[0].kernel_source, entry.dsl_source);
+    EXPECT_FALSE(plans[0].points[1].kernel_source.has_value());
+
+    const std::string text = shard_manifest_text(plans[0]);
+    EXPECT_NE(text.find("begin_kernel k0"), std::string::npos) << text;
+    EXPECT_NE(text.find("kernel_source = k0"), std::string::npos) << text;
+    // The comment line never reaches the manifest.
+    EXPECT_EQ(text.find("shipped with"), std::string::npos) << text;
+
+    const ShardManifest manifest = parse_shard_manifest(text, "<kernel>");
+    ASSERT_EQ(manifest.points.size(), 2u);
+    ASSERT_TRUE(manifest.points[0].kernel_source.has_value());
+    EXPECT_EQ(*manifest.points[0].kernel_source, entry.dsl_source);
+    EXPECT_FALSE(manifest.points[1].kernel_source.has_value());
+    for (size_t i = 0; i < manifest.points.size(); ++i) {
+        EXPECT_EQ(point_fingerprint(manifest.points[i]),
+                  point_fingerprint(plans[0].points[i]));
+    }
+}
+
 TEST(ShardManifest, RejectsMalformedInput) {
     const std::vector<ShardPlan> plans =
         make_shard_plans(small_grid(), 2, ShardStrategy::RoundRobin);
@@ -208,19 +252,19 @@ TEST(ShardManifest, RejectsMalformedInput) {
     EXPECT_NO_THROW(parse_shard_manifest(good));
 
     // Unsupported version (the versioning policy: readers reject what
-    // they do not know — v1 to v3 parse, v4 does not exist yet).
+    // they do not know — v1 to v4 parse, v5 does not exist yet).
     {
         std::string text = good;
-        const size_t pos = text.find("manifest_version = 3");
+        const size_t pos = text.find("manifest_version = 4");
         ASSERT_NE(pos, std::string::npos);
-        text.replace(pos, 20, "manifest_version = 4");
+        text.replace(pos, 20, "manifest_version = 5");
         EXPECT_THROW(parse_shard_manifest(text), Error);
     }
     // A version-1 header still parses (pre-evaluator manifests remain
     // readable).
     {
         std::string text = good;
-        const size_t pos = text.find("manifest_version = 3");
+        const size_t pos = text.find("manifest_version = 4");
         ASSERT_NE(pos, std::string::npos);
         text.replace(pos, 20, "manifest_version = 1");
         EXPECT_NO_THROW(parse_shard_manifest(text));

@@ -73,6 +73,7 @@
 #include "dist/shard_merger.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/shard_runner.hpp"
+#include "frontend/kernel_file.hpp"
 #include "support/diagnostics.hpp"
 #include "target/target_desc.hpp"
 #include "target/target_registry.hpp"
@@ -93,8 +94,12 @@ void usage(FILE* out) {
         "                     [--optimizer heuristic|optimal]\n"
         "                     [--measured-from RESULTS]...\n"
         "                     [--target-file FILE]...\n"
+        "                     [--kernel-file FILE]... [--corpus DIR]...\n"
         "                     --measured-from re-balances the same grid\n"
-        "                     from a previous run's per-slot wall-clocks\n"
+        "                     from a previous run's per-slot wall-clocks;\n"
+        "                     --kernel-file / --corpus register .slp DSL\n"
+        "                     kernels (corpus names join the kernel axis;\n"
+        "                     manifests embed their source)\n"
         "  slpwlo-shard run   --manifest FILE --out FILE [--threads N]\n"
         "                     [--snapshot-in FILE] [--snapshot-out FILE]\n"
         "                     [--cache-capacity N] [--json[=FILE]]\n"
@@ -269,13 +274,24 @@ int cmd_plan(Args args) {
         } else if (arg == "--target-file") {
             TargetRegistry::instance().add(
                 load_target_description(args.value(arg)));
+        } else if (arg == "--kernel-file") {
+            // Register the file's kernel so --kernels can name it; unlike
+            // --corpus it does not join the axis by itself.
+            frontend::register_kernel_file(args.value(arg));
+        } else if (arg == "--corpus") {
+            // Every kernel in the directory joins the kernel axis (sorted
+            // by filename, so grids are deterministic).
+            for (std::string& name :
+                 frontend::load_kernel_corpus(args.value(arg))) {
+                kernels.push_back(std::move(name));
+            }
         } else {
             bad_usage("unknown plan flag `" + arg + "`");
         }
     }
     if (shards < 1) bad_usage("plan needs --shards N (>= 1)");
     if (out_prefix.empty()) bad_usage("plan needs --out-prefix");
-    if (kernels.empty()) bad_usage("plan needs --kernels");
+    if (kernels.empty()) bad_usage("plan needs --kernels or --corpus");
     if (target_names.empty()) bad_usage("plan needs --targets");
     if (!measured_from.empty() && has_strategy &&
         strategy == ShardStrategy::RoundRobin) {
@@ -297,8 +313,10 @@ int cmd_plan(Args args) {
     if (!measured_from.empty()) {
         // The measurements must come from a run of this exact grid —
         // measured_slot_costs checks the fingerprint, so we need the
-        // models embedded before the files are loaded.
+        // models (and any file-kernel sources, which fingerprints mix)
+        // embedded before the files are loaded.
         embed_target_models(grid);
+        embed_kernel_sources(grid);
         measured = load_measured_costs(measured_from, grid.size(),
                                        grid_fingerprint(grid));
         plans = make_shard_plans(grid, shards, measured);
