@@ -18,12 +18,17 @@
 //
 // Emits a JSON gate report (--json / --json=FILE) for CI artifacts.
 //
-//   $ ./corpus_differential [--corpus DIR]... [--generated N] [--smoke]
+//   $ ./corpus_differential [--corpus DIR]... [--generated N]
+//                           [--hostile N] [--smoke]
 //                           [--threads N] [--json[=FILE]]
 //
 // --corpus defaults to ./kernels (the checked-in corpus); --generated
-// seeds that many random kernels (default 8); --smoke skips the exact
-// flows, keeping CI wall-clock down without narrowing the kernel set.
+// seeds that many random kernels (default 8); --hostile adds that many
+// SLP-*hostile* generated kernels (default 4) — non-adjacent strides and
+// mixed-array lanes where a correct extractor finds nothing profitable
+// to pack, so "the flow still meets its constraint when SLP comes up
+// empty" is exercised every run; --smoke skips the exact flows, keeping
+// CI wall-clock down without narrowing the kernel set.
 #include <cstring>
 #include <memory>
 #include <sstream>
@@ -100,12 +105,16 @@ int main(int argc, char** argv) {
                  "kernels-as-data robustness harness (no paper figure)");
 
     int generated = 8;
+    int hostile = 4;
     BenchArgSpec spec;
     spec.smoke = true;
     spec.kernel_files = true;
     spec.extra.push_back(
         {"--generated", true, "N  seeded random kernels (default 8)",
          [&](const std::string& v) { generated = std::atoi(v.c_str()); }});
+    spec.extra.push_back(
+        {"--hostile", true, "N  seeded SLP-hostile kernels (default 4)",
+         [&](const std::string& v) { hostile = std::atoi(v.c_str()); }});
     const BenchOptions args = parse_bench_args(argc, argv, spec);
 
     // The kernel set: every corpus directory (default: the checked-in
@@ -128,8 +137,17 @@ int main(int argc, char** argv) {
         names.push_back(frontend::register_kernel_source(
             gen.source, "<generated seed " + std::to_string(seed) + ">"));
     }
-    std::printf("kernel set: %zu corpus + %zu file + %d generated\n\n",
-                corpus_count, args.kernel_files.size(), generated);
+    frontend::GenOptions hostile_options;
+    hostile_options.slp_hostile = true;
+    for (int seed = 1; seed <= hostile; ++seed) {
+        const frontend::GeneratedKernel gen = frontend::generate_kernel_source(
+            static_cast<uint64_t>(seed), hostile_options);
+        names.push_back(frontend::register_kernel_source(
+            gen.source, "<hostile seed " + std::to_string(seed) + ">"));
+    }
+    std::printf("kernel set: %zu corpus + %zu file + %d generated + "
+                "%d slp-hostile\n\n",
+                corpus_count, args.kernel_files.size(), generated, hostile);
 
     // Gate 1: evaluator agreement, kernel by kernel.
     bool evaluators_agree = true;
@@ -225,6 +243,7 @@ int main(int argc, char** argv) {
         }
         os << "],\"corpus_kernels\":" << corpus_count
            << ",\"generated_kernels\":" << generated
+           << ",\"hostile_kernels\":" << hostile
            << ",\"flows\":" << flows.size()
            << ",\"gates\":{\"evaluator_agreement\":"
            << (evaluators_agree ? "true" : "false")

@@ -64,5 +64,18 @@ int main(int argc, char** argv) {
         stats.proven_optimal
             ? " (proven optimal: the heuristic left nothing behind)"
             : " (budget-limited incumbent)");
+
+    std::printf(
+        "\nscaling up: the same sweep runs as a farm. Start a daemon\n"
+        "(slpwlo-shard daemon --listen 7477), submit the grid\n"
+        "(slpwlo-shard plan --shards 1 ... ; slpwlo-shard submit\n"
+        "--connect :7477 --manifest grid.0.manifest), then point any\n"
+        "number of machines at it (slpwlo-shard work --connect\n"
+        "host:7477). Rows stream into the daemon's merger as workers\n"
+        "finish, `status --connect` is live JSON, and `merge --connect\n"
+        "--job 0` returns this report byte-identical — even if a worker\n"
+        "is SIGKILLed mid-chunk (its heartbeat lapses and the chunk is\n"
+        "re-issued). After editing the grid, submit --splice-from with\n"
+        "the previous rows re-runs only the changed points.\n");
     return 0;
 }

@@ -130,6 +130,18 @@ private:
         return "(((int64_t)" + name + ") << " + std::to_string(-k) + ")";
     }
 
+    /// `aligned` with the negation folded in before the shift (the shift
+    /// is floor; floor(-v) != -floor(v) when bits drop).
+    std::string aligned_negated(VarId v, int target_fwl) const {
+        const std::string name = c_name(kernel_, v);
+        const int k = fwl_of_var(v) - target_fwl;
+        if (k == 0) return "(-(int64_t)" + name + ")";
+        if (k > 0) {
+            return "((-(int64_t)" + name + ") >> " + std::to_string(k) + ")";
+        }
+        return "((-(int64_t)" + name + ") << " + std::to_string(-k) + ")";
+    }
+
     std::string sat(const std::string& expr, int wl) const {
         return "(" + c_int_type(wl) + ")slpwlo_vsat(" + expr + ", " +
                std::to_string(wl) + ")";
@@ -290,8 +302,7 @@ private:
                 break;
             }
             case OpKind::Add:
-            case OpKind::Sub:
-            case OpKind::Neg: {
+            case OpKind::Sub: {
                 // Operands aligned per lane to the lane's result fwl.
                 for (int slot = 0; slot < first.num_args(); ++slot) {
                     const std::string vreg = slot == 0 ? "va" : "vb";
@@ -304,15 +315,35 @@ private:
                                 aligned(lop.args[slot], fr) + ");");
                     }
                 }
-                const char* macro = first.kind == OpKind::Add   ? "SLPWLO_VADD"
-                                    : first.kind == OpKind::Sub ? "SLPWLO_VSUB"
-                                                                : "SLPWLO_VNEG";
-                if (first.kind == OpKind::Neg) {
-                    w_.line(std::string(macro) + "(vr, va, " + n + ");");
-                } else {
-                    w_.line(std::string(macro) + "(vr, va, vb, " + n + ");");
-                }
+                const char* macro = first.kind == OpKind::Add
+                                        ? "SLPWLO_VADD"
+                                        : "SLPWLO_VSUB";
+                w_.line(std::string(macro) + "(vr, va, vb, " + n + ");");
                 extract_lanes(group, {});
+                break;
+            }
+            case OpKind::Neg: {
+                // Negate at the operand's own precision, then scale at
+                // extraction: the alignment shift must see the *negated*
+                // value (the shift is floor, and floor(-v) != -floor(v)),
+                // matching the simulator's quantize-the-result order.
+                std::vector<int> amounts;
+                amounts.reserve(static_cast<size_t>(w));
+                bool any_shift = false;
+                for (int lane = 0; lane < w; ++lane) {
+                    const Op& lop = kernel_.op(group.lanes[lane]);
+                    w_.line("SLPWLO_VSET(va, " + std::to_string(lane) +
+                            ", (int64_t)" + c_name(kernel_, lop.args[0]) +
+                            ");");
+                    const int k =
+                        fwl_of_var(lop.args[0]) -
+                        spec_.result_format(group.lanes[lane]).fwl;
+                    if (k != 0) any_shift = true;
+                    amounts.push_back(k);
+                }
+                w_.line("SLPWLO_VNEG(vr, va, " + n + ");");
+                extract_lanes(group, any_shift ? amounts
+                                               : std::vector<int>{});
                 break;
             }
             case OpKind::Mul: {
@@ -390,11 +421,14 @@ private:
             case OpKind::Copy:
             case OpKind::Neg: {
                 const FixedFormat fmt = spec_.result_format(op_id);
-                const std::string src = aligned(op.args[0], fmt.fwl);
+                // Neg: negate *before* the alignment shift (floor(-v) !=
+                // -floor(v)), same order as the fixed-point emitter.
+                const std::string src =
+                    op.kind == OpKind::Neg
+                        ? aligned_negated(op.args[0], fmt.fwl)
+                        : aligned(op.args[0], fmt.fwl);
                 w_.line(c_name(kernel_, op.dest) + " = " +
-                        sat(op.kind == OpKind::Neg ? "-(" + src + ")" : src,
-                            fmt.wl()) +
-                        ";");
+                        sat(src, fmt.wl()) + ";");
                 break;
             }
             case OpKind::Load:

@@ -306,11 +306,13 @@ size_t init_lease_dir(const std::string& dir, const ShardManifest& manifest,
     plan.points = manifest.points;
     write_text(root / "manifest", shard_manifest_text(plan, manifest.defaults));
 
-    // Cost-balanced greedy chunking in slot order: cut when a chunk
-    // reaches the target cost. Deterministic; re-serving the same
-    // manifest and options always yields the same chunks. Measured costs
-    // (when provided) replace the heuristic slot for slot — the re-serve
-    // path sizes chunks from what the previous run actually took.
+    // Cost-balanced greedy chunking in slot order (chunk_grid_slots —
+    // the exact cutter the farm daemon uses, so a lease directory and a
+    // farm job chop the same grid into the same chunks). Deterministic;
+    // re-serving the same manifest and options always yields the same
+    // chunks. Measured costs (when provided) replace the heuristic slot
+    // for slot — the re-serve path sizes chunks from what the previous
+    // run actually took.
     if (!options.measured_costs.empty()) {
         SLPWLO_CHECK(options.measured_costs.size() == manifest.points.size(),
                      "measured chunk costs need one entry per grid slot (" +
@@ -318,35 +320,12 @@ size_t init_lease_dir(const std::string& dir, const ShardManifest& manifest,
                          " costs, " + std::to_string(manifest.points.size()) +
                          " slots)");
     }
-    std::vector<double> costs;
-    costs.reserve(manifest.points.size());
-    double total_cost = 0.0;
-    for (size_t i = 0; i < manifest.points.size(); ++i) {
-        costs.push_back(options.measured_costs.empty()
-                            ? estimate_point_cost(manifest.points[i])
-                            : options.measured_costs[i]);
-        total_cost += costs.back();
-    }
-    double target = options.chunk_cost;
-    if (target <= 0.0) target = total_cost / 16.0;
-
-    std::vector<std::vector<size_t>> chunks;
-    std::vector<size_t> current;
-    double current_cost = 0.0;
-    for (size_t i = 0; i < manifest.points.size(); ++i) {
-        current.push_back(manifest.slots[i]);
-        current_cost += costs[i];
-        const bool full =
-            current_cost >= target ||
-            (options.max_chunk_slots != 0 &&
-             current.size() >= options.max_chunk_slots);
-        if (full) {
-            chunks.push_back(std::move(current));
-            current.clear();
-            current_cost = 0.0;
-        }
-    }
-    if (!current.empty()) chunks.push_back(std::move(current));
+    ChunkOptions chunking;
+    chunking.chunk_cost = options.chunk_cost;
+    chunking.max_chunk_slots = options.max_chunk_slots;
+    chunking.measured_costs = options.measured_costs;
+    const std::vector<std::vector<size_t>> chunks =
+        chunk_grid_slots(manifest.points, manifest.slots, chunking);
 
     for (size_t i = 0; i < chunks.size(); ++i) {
         write_text(root / "chunks" / (std::to_string(i) + ".chunk"),

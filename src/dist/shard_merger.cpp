@@ -188,72 +188,158 @@ ShardResultsFile load_shard_results(const std::string& path) {
 std::string merge_shard_results(const std::vector<ShardResultsFile>& shards,
                                 DuplicatePolicy duplicates) {
     SLPWLO_CHECK(!shards.empty(), "nothing to merge: no shard result files");
-    const size_t total_slots = shards.front().total_slots;
-    const uint64_t grid_fp = shards.front().grid_fp;
-    for (const ShardResultsFile& shard : shards) {
-        if (shard.total_slots != total_slots || shard.grid_fp != grid_fp) {
-            throw Error(
-                "shard merge: grid mismatch — shard " +
-                std::to_string(shard.shard_index) + " ran grid " +
-                fingerprint_hex(shard.grid_fp) + " with " +
-                std::to_string(shard.total_slots) +
-                " slots, expected grid " + fingerprint_hex(grid_fp) +
-                " with " + std::to_string(total_slots) + " slots");
-        }
-    }
+    RowAccumulator accumulator(shards.front().total_slots,
+                               shards.front().grid_fp, duplicates);
+    for (const ShardResultsFile& shard : shards) accumulator.add(shard);
+    return accumulator.report();
+}
 
-    std::map<size_t, const ShardRow*> by_slot;
-    for (const ShardResultsFile& shard : shards) {
-        for (const ShardRow& row : shard.rows) {
-            const auto [it, inserted] = by_slot.emplace(row.slot, &row);
-            if (inserted) continue;
-            // Identity deliberately ignores micros and measured_ns: two
-            // runs of the same point measure different wall-clocks but
-            // must compare equal.
-            const ShardRow& existing = *it->second;
-            if (existing.point_fp != row.point_fp ||
-                existing.json != row.json) {
-                throw Error("shard merge conflict: slot " +
-                            std::to_string(row.slot) +
-                            " reported twice with different contents (" +
-                            fingerprint_hex(existing.point_fp) + " vs " +
-                            fingerprint_hex(row.point_fp) + ")");
-            }
-            if (duplicates == DuplicatePolicy::AllowIdentical) continue;
-            throw Error("shard merge: slot " + std::to_string(row.slot) +
-                        " reported by more than one shard (overlapping "
-                        "plans)");
-        }
-    }
+// --- RowAccumulator ------------------------------------------------------------
 
-    if (by_slot.size() != total_slots) {
-        std::string missing;
-        int listed = 0;
-        for (size_t slot = 0; slot < total_slots && listed < 8; ++slot) {
-            if (by_slot.count(slot) != 0) continue;
-            if (!missing.empty()) missing += ", ";
-            missing += std::to_string(slot);
-            listed++;
+RowAccumulator::RowAccumulator(size_t total_slots, uint64_t grid_fp,
+                               DuplicatePolicy duplicates)
+    : total_slots_(total_slots), grid_fp_(grid_fp), duplicates_(duplicates) {
+    SLPWLO_CHECK(total_slots_ > 0, "cannot accumulate a zero-slot grid");
+}
+
+size_t RowAccumulator::add(const ShardResultsFile& file) {
+    if (file.total_slots != total_slots_ || file.grid_fp != grid_fp_) {
+        throw Error("shard merge: grid mismatch — shard " +
+                    std::to_string(file.shard_index) + " ran grid " +
+                    fingerprint_hex(file.grid_fp) + " with " +
+                    std::to_string(file.total_slots) +
+                    " slots, expected grid " + fingerprint_hex(grid_fp_) +
+                    " with " + std::to_string(total_slots_) + " slots");
+    }
+    // Validate everything before inserting anything: an add() that throws
+    // leaves the accumulator untouched. The farm daemon leans on this —
+    // a `complete` frame either lands whole or is rejected whole, never
+    // half-merged.
+    std::map<size_t, const ShardRow*> fresh;
+    for (const ShardRow& row : file.rows) {
+        SLPWLO_CHECK(row.slot < total_slots_, "shard merge: row slot " +
+                                                  std::to_string(row.slot) +
+                                                  " out of range");
+        const ShardRow* existing = nullptr;
+        if (const auto it = rows_.find(row.slot); it != rows_.end()) {
+            existing = &it->second;
+        } else if (const auto nit = fresh.find(row.slot); nit != fresh.end()) {
+            existing = nit->second;
+        }
+        if (existing == nullptr) {
+            fresh.emplace(row.slot, &row);
+            continue;
+        }
+        // Identity deliberately ignores micros and measured_ns: two runs
+        // of the same point measure different wall-clocks but must
+        // compare equal.
+        if (existing->point_fp != row.point_fp ||
+            existing->json != row.json) {
+            throw Error("shard merge conflict: slot " +
+                        std::to_string(row.slot) +
+                        " reported twice with different contents (" +
+                        fingerprint_hex(existing->point_fp) + " vs " +
+                        fingerprint_hex(row.point_fp) + ")");
+        }
+        if (duplicates_ == DuplicatePolicy::AllowIdentical) continue;
+        throw Error("shard merge: slot " + std::to_string(row.slot) +
+                    " reported by more than one shard (overlapping plans)");
+    }
+    for (const auto& [slot, row] : fresh) rows_.emplace(slot, *row);
+    return fresh.size();
+}
+
+bool RowAccumulator::has_slot(size_t slot) const {
+    return rows_.count(slot) != 0;
+}
+
+std::vector<size_t> RowAccumulator::missing(size_t limit) const {
+    std::vector<size_t> holes;
+    for (size_t slot = 0; slot < total_slots_ && holes.size() < limit;
+         ++slot) {
+        if (rows_.count(slot) == 0) holes.push_back(slot);
+    }
+    return holes;
+}
+
+std::string RowAccumulator::report() const {
+    if (!complete()) {
+        std::string listed;
+        for (const size_t slot : missing()) {
+            if (!listed.empty()) listed += ", ";
+            listed += std::to_string(slot);
         }
         throw Error("shard merge: " +
-                    std::to_string(total_slots - by_slot.size()) +
-                    " of " + std::to_string(total_slots) +
-                    " slots missing (first: " + missing + ")");
+                    std::to_string(total_slots_ - rows_.size()) + " of " +
+                    std::to_string(total_slots_) +
+                    " slots missing (first: " + listed + ")");
     }
-
-    // Reassemble exactly as sweep_to_json does, so a sharded sweep and a
-    // single-process sweep emit the same bytes.
+    // Reassemble exactly as sweep_to_json does, so a sharded sweep, a
+    // farm-streamed sweep and a single-process sweep emit the same bytes.
     std::ostringstream os;
     os << "[";
     bool first = true;
-    for (const auto& [slot, row] : by_slot) {
+    for (const auto& [slot, row] : rows_) {
         (void)slot;
         if (!first) os << ",";
         first = false;
-        os << "\n  " << row->json;
+        os << "\n  " << row.json;
     }
     os << "\n]\n";
     return os.str();
+}
+
+ShardResultsFile RowAccumulator::rows_file() const {
+    // The holes check (and its error message) is report()'s.
+    if (!complete()) report();
+    ShardResultsFile file;
+    file.shard_index = 0;
+    file.shard_count = 1;
+    file.total_slots = total_slots_;
+    file.grid_fp = grid_fp_;
+    file.rows.reserve(rows_.size());
+    for (const auto& [slot, row] : rows_) {
+        (void)slot;
+        file.rows.push_back(row);
+    }
+    return file;
+}
+
+// --- splice_rows ---------------------------------------------------------------
+
+ShardResultsFile splice_rows(const std::vector<ShardResultsFile>& old_files,
+                             const std::vector<uint64_t>& slot_fps,
+                             uint64_t grid_fp) {
+    // Old rows by point fingerprint. The old grid's slot numbers are
+    // irrelevant — identity is the point's content, which is exactly what
+    // the fingerprint hashes (kernel + source + options + constraint +
+    // target model).
+    std::map<uint64_t, const ShardRow*> by_fp;
+    for (const ShardResultsFile& file : old_files) {
+        for (const ShardRow& row : file.rows) {
+            const auto [it, inserted] = by_fp.emplace(row.point_fp, &row);
+            if (inserted) continue;
+            if (it->second->json != row.json) {
+                throw Error("splice: point " + fingerprint_hex(row.point_fp) +
+                            " appears in the old report with two different "
+                            "row contents");
+            }
+        }
+    }
+
+    ShardResultsFile spliced;
+    spliced.shard_index = 0;
+    spliced.shard_count = 1;
+    spliced.total_slots = slot_fps.size();
+    spliced.grid_fp = grid_fp;
+    for (size_t slot = 0; slot < slot_fps.size(); ++slot) {
+        const auto it = by_fp.find(slot_fps[slot]);
+        if (it == by_fp.end()) continue;  // changed slot: must be re-run
+        ShardRow row = *it->second;
+        row.slot = slot;
+        spliced.rows.push_back(std::move(row));
+    }
+    return spliced;
 }
 
 }  // namespace slpwlo::dist

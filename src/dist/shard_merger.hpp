@@ -51,6 +51,7 @@
 //   * missing slots fail with the exact holes listed.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -110,5 +111,72 @@ enum class DuplicatePolicy {
 std::string merge_shard_results(const std::vector<ShardResultsFile>& shards,
                                 DuplicatePolicy duplicates =
                                     DuplicatePolicy::Error);
+
+/// The merge stage as an *online* accumulator: rows stream in (one shard
+/// file, one farm `complete` frame, one spliced batch at a time) and the
+/// defensive checks of merge_shard_results — grid identity, fingerprint
+/// and byte conflicts, the duplicate policy — run at arrival time, so a
+/// bad row is rejected the moment it lands instead of at the final
+/// offline fold. merge_shard_results is itself a thin wrapper over this
+/// class, which is the byte-identity argument for every streaming
+/// consumer (the farm daemon's per-job merger): accumulating rows in any
+/// arrival order and rendering the report produces exactly the bytes the
+/// offline merge produces, which are exactly sweep_to_json of the
+/// 1-process sweep.
+class RowAccumulator {
+public:
+    RowAccumulator(size_t total_slots, uint64_t grid_fp,
+                   DuplicatePolicy duplicates = DuplicatePolicy::Error);
+
+    /// Fold one file in; throws Error on grid mismatch, slot conflicts
+    /// or duplicates the policy forbids. All-or-nothing: a throwing add
+    /// leaves the accumulator unchanged (a rejected farm `complete` frame
+    /// must not half-land). Rows are copied — the file need not outlive
+    /// the accumulator. Returns how many previously-empty slots this
+    /// file filled.
+    size_t add(const ShardResultsFile& file);
+
+    size_t total_slots() const { return total_slots_; }
+    uint64_t grid_fp() const { return grid_fp_; }
+    size_t done_slots() const { return rows_.size(); }
+    bool complete() const { return rows_.size() == total_slots_; }
+    /// True when `slot` already has an accepted row.
+    bool has_slot(size_t slot) const;
+
+    /// Up to `limit` missing slots, ascending.
+    std::vector<size_t> missing(size_t limit = 8) const;
+
+    /// The merged JSON results array — byte-identical to
+    /// sweep_to_json(results) of the unsharded sweep. Throws Error while
+    /// any slot is missing (listing the first few holes).
+    std::string report() const;
+
+    /// Everything accumulated as one whole-grid rows file (shard 0 of 1),
+    /// rows ascending by slot — the artifact `merge --rows-out` writes so
+    /// a later changed grid can splice unchanged slots out of it. Throws
+    /// while incomplete.
+    ShardResultsFile rows_file() const;
+
+private:
+    size_t total_slots_;
+    uint64_t grid_fp_;
+    DuplicatePolicy duplicates_;
+    std::map<size_t, ShardRow> rows_;
+};
+
+/// Incremental re-sweeps: rows from a previous run re-slotted onto a new
+/// grid by *point fingerprint*. `slot_fps[s]` is point_fingerprint of the
+/// new grid's slot `s` (from its manifest — dist::point_fingerprint);
+/// every slot whose fingerprint matches an old row is emitted at its new
+/// slot with the old row's bytes, so only changed slots need re-running.
+/// Old files may come from any grid (their own fingerprints are not
+/// checked against `grid_fp`, which stamps the *returned* file); two old
+/// rows with the same fingerprint but different bytes are a conflict.
+/// Determinism makes the splice sound: a point's row bytes are a pure
+/// function of the point, so a spliced report is byte-identical to
+/// re-running everything.
+ShardResultsFile splice_rows(const std::vector<ShardResultsFile>& old_files,
+                             const std::vector<uint64_t>& slot_fps,
+                             uint64_t grid_fp);
 
 }  // namespace slpwlo::dist

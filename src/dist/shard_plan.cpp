@@ -241,6 +241,51 @@ std::vector<ShardPlan> make_shard_plans(
                                  lpt_assignment(slot_costs, shard_count));
 }
 
+std::vector<std::vector<size_t>> chunk_grid_slots(
+    const std::vector<SweepPoint>& points, const std::vector<size_t>& slots,
+    const ChunkOptions& options) {
+    SLPWLO_CHECK(points.size() == slots.size(),
+                 "chunking needs one point per slot");
+    SLPWLO_CHECK(!points.empty(), "cannot chunk an empty grid");
+    if (!options.measured_costs.empty()) {
+        for (const size_t slot : slots) {
+            SLPWLO_CHECK(slot < options.measured_costs.size(),
+                         "measured chunk costs need one entry per grid slot");
+        }
+    }
+    std::vector<double> costs;
+    costs.reserve(points.size());
+    double total_cost = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        costs.push_back(options.measured_costs.empty()
+                            ? estimate_point_cost(points[i])
+                            : options.measured_costs[slots[i]]);
+        total_cost += costs.back();
+    }
+    double target = options.chunk_cost;
+    if (target <= 0.0) target = total_cost / 16.0;
+
+    // Greedy in slot order: cut when the accumulated cost reaches the
+    // target (or the slot cap). Deterministic for fixed inputs.
+    std::vector<std::vector<size_t>> chunks;
+    std::vector<size_t> current;
+    double current_cost = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        current.push_back(slots[i]);
+        current_cost += costs[i];
+        const bool full = current_cost >= target ||
+                          (options.max_chunk_slots != 0 &&
+                           current.size() >= options.max_chunk_slots);
+        if (full) {
+            chunks.push_back(std::move(current));
+            current.clear();
+            current_cost = 0.0;
+        }
+    }
+    if (!current.empty()) chunks.push_back(std::move(current));
+    return chunks;
+}
+
 std::vector<double> measured_slot_costs(
     const std::vector<ShardResultsFile>& files, size_t total_slots,
     uint64_t grid_fp) {

@@ -112,6 +112,33 @@ std::vector<ShardPlan> make_shard_plans(std::vector<SweepPoint> grid,
                                         int shard_count,
                                         const std::vector<double>& slot_costs);
 
+/// Options for chunk_grid_slots — how a whole grid is chopped into the
+/// demand-paged units an elastic lease directory or a farm daemon hands
+/// to workers. Shared by dist::init_lease_dir and farm::JobBoard so both
+/// layers cut identical chunks from identical inputs.
+struct ChunkOptions {
+    /// Target estimated cost per chunk (estimate_point_cost units);
+    /// <= 0 auto-sizes to total_cost / 16 — roughly four chunks in
+    /// flight per worker on a 4-worker farm.
+    double chunk_cost = 0.0;
+    /// Hard cap on slots per chunk; 0 = uncapped.
+    size_t max_chunk_slots = 0;
+    /// Measured per-slot costs replacing the estimate_point_cost
+    /// heuristic, one entry per *grid* slot (indexed by slot id, not by
+    /// position in `slots`). Empty = use the heuristic. Costs shape only
+    /// chunk boundaries, never results.
+    std::vector<double> measured_costs;
+};
+
+/// Chop `slots` (ascending grid slots; points[i] is the point at
+/// slots[i]) into cost-balanced chunks: greedy, in slot order, cut when
+/// the accumulated per-point cost reaches the target. A pure function of
+/// its inputs — the same grid and options always produce the same chunks
+/// on every machine.
+std::vector<std::vector<size_t>> chunk_grid_slots(
+    const std::vector<SweepPoint>& points, const std::vector<size_t>& slots,
+    const ChunkOptions& options = {});
+
 struct ShardResultsFile;
 
 /// Per-slot costs measured by a previous run of the same grid: the

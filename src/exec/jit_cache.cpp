@@ -54,7 +54,11 @@ bool publish_file(const fs::path& path, const std::string& text) {
 }  // namespace
 
 uint64_t jit_key_hash(const JitKey& key) {
-    uint64_t h = hash_name("slpwlo-jit-v1");
+    // The version tag doubles as the emitter generation: bumping it
+    // orphans every cached object built by older emitters (the key hashes
+    // kernel + formats, not the generated source, so a codegen fix would
+    // otherwise keep hitting stale .so files).
+    uint64_t h = hash_name("slpwlo-jit-v2");
     h = mix(h, key.kernel_fp);
     h = mix(h, key.target_fp);
     h = mix(h, key.format_fp);

@@ -1,0 +1,194 @@
+#include "farm/framing.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/kv_format.hpp"
+
+namespace slpwlo::farm {
+
+namespace {
+
+// Longest legal header line: tag, space, 20-digit length, newline. A
+// buffer that exceeds this without a newline cannot be a frame header.
+constexpr size_t kMaxHeaderBytes = 64;
+
+const std::string kEmpty;
+
+}  // namespace
+
+const std::string& Message::field(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? kEmpty : it->second;
+}
+
+const std::string& Message::require_field(const std::string& key) const {
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+        throw Error("farm: '" + verb + "' message is missing required field '" +
+                    key + "'");
+    }
+    return it->second;
+}
+
+long long Message::require_ll(const std::string& key) const {
+    const std::string& value = require_field(key);
+    try {
+        size_t used = 0;
+        const long long parsed = std::stoll(value, &used);
+        if (used == value.size()) return parsed;
+    } catch (const std::exception&) {
+    }
+    throw Error("farm: '" + verb + "' field '" + key +
+                "' is not an integer: '" + value + "'");
+}
+
+std::string encode_message(const Message& message) {
+    SLPWLO_CHECK(!message.verb.empty(), "farm: message has no verb");
+    std::ostringstream os;
+    kv::write_pair(os, "verb", message.verb);
+    for (const auto& [key, value] : message.fields) {
+        SLPWLO_CHECK(key != "verb", "farm: 'verb' is not a free-form field");
+        kv::write_pair(os, key, value);
+    }
+    os << "\n" << message.body;
+    return os.str();
+}
+
+Message decode_message(const std::string& payload) {
+    Message message;
+    size_t pos = 0;
+    while (pos <= payload.size()) {
+        const size_t eol = payload.find('\n', pos);
+        if (eol == std::string::npos) {
+            throw Error("farm: message payload has no header/body separator");
+        }
+        const std::string line = payload.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty()) break;  // blank separator: the rest is body
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw Error("farm: malformed message header line: '" + line + "'");
+        }
+        const std::string key = kv::trim(line.substr(0, eq));
+        const std::string value = kv::trim(line.substr(eq + 1));
+        if (key == "verb") {
+            if (!message.verb.empty()) {
+                throw Error("farm: message carries two verb lines");
+            }
+            message.verb = value;
+        } else {
+            if (message.verb.empty()) {
+                throw Error("farm: message must start with its verb line");
+            }
+            if (!message.fields.emplace(key, value).second) {
+                throw Error("farm: duplicate message field '" + key + "'");
+            }
+        }
+    }
+    if (message.verb.empty()) throw Error("farm: message has no verb");
+    message.body = payload.substr(pos);
+    return message;
+}
+
+std::string encode_frame(const Message& message) {
+    const std::string payload = encode_message(message);
+    SLPWLO_CHECK(payload.size() <= kMaxFrameBytes,
+                 "farm: frame payload exceeds " +
+                     std::to_string(kMaxFrameBytes) + " bytes");
+    std::string frame = std::string(kProtocolTag) + " " +
+                        std::to_string(payload.size()) + "\n";
+    frame += payload;
+    return frame;
+}
+
+std::optional<Message> take_frame(std::string& buffer) {
+    const size_t eol = buffer.find('\n');
+    if (eol == std::string::npos) {
+        if (buffer.size() > kMaxHeaderBytes) {
+            throw Error("farm: not a frame header (no newline in the first " +
+                        std::to_string(kMaxHeaderBytes) + " bytes)");
+        }
+        return std::nullopt;  // header still arriving
+    }
+    const std::string header = buffer.substr(0, eol);
+    const size_t space = header.find(' ');
+    if (space == std::string::npos) {
+        throw Error("farm: malformed frame header: '" + header + "'");
+    }
+    const std::string tag = header.substr(0, space);
+    const std::string len_text = header.substr(space + 1);
+    const std::string prefix = "slpwlo-farm/";
+    if (tag.compare(0, prefix.size(), prefix) != 0) {
+        throw Error("farm: not a slpwlo-farm frame (header tag '" + tag +
+                    "')");
+    }
+    const std::string version = tag.substr(prefix.size());
+    if (version != std::to_string(kProtocolVersion)) {
+        throw Error("farm: protocol version mismatch — peer speaks slpwlo-farm/" +
+                    version + ", this build speaks " + kProtocolTag);
+    }
+    if (len_text.empty() ||
+        len_text.find_first_not_of("0123456789") != std::string::npos) {
+        throw Error("farm: malformed frame length: '" + len_text + "'");
+    }
+    unsigned long long length = 0;
+    try {
+        length = std::stoull(len_text);
+    } catch (const std::exception&) {
+        throw Error("farm: malformed frame length: '" + len_text + "'");
+    }
+    if (length > kMaxFrameBytes) {
+        throw Error("farm: frame length " + len_text + " exceeds the " +
+                    std::to_string(kMaxFrameBytes) + "-byte cap");
+    }
+    if (buffer.size() - (eol + 1) < length) return std::nullopt;  // payload arriving
+    const std::string payload = buffer.substr(eol + 1, length);
+    buffer.erase(0, eol + 1 + length);
+    return decode_message(payload);
+}
+
+void write_frame(int fd, const Message& message) {
+    const std::string frame = encode_frame(message);
+    size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw Error(std::string("farm: send failed: ") +
+                        std::strerror(errno));
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+std::optional<Message> read_frame(int fd) {
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+        if (std::optional<Message> message = take_frame(buffer)) {
+            return message;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw Error(std::string("farm: recv failed: ") +
+                        std::strerror(errno));
+        }
+        if (n == 0) {
+            if (buffer.empty()) return std::nullopt;  // clean close
+            throw Error("farm: connection closed mid-frame (" +
+                        std::to_string(buffer.size()) +
+                        " bytes of an incomplete frame)");
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+}  // namespace slpwlo::farm

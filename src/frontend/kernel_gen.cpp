@@ -130,29 +130,83 @@ void gen_matmul(Rng& rng, std::ostringstream& os) {
        << "  }\n";
 }
 
+/// SLP-hostile: a stencil whose lanes load at non-adjacent strides.
+/// y[i]'s operands look isomorphic across i (same expression tree), but
+/// the loads step by 2, 3 and 5 — no pack of neighbouring outputs ever
+/// finds its operands contiguous, so a correct extractor must leave the
+/// statements scalar (or pay gather shuffles that the cycle model makes
+/// unprofitable).
+void gen_strided_gather(Rng& rng, std::ostringstream& os) {
+    const int unroll = 1 << rng.uniform_int(1, 2);        // 2, 4
+    const int points = unroll * rng.uniform_int(2, 4);    // <= 16
+    // Pairwise coprime strides: lanes never re-align.
+    const int s0 = 2, s1 = 3, s2 = 5;
+    const int extent = s2 * (points - 1) + 3;
+    os << "  input  x[" << extent << "] range(-1.0, 1.0);\n"
+       << "  param  c[3] = { " << coeff_list(rng, 3) << " };\n"
+       << "  output y[" << points << "];\n"
+       << "  loop i = 0.." << points << " unroll " << unroll << " {\n"
+       << "    y[i] = c[0] * x[" << s0 << " * i] + c[1] * x[" << s1
+       << " * i + 1] + c[2] * x[" << s2 << " * i + 2];\n"
+       << "  }\n";
+}
+
+/// SLP-hostile: neighbouring lanes pull from *different* arrays with
+/// mismatched strides. The even/odd statements are shape-isomorphic but
+/// their loads alternate a/b and stride 1/2 — a lane group mixing them
+/// has no vectorizable memory access.
+void gen_mixed_arrays(Rng& rng, std::ostringstream& os) {
+    const int unroll = 1 << rng.uniform_int(0, 1);        // 1, 2
+    const int pairs = unroll * rng.uniform_int(2, 5);     // <= 10
+    const std::string w0 = coeff(rng);
+    const std::string w1 = coeff(rng);
+    os << "  input  a[" << (2 * pairs) << "] range(-1.0, 1.0);\n"
+       << "  input  b[" << (2 * pairs) << "] range(-1.0, 1.0);\n"
+       << "  output y[" << (2 * pairs) << "];\n"
+       << "  loop i = 0.." << pairs << " unroll " << unroll << " {\n"
+       << "    y[2 * i] = " << w0 << " * a[i] + " << w1 << " * b[2 * i];\n"
+       << "    y[2 * i + 1] = " << w0 << " * b[i] + " << w1
+       << " * a[2 * i + 1];\n"
+       << "  }\n";
+}
+
 }  // namespace
 
-GeneratedKernel generate_kernel_source(uint64_t seed) {
-    Rng rng(seed, "kernel_gen");
+GeneratedKernel generate_kernel_source(uint64_t seed,
+                                       const GenOptions& options) {
+    // Distinct stream names: a hostile kernel is not "the friendly
+    // kernel, perturbed" — its draws are independent, so adding the
+    // hostile batch never changes the friendly kernels' bytes.
+    Rng rng(seed, options.slp_hostile ? "kernel_gen_hostile" : "kernel_gen");
     GeneratedKernel out;
-    out.name = "gen_" + std::to_string(seed);
+    out.name = (options.slp_hostile ? "genh_" : "gen_") +
+               std::to_string(seed);
     std::ostringstream os;
-    os << "# generated kernel (seed " << seed << ")\n"
+    os << "# generated " << (options.slp_hostile ? "SLP-hostile " : "")
+       << "kernel (seed " << seed << ")\n"
        << "kernel " << out.name << " {\n"
        << range_annotation(rng);
-    switch (rng.uniform_int(0, 3)) {
-        case 0: gen_reduction(rng, os); break;
-        case 1: gen_stencil(rng, os); break;
-        case 2: gen_dual_reduction(rng, os); break;
-        default: gen_matmul(rng, os); break;
+    if (options.slp_hostile) {
+        switch (rng.uniform_int(0, 1)) {
+            case 0: gen_strided_gather(rng, os); break;
+            default: gen_mixed_arrays(rng, os); break;
+        }
+    } else {
+        switch (rng.uniform_int(0, 3)) {
+            case 0: gen_reduction(rng, os); break;
+            case 1: gen_stencil(rng, os); break;
+            case 2: gen_dual_reduction(rng, os); break;
+            default: gen_matmul(rng, os); break;
+        }
     }
     os << "}\n";
     out.source = os.str();
     return out;
 }
 
-kernels::BenchmarkKernel generate_kernel(uint64_t seed) {
-    const GeneratedKernel gen = generate_kernel_source(seed);
+kernels::BenchmarkKernel generate_kernel(uint64_t seed,
+                                         const GenOptions& options) {
+    const GeneratedKernel gen = generate_kernel_source(seed, options);
     return compile_benchmark_source(gen.source,
                                     "<generated seed " +
                                         std::to_string(seed) + ">");

@@ -25,15 +25,31 @@
 namespace slpwlo::frontend {
 
 struct GeneratedKernel {
-    std::string name;    ///< "gen_<seed>" — the DSL kernel name
+    std::string name;    ///< "gen_<seed>" / "genh_<seed>" — the DSL name
     std::string source;  ///< complete DSL text (byte-deterministic per seed)
 };
 
-/// Deterministic DSL source for `seed`; same seed, same bytes.
-GeneratedKernel generate_kernel_source(uint64_t seed);
+struct GenOptions {
+    /// Bias the generated shapes *against* SLP packing: non-adjacent
+    /// load strides (x[2i], x[3i+1] — superficially isomorphic lanes
+    /// whose loads never form a contiguous group) and mixed-array
+    /// statements (neighbouring lanes pulling from different buffers).
+    /// The differential harness runs a hostile batch alongside the
+    /// friendly one so "the flow still meets its constraint when SLP
+    /// finds nothing" stays a tested property, not an assumption.
+    /// Hostile kernels are named "genh_<seed>" — a distinct registry
+    /// namespace, so friendly and hostile kernels of one seed coexist.
+    bool slp_hostile = false;
+};
+
+/// Deterministic DSL source for `seed`; same seed (and options), same
+/// bytes.
+GeneratedKernel generate_kernel_source(uint64_t seed,
+                                       const GenOptions& options = {});
 
 /// generate_kernel_source compiled through the ingestion path
 /// (kernel_file.hpp's compile_benchmark_source).
-kernels::BenchmarkKernel generate_kernel(uint64_t seed);
+kernels::BenchmarkKernel generate_kernel(uint64_t seed,
+                                         const GenOptions& options = {});
 
 }  // namespace slpwlo::frontend

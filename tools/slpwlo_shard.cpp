@@ -60,14 +60,35 @@
 //   ... on each worker machine, as many times as you like ...
 //   $ slpwlo-shard work --dir farm
 //   $ slpwlo-shard merge --out sweep.json --lease-dir farm
+//
+// Or as a long-lived socket daemon — no shared filesystem, workers
+// connect over TCP, completed rows stream into an online merge and the
+// report is ready the instant the last slot lands (DESIGN.md §15):
+//
+//   $ slpwlo-shard daemon --listen 7477 &
+//   $ slpwlo-shard submit --connect :7477 --manifest grid.0.manifest
+//   ... on each worker machine ...
+//   $ slpwlo-shard work --connect coordinator:7477
+//   $ slpwlo-shard status --connect :7477          # live JSON
+//   $ slpwlo-shard merge --connect :7477 --job 0 --out sweep.json
+//
+// Incremental re-sweeps: `merge ... --rows-out sweep.rows` keeps the
+// per-slot rows; after the grid changes, `submit --splice-from sweep.rows`
+// (or offline: `merge --manifest new.manifest --splice-from sweep.rows`)
+// re-uses every slot whose point fingerprint is unchanged, so only the
+// changed slots are re-run.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "accuracy/sim_backend.hpp"
 #include "dist/cache_snapshot.hpp"
+#include "farm/farm_client.hpp"
+#include "farm/farm_server.hpp"
 #include "dist/lease_coordinator.hpp"
 #include "dist/shard_manifest.hpp"
 #include "dist/shard_merger.hpp"
@@ -120,8 +141,44 @@ void usage(FILE* out) {
         "                     the directory drains (expired leases are\n"
         "                     stolen and re-issued); --max-slots caps one\n"
         "                     acquisition, splitting bigger chunks\n"
+        "  slpwlo-shard work  --connect HOST:PORT [--worker ID]\n"
+        "                     [--heartbeat-ms T] [--poll-ms T] [--threads N]\n"
+        "                     [--cache-capacity N] [--straggle-ms T]\n"
+        "                     [--evaluator tape|walker|compiled]\n"
+        "                     [--optimizer heuristic|optimal] [--measure]\n"
+        "                     drain a farm daemon's jobs over TCP; missed\n"
+        "                     heartbeats expire this worker's chunks for\n"
+        "                     re-issue\n"
         "  slpwlo-shard merge --out FILE (RESULTS... | --lease-dir DIR)\n"
-        "                     [--cache FILE]... [--cache-out FILE]\n");
+        "                     [--cache FILE]... [--cache-out FILE]\n"
+        "  slpwlo-shard merge --connect HOST:PORT --job N --out FILE\n"
+        "                     [--rows-out FILE]\n"
+        "                     fetch a finalized farm job's streamed report\n"
+        "                     (byte-identical to the 1-process sweep);\n"
+        "                     --rows-out keeps per-slot rows for later\n"
+        "                     --splice-from re-sweeps\n"
+        "  slpwlo-shard merge --manifest FILE --splice-from ROWS...\n"
+        "                     --rows-out FILE [--out FILE]\n"
+        "                     offline incremental re-sweep: re-slot rows\n"
+        "                     whose point fingerprints still appear in the\n"
+        "                     new manifest; --out additionally writes the\n"
+        "                     report when nothing changed\n"
+        "  slpwlo-shard daemon --listen PORT [--ttl-ms T] [--tick-ms T]\n"
+        "                     [--all-interfaces]\n"
+        "                     serve the farm protocol until shutdown: jobs\n"
+        "                     are submitted over the socket, rows stream\n"
+        "                     into per-job merges, heartbeat expiry\n"
+        "                     re-issues chunks (port 0 = ephemeral)\n"
+        "  slpwlo-shard submit --connect HOST:PORT --manifest FILE\n"
+        "                     [--chunk-cost C] [--chunk-slots N]\n"
+        "                     [--splice-from ROWS]\n"
+        "                     enqueue a whole-grid manifest as a farm job;\n"
+        "                     --splice-from pre-fills unchanged slots from\n"
+        "                     a previous run's rows file\n"
+        "  slpwlo-shard status --connect HOST:PORT\n"
+        "                     print the daemon's live status JSON\n"
+        "  slpwlo-shard shutdown --connect HOST:PORT\n"
+        "                     stop the daemon\n");
 }
 
 [[noreturn]] void bad_usage(const std::string& message) {
@@ -195,6 +252,15 @@ std::vector<std::string> split_list(const std::string& text) {
     }
     if (!item.empty()) out.push_back(item);
     return out;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot read `" + path + "`");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) throw Error("cannot read `" + path + "`");
+    return text;
 }
 
 void write_file(const std::string& path, const std::string& text) {
@@ -466,7 +532,7 @@ int cmd_serve(Args args) {
 }
 
 int cmd_work(Args args) {
-    std::string dir, snapshot_in, snapshot_out;
+    std::string dir, connect, snapshot_in, snapshot_out;
     LeaseWorkerOptions worker;
     ExecOptions exec;
     bool has_evaluator = false;
@@ -475,13 +541,21 @@ int cmd_work(Args args) {
     bool has_optimizer = false;
     Optimizer optimizer = Optimizer::Heuristic;
     size_t max_slots = 0;
+    long long heartbeat_ms = 1000;
+    long long poll_ms = 200;
 
     std::string arg;
     while (args.next(arg)) {
         if (arg == "--dir") {
             dir = args.value(arg);
+        } else if (arg == "--connect") {
+            connect = args.value(arg);
         } else if (arg == "--worker") {
             worker.worker_id = args.value(arg);
+        } else if (arg == "--heartbeat-ms") {
+            heartbeat_ms = int_flag(arg, args.value(arg));
+        } else if (arg == "--poll-ms") {
+            poll_ms = int_flag(arg, args.value(arg));
         } else if (arg == "--threads") {
             exec.threads = int_flag(arg, args.value(arg));
         } else if (arg == "--snapshot-in") {
@@ -511,7 +585,37 @@ int cmd_work(Args args) {
             bad_usage("unknown work flag `" + arg + "`");
         }
     }
-    if (dir.empty()) bad_usage("work needs --dir");
+    if (dir.empty() == connect.empty()) {
+        bad_usage("work needs --dir or --connect (not both)");
+    }
+
+    if (!connect.empty()) {
+        // Farm mode: the daemon owns chunking, merge and snapshots; the
+        // worker is just the drain loop over a socket.
+        if (!snapshot_in.empty() || !snapshot_out.empty()) {
+            bad_usage("--snapshot-in/--snapshot-out apply to --dir workers "
+                      "only");
+        }
+        std::string host;
+        int port = 0;
+        farm::parse_endpoint(connect, host, port);
+        farm::FarmWorkerOptions options;
+        options.worker = worker.worker_id.empty()
+                             ? "w" + std::to_string(::getpid())
+                             : worker.worker_id;
+        options.heartbeat_ms = heartbeat_ms;
+        options.poll_ms = poll_ms;
+        options.max_slots = max_slots;
+        options.exec = exec;
+        options.straggle_ms = worker.straggle_ms;
+        if (has_evaluator) options.evaluator = evaluator;
+        options.measure = measure;
+        if (has_optimizer) options.optimizer = optimizer;
+        const size_t executed = farm::run_farm_worker(host, port, options);
+        std::printf("worker %s drained farm %s: %zu slots run here\n",
+                    options.worker.c_str(), connect.c_str(), executed);
+        return 0;
+    }
 
     LeaseWorkSource source(dir, worker);
     exec.flow_options = source.manifest().defaults;
@@ -546,8 +650,10 @@ int cmd_work(Args args) {
 }
 
 int cmd_merge(Args args) {
-    std::string out_path, cache_out, lease_dir;
-    std::vector<std::string> results_paths, cache_paths;
+    std::string out_path, cache_out, lease_dir, connect, manifest_path;
+    std::string rows_out;
+    long long job = -1;
+    std::vector<std::string> results_paths, cache_paths, splice_from;
 
     std::string arg;
     while (args.next(arg)) {
@@ -559,12 +665,86 @@ int cmd_merge(Args args) {
             cache_out = args.value(arg);
         } else if (arg == "--lease-dir") {
             lease_dir = args.value(arg);
+        } else if (arg == "--connect") {
+            connect = args.value(arg);
+        } else if (arg == "--job") {
+            job = int_flag(arg, args.value(arg));
+        } else if (arg == "--manifest") {
+            manifest_path = args.value(arg);
+        } else if (arg == "--splice-from") {
+            splice_from.push_back(args.value(arg));
+        } else if (arg == "--rows-out") {
+            rows_out = args.value(arg);
         } else if (!arg.empty() && arg[0] == '-') {
             bad_usage("unknown merge flag `" + arg + "`");
         } else {
             results_paths.push_back(arg);
         }
     }
+
+    if (!connect.empty()) {
+        // Farm mode: fetch the daemon's streamed merge of one job.
+        if (job < 0) bad_usage("merge --connect needs --job N");
+        if (out_path.empty()) bad_usage("merge needs --out");
+        std::string host;
+        int port = 0;
+        farm::parse_endpoint(connect, host, port);
+        farm::FarmClient client(host, port);
+        farm::Message request;
+        request.verb = "report";
+        request.fields["job"] = std::to_string(job);
+        write_file(out_path, client.call(request).body);
+        std::printf("farm %s job %lld report -> %s\n", connect.c_str(), job,
+                    out_path.c_str());
+        if (!rows_out.empty()) {
+            request.verb = "rows";
+            write_file(rows_out, client.call(request).body);
+            std::printf("farm %s job %lld rows -> %s\n", connect.c_str(),
+                        job, rows_out.c_str());
+        }
+        return 0;
+    }
+
+    if (!manifest_path.empty() || !splice_from.empty()) {
+        // Offline incremental re-sweep: re-slot a previous run's rows
+        // onto the new grid by point fingerprint. Unchanged slots come
+        // back verbatim; the rows file of what's left seeds the next run
+        // (or the farm submit's --splice-from).
+        if (manifest_path.empty() || splice_from.empty()) {
+            bad_usage("splice needs both --manifest and --splice-from");
+        }
+        if (rows_out.empty()) bad_usage("splice needs --rows-out");
+        const ShardManifest manifest = load_shard_manifest(manifest_path);
+        if (manifest.slots.size() != manifest.total_slots) {
+            bad_usage("--manifest must be a whole grid (plan --shards 1)");
+        }
+        std::vector<uint64_t> slot_fps;
+        slot_fps.reserve(manifest.points.size());
+        for (const SweepPoint& point : manifest.points) {
+            slot_fps.push_back(point_fingerprint(point));
+        }
+        std::vector<ShardResultsFile> old_files;
+        old_files.reserve(splice_from.size());
+        for (const std::string& path : splice_from) {
+            old_files.push_back(load_shard_results(path));
+        }
+        const ShardResultsFile spliced =
+            splice_rows(old_files, slot_fps, manifest.grid_fp);
+        write_file(rows_out, shard_results_text(spliced));
+        std::printf("spliced %zu of %zu slots (%zu changed) -> %s\n",
+                    spliced.rows.size(), manifest.total_slots,
+                    manifest.total_slots - spliced.rows.size(),
+                    rows_out.c_str());
+        if (!out_path.empty()) {
+            // A report needs every slot; merge_shard_results lists the
+            // holes when slots still must be re-run.
+            write_file(out_path, merge_shard_results({spliced}));
+            std::printf("nothing changed: full report -> %s\n",
+                        out_path.c_str());
+        }
+        return 0;
+    }
+
     if (out_path.empty()) bad_usage("merge needs --out");
     if (lease_dir.empty() && results_paths.empty()) {
         bad_usage("merge needs result files or --lease-dir");
@@ -625,6 +805,135 @@ int cmd_merge(Args args) {
     return 0;
 }
 
+int cmd_daemon(Args args) {
+    farm::ServerOptions options;
+    bool has_listen = false;
+
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--listen") {
+            options.port = int_flag(arg, args.value(arg));
+            has_listen = true;
+        } else if (arg == "--ttl-ms") {
+            options.ttl_ms = int_flag(arg, args.value(arg));
+        } else if (arg == "--tick-ms") {
+            options.tick_ms = int_flag(arg, args.value(arg));
+        } else if (arg == "--all-interfaces") {
+            options.all_interfaces = true;
+        } else {
+            bad_usage("unknown daemon flag `" + arg + "`");
+        }
+    }
+    if (!has_listen) bad_usage("daemon needs --listen PORT (0 = ephemeral)");
+
+    farm::FarmServer server(options);
+    // The port line goes out before serving (and unbuffered) so scripts
+    // launching `daemon --listen 0 &` can scrape the ephemeral port.
+    std::printf("farm daemon listening on %s:%d (ttl %lld ms, tick %lld ms)\n",
+                options.all_interfaces ? "0.0.0.0" : "127.0.0.1",
+                server.port(), options.ttl_ms, options.tick_ms);
+    std::fflush(stdout);
+    server.run();
+    std::printf("farm daemon on port %d shut down\n", server.port());
+    return 0;
+}
+
+int cmd_submit(Args args) {
+    std::string connect, manifest_path, splice_path;
+    double chunk_cost = 0.0;
+    long long chunk_slots = 0;
+
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--connect") {
+            connect = args.value(arg);
+        } else if (arg == "--manifest") {
+            manifest_path = args.value(arg);
+        } else if (arg == "--chunk-cost") {
+            chunk_cost = double_flag(arg, args.value(arg));
+        } else if (arg == "--chunk-slots") {
+            chunk_slots = int_flag(arg, args.value(arg));
+        } else if (arg == "--splice-from") {
+            splice_path = args.value(arg);
+        } else {
+            bad_usage("unknown submit flag `" + arg + "`");
+        }
+    }
+    if (connect.empty()) bad_usage("submit needs --connect HOST:PORT");
+    if (manifest_path.empty()) bad_usage("submit needs --manifest");
+
+    std::string host;
+    int port = 0;
+    farm::parse_endpoint(connect, host, port);
+    farm::FarmClient client(host, port);
+
+    farm::Message request;
+    request.verb = "submit";
+    if (chunk_cost > 0.0) {
+        request.fields["chunk_cost"] = std::to_string(chunk_cost);
+    }
+    if (chunk_slots > 0) {
+        request.fields["chunk_slots"] = std::to_string(chunk_slots);
+    }
+    request.body = read_file(manifest_path);
+    if (!splice_path.empty()) {
+        const std::string splice_text = read_file(splice_path);
+        request.fields["splice_bytes"] = std::to_string(splice_text.size());
+        request.body += splice_text;
+    }
+    const farm::Message response = client.call(request);
+    std::printf("farm %s: job %s submitted (%s slots spliced from previous "
+                "run)\n",
+                connect.c_str(), response.require_field("job").c_str(),
+                response.require_field("spliced").c_str());
+    return 0;
+}
+
+int cmd_status(Args args) {
+    std::string connect;
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--connect") {
+            connect = args.value(arg);
+        } else {
+            bad_usage("unknown status flag `" + arg + "`");
+        }
+    }
+    if (connect.empty()) bad_usage("status needs --connect HOST:PORT");
+
+    std::string host;
+    int port = 0;
+    farm::parse_endpoint(connect, host, port);
+    farm::FarmClient client(host, port);
+    farm::Message request;
+    request.verb = "status";
+    std::fputs(client.call(request).body.c_str(), stdout);
+    return 0;
+}
+
+int cmd_shutdown(Args args) {
+    std::string connect;
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--connect") {
+            connect = args.value(arg);
+        } else {
+            bad_usage("unknown shutdown flag `" + arg + "`");
+        }
+    }
+    if (connect.empty()) bad_usage("shutdown needs --connect HOST:PORT");
+
+    std::string host;
+    int port = 0;
+    farm::parse_endpoint(connect, host, port);
+    farm::FarmClient client(host, port);
+    farm::Message request;
+    request.verb = "shutdown";
+    client.call(request);
+    std::printf("farm %s shutting down\n", connect.c_str());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -639,6 +948,10 @@ int main(int argc, char** argv) {
         if (command == "serve") return cmd_serve(Args(argc, argv, 2));
         if (command == "work") return cmd_work(Args(argc, argv, 2));
         if (command == "merge") return cmd_merge(Args(argc, argv, 2));
+        if (command == "daemon") return cmd_daemon(Args(argc, argv, 2));
+        if (command == "submit") return cmd_submit(Args(argc, argv, 2));
+        if (command == "status") return cmd_status(Args(argc, argv, 2));
+        if (command == "shutdown") return cmd_shutdown(Args(argc, argv, 2));
         if (command == "--help" || command == "-h") {
             usage(stdout);
             return 0;
@@ -646,7 +959,8 @@ int main(int argc, char** argv) {
         // Same convention as targets::by_name: an unknown name lists
         // every valid spelling (sorted).
         bad_usage("unknown command `" + command +
-                  "`; known: merge, plan, run, serve, work");
+                  "`; known: daemon, merge, plan, run, serve, shutdown, "
+                  "status, submit, work");
     } catch (const Error& e) {
         std::fprintf(stderr, "slpwlo-shard: %s\n", e.what());
         return 1;
